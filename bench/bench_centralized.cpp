@@ -1,0 +1,112 @@
+// E10: centralized alerting (B1, the SIFT/Hermes'01 model of §2.1) vs the
+// distributed GSAlert service. Two comparisons:
+//   - load concentration: share of all wire traffic touching the busiest
+//     infrastructure node;
+//   - single point of failure: the matcher node crashes mid-run; the
+//     central service goes dark for every event afterwards, while the GDS
+//     re-parents around its failed node and recovers.
+#include <cstdio>
+
+#include "workload/scenario.h"
+
+using namespace gsalert;
+using workload::Scenario;
+using workload::ScenarioConfig;
+using workload::Strategy;
+
+namespace {
+
+struct RunResult {
+  workload::Outcome healthy;
+  workload::Outcome degraded;
+  double central_share = 0;  // busiest infra node's share of all traffic
+};
+
+RunResult run(Strategy strategy) {
+  ScenarioConfig config;
+  config.strategy = strategy;
+  config.n_servers = 20;
+  config.clients_per_server = 1;
+  config.seed = 31;
+  Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(3));
+  scenario.net().reset_stats();
+
+  RunResult result;
+  for (int i = 0; i < 15; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(150));
+  }
+  scenario.settle(SimTime::seconds(5));
+  result.healthy = scenario.outcome();
+
+  // Busiest infrastructure node's traffic share.
+  std::uint64_t infra_max = 0;
+  if (strategy == Strategy::kCentralized) {
+    const auto& ns = scenario.net().node_stats(scenario.central()->id());
+    infra_max = ns.sent + ns.received;
+  } else {
+    for (auto* node : scenario.gds_tree().nodes) {
+      const auto& ns = scenario.net().node_stats(node->id());
+      infra_max = std::max(infra_max, ns.sent + ns.received);
+    }
+  }
+  result.central_share = 100.0 * static_cast<double>(infra_max) /
+                         static_cast<double>(result.healthy.messages_sent * 2);
+
+  // Kill the matcher / root and keep publishing.
+  if (strategy == Strategy::kCentralized) {
+    scenario.net().crash(scenario.central()->id());
+  } else {
+    scenario.net().crash(scenario.gds_tree().root()->id());
+  }
+  scenario.settle(SimTime::seconds(5));  // GDS: detect + re-parent
+  for (int i = 0; i < 15; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(150));
+  }
+  scenario.settle(SimTime::seconds(10));
+  result.degraded = scenario.outcome();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  workload::print_table_header(
+      "E10 — centralized (B1) vs distributed GSAlert",
+      "strategy       infra_node_share  phase        expected delivered "
+      "false_neg");
+  for (const Strategy strategy :
+       {Strategy::kGsAlert, Strategy::kCentralized}) {
+    const RunResult r = run(strategy);
+    char row[220];
+    std::snprintf(row, sizeof(row), "%-14s %15.1f%%  %-12s %8llu %9llu %9llu",
+                  workload::strategy_name(strategy), r.central_share,
+                  "healthy",
+                  static_cast<unsigned long long>(
+                      r.healthy.expected_notifications),
+                  static_cast<unsigned long long>(r.healthy.delivered_matching),
+                  static_cast<unsigned long long>(r.healthy.false_negatives));
+    workload::print_row(row);
+    std::snprintf(
+        row, sizeof(row), "%-14s %16s  %-12s %8llu %9llu %9llu",
+        workload::strategy_name(strategy), "-", "matcher-down",
+        static_cast<unsigned long long>(
+            r.degraded.expected_notifications - r.healthy.expected_notifications),
+        static_cast<unsigned long long>(
+            r.degraded.delivered_matching - r.healthy.delivered_matching),
+        static_cast<unsigned long long>(
+            r.degraded.false_negatives - r.healthy.false_negatives));
+    workload::print_row(row);
+  }
+  std::printf(
+      "\nshape check: the central node touches ~half of all traffic "
+      "(every event and every notification); when it dies, delivery drops "
+      "to zero. GSAlert's busiest GDS node carries a small share, and the "
+      "tree re-parents around a dead root (only the detection window is "
+      "lossy).\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// E5: dangling/orphan profiles under churn — the paper's argument for
+// keeping profiles at the subscriber's own server (§2.2, §7).
+//
+// Protocol: clients subscribe; the network partitions; half the
+// subscriptions are cancelled during the partition; the partition heals;
+// events are published everywhere. Profile flooding (B2) leaves orphan
+// profiles on brokers the cancellation never reached — they keep matching
+// and emit spurious notifications. GSAlert keeps each profile only at its
+// owner's server, so cancellation is always complete.
+#include <cstdio>
+
+#include "workload/scenario.h"
+
+using namespace gsalert;
+using workload::Scenario;
+using workload::ScenarioConfig;
+using workload::Strategy;
+
+namespace {
+
+struct RunResult {
+  workload::Outcome outcome;
+  std::uint64_t orphan_notifications = 0;
+  std::uint64_t orphan_profiles_left = 0;
+};
+
+RunResult run(Strategy strategy, std::uint64_t seed,
+              bool covering = false) {
+  ScenarioConfig config;
+  config.strategy = strategy;
+  config.b2_covering = covering;
+  config.n_servers = 10;
+  config.clients_per_server = 2;
+  config.seed = seed;
+  // Fully connected overlay so B2's floods work when the network is
+  // healthy — the pathology needs only the temporary partition.
+  config.topology = workload::TopologyGenConfig{
+      .solitary_fraction = 0.0, .island_size = 100, .cycle_probability = 0.0};
+  Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(3));
+
+  // Partition: servers 0-4 (and their clients) vs the rest.
+  std::vector<NodeId> group;
+  for (int i = 0; i < 5; ++i) {
+    group.push_back(scenario.servers()[static_cast<std::size_t>(i)]->id());
+  }
+  for (auto* c : scenario.clients()) {
+    const NodeId home = c->home();
+    for (int i = 0; i < 5; ++i) {
+      if (scenario.servers()[static_cast<std::size_t>(i)]->id() == home) {
+        group.push_back(c->id());
+      }
+    }
+  }
+  scenario.net().set_partition({group});
+
+  // Cancel half of all subscriptions during the partition.
+  for (int i = 0; i < 20; ++i) scenario.cancel_random();
+  scenario.settle(SimTime::seconds(3));
+  scenario.net().clear_partition();
+  scenario.settle(SimTime::seconds(3));
+
+  // Publish events at every server.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t s = 0; s < scenario.servers().size(); ++s) {
+      scenario.publish_rebuild(s, "C0", 2);
+      scenario.settle(SimTime::millis(100));
+    }
+  }
+  scenario.settle(SimTime::seconds(10));
+
+  RunResult result;
+  result.outcome = scenario.outcome();
+  for (auto* ext : scenario.profile_flood()) {
+    result.orphan_notifications += ext->flood_stats().orphan_notifications;
+  }
+  // Orphans still stored: remote profiles minus what should remain.
+  if (!scenario.profile_flood().empty()) {
+    // Active subscriptions are the ground truth of what brokers should
+    // hold; every broker holds every profile under flooding.
+    std::uint64_t held = 0;
+    for (auto* ext : scenario.profile_flood()) {
+      held += ext->remote_profile_count();
+    }
+    const std::uint64_t should_hold =
+        (40 - 20) * scenario.profile_flood().size();
+    if (held > should_hold) result.orphan_profiles_left = held - should_hold;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  workload::print_table_header(
+      "E5 — dangling profiles under churn (partition during cancel)",
+      "strategy       false_neg false_pos orphan_notifs orphan_profiles "
+      "msgs");
+  for (const Strategy strategy :
+       {Strategy::kGsAlert, Strategy::kProfileFlooding}) {
+    RunResult total;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      RunResult r = run(strategy, seed);
+      total.outcome.false_negatives += r.outcome.false_negatives;
+      total.outcome.false_positives += r.outcome.false_positives;
+      total.outcome.messages_sent += r.outcome.messages_sent;
+      total.orphan_notifications += r.orphan_notifications;
+      total.orphan_profiles_left += r.orphan_profiles_left;
+    }
+    char row[200];
+    std::snprintf(row, sizeof(row),
+                  "%-14s %9llu %9llu %13llu %15llu %llu",
+                  workload::strategy_name(strategy),
+                  static_cast<unsigned long long>(total.outcome.false_negatives),
+                  static_cast<unsigned long long>(total.outcome.false_positives),
+                  static_cast<unsigned long long>(total.orphan_notifications),
+                  static_cast<unsigned long long>(total.orphan_profiles_left),
+                  static_cast<unsigned long long>(total.outcome.messages_sent));
+    workload::print_row(row);
+  }
+  std::printf(
+      "\nshape check (paper §2.2/§7): profile flooding leaves orphan "
+      "profiles that keep firing after cancellation; GSAlert has zero "
+      "because profiles never leave the subscriber's server.\n");
+
+  // Ablation: B2's covering/merging optimization (identical subscriptions
+  // flooded once). It cuts flood traffic and broker state, but cannot fix
+  // the orphan pathology — covering is about volume, not consistency.
+  workload::print_table_header(
+      "E5b — B2 covering/merging ablation",
+      "configuration        stored_remote_profiles flood_msgs "
+      "orphan_notifs");
+  for (const bool covering : {false, true}) {
+    std::uint64_t stored = 0, floods = 0, orphans = 0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      ScenarioConfig config;
+      config.strategy = Strategy::kProfileFlooding;
+      config.b2_covering = covering;
+      config.n_servers = 10;
+      config.clients_per_server = 5;
+      // Collection-watch-only population with strong popularity skew:
+      // many users of one server watch the same hot collections, which is
+      // exactly the duplication covering exploits.
+      config.profile.kind_weights = {0, 1, 0, 0, 0, 0};
+      config.profile.collection_zipf_s = 1.3;
+      config.seed = seed;
+      config.topology = workload::TopologyGenConfig{
+          .solitary_fraction = 0.0, .island_size = 100,
+          .cycle_probability = 0.0};
+      Scenario scenario{config};
+      scenario.setup_collections();
+      scenario.subscribe_all(3);
+      scenario.settle(SimTime::seconds(5));
+      for (auto* ext : scenario.profile_flood()) {
+        stored += ext->remote_profile_count();
+        floods += ext->flood_stats().floods_forwarded;
+        orphans += ext->flood_stats().orphan_notifications;
+      }
+    }
+    char row[200];
+    std::snprintf(row, sizeof(row), "%-20s %22llu %10llu %13llu",
+                  covering ? "covering ON" : "covering OFF",
+                  static_cast<unsigned long long>(stored),
+                  static_cast<unsigned long long>(floods),
+                  static_cast<unsigned long long>(orphans));
+    workload::print_row(row);
+  }
+  std::printf(
+      "\nshape check: covering shrinks flooded state/traffic by the "
+      "duplication factor of the profile population.\n");
+  return 0;
+}

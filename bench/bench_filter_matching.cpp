@@ -1,0 +1,113 @@
+// E9: filtering throughput of the equality-preferred index (paper §5,
+// Fabret-style) vs naive per-profile evaluation, swept over the profile
+// population. Shape target: the index wins by orders of magnitude at
+// scale because equality hash-joins prune almost all conjunctions.
+//
+// Ablation: BM_IndexMatch vs BM_NaiveMatch is precisely "predicate index
+// on/off" from DESIGN.md §3.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "docmodel/event.h"
+#include "profiles/event_context.h"
+#include "profiles/index.h"
+#include "profiles/parser.h"
+#include "workload/generators.h"
+
+using namespace gsalert;
+
+namespace {
+
+struct MatchWorld {
+  std::vector<profiles::Profile> population;
+  profiles::ProfileIndex index;
+  std::vector<docmodel::Event> events;
+
+  explicit MatchWorld(int n_profiles) {
+    Rng rng{42};
+    workload::ProfileGen pgen{rng};
+    std::vector<std::string> hosts;
+    std::vector<CollectionRef> colls;
+    std::vector<workload::MetadataSchema> schemas;
+    // A population shaped like the public Greenstone server list: many
+    // hosts, several collections each, zipf-skewed user interest.
+    for (int h = 0; h < 50; ++h) {
+      hosts.push_back("Host" + std::to_string(h));
+      schemas.push_back(workload::MetadataSchema::for_host(hosts.back(), 42));
+      for (int c = 0; c < 10; ++c) {
+        colls.push_back(CollectionRef{hosts.back(), "C" + std::to_string(c)});
+      }
+    }
+    for (int i = 0; i < n_profiles; ++i) {
+      auto parsed =
+          profiles::parse_profile(pgen.make_profile(hosts, colls, schemas));
+      parsed.value().id = static_cast<profiles::ProfileId>(i + 1);
+      population.push_back(parsed.value());
+      (void)index.add(std::move(parsed).take());
+    }
+    // A stream of events over the same hosts/collections.
+    workload::CollectionGenConfig cconf;
+    for (int e = 0; e < 64; ++e) {
+      const std::size_t h = rng.index(hosts.size());
+      workload::CollectionGen cgen{rng, schemas[h], cconf};
+      docmodel::Event event;
+      event.id = {hosts[h], static_cast<std::uint64_t>(e)};
+      event.type = docmodel::EventType::kCollectionRebuilt;
+      event.collection =
+          CollectionRef{hosts[h], "C" + std::to_string(rng.uniform_int(0, 9))};
+      event.physical_origin = event.collection;
+      event.build_version = 2;
+      for (int d = 0; d < 3; ++d) {
+        event.docs.push_back(
+            cgen.make_document(static_cast<DocumentId>(e * 10 + d)));
+      }
+      events.push_back(std::move(event));
+    }
+  }
+};
+
+void BM_IndexMatch(benchmark::State& state) {
+  MatchWorld world{static_cast<int>(state.range(0))};
+  std::size_t e = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const profiles::EventContext ctx =
+        profiles::EventContext::from(world.events[e]);
+    auto hits = world.index.match(ctx);
+    total += hits.size();
+    benchmark::DoNotOptimize(hits);
+    e = (e + 1) % world.events.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["matches/event"] =
+      static_cast<double>(total) / static_cast<double>(state.iterations());
+}
+
+void BM_NaiveMatch(benchmark::State& state) {
+  MatchWorld world{static_cast<int>(state.range(0))};
+  std::size_t e = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const profiles::EventContext ctx =
+        profiles::EventContext::from(world.events[e]);
+    std::vector<profiles::ProfileId> hits;
+    for (const auto& p : world.population) {
+      if (p.matches(ctx)) hits.push_back(p.id);
+    }
+    total += hits.size();
+    benchmark::DoNotOptimize(hits);
+    e = (e + 1) % world.events.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["matches/event"] =
+      static_cast<double>(total) / static_cast<double>(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_IndexMatch)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_NaiveMatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// E11: auxiliary-profile recovery across partitions (paper §7). A
+// distributed collection Hamilton.D ⊃ London.E; the Hamilton–London link
+// is severed for increasing durations while E is rebuilt. Shape targets:
+// the Hamilton.D notification is DELAYED by roughly the partition length
+// (plus one retry interval), never LOST; and a cancellation issued during
+// the partition is applied on heal with no user-visible false positive.
+#include <cstdio>
+
+#include "alerting/alerting_service.h"
+#include "alerting/client.h"
+#include "gds/tree_builder.h"
+#include "gsnet/greenstone_server.h"
+#include "sim/network.h"
+#include "workload/metrics.h"
+
+using namespace gsalert;
+
+namespace {
+
+docmodel::Document make_doc(DocumentId id) {
+  docmodel::Document d;
+  d.id = id;
+  return d;
+}
+
+struct World {
+  sim::Network net{4};
+  gds::GdsTree tree;
+  gsnet::GreenstoneServer* hamilton;
+  gsnet::GreenstoneServer* london;
+  alerting::Client* user;
+  DocumentId next_doc = 10;
+
+  World() {
+    net.set_default_path({.latency = SimTime::millis(10)});
+    tree = gds::build_tree(net, 2, 2);
+    hamilton = net.make_node<gsnet::GreenstoneServer>("Hamilton");
+    london = net.make_node<gsnet::GreenstoneServer>("London");
+    hamilton->set_extension(std::make_unique<alerting::AlertingService>());
+    london->set_extension(std::make_unique<alerting::AlertingService>());
+    hamilton->attach_gds(tree.nodes[1]->id());
+    london->attach_gds(tree.nodes[2]->id());
+    hamilton->set_host_ref("London", london->id());
+    london->set_host_ref("Hamilton", hamilton->id());
+    user = net.make_node<alerting::Client>("user");
+    user->set_home(hamilton->id());
+    net.start();
+    net.run_until(SimTime::millis(100));
+
+    docmodel::CollectionConfig e;
+    e.name = "E";
+    london->add_collection(e, docmodel::DataSet{{make_doc(1)}});
+    docmodel::CollectionConfig d;
+    d.name = "D";
+    d.sub_collections = {CollectionRef{"London", "E"}};
+    hamilton->add_collection(d, docmodel::DataSet{});
+    net.run_until(net.now() + SimTime::seconds(2));
+    user->subscribe("ref = hamilton.d");
+    net.run_until(net.now() + SimTime::millis(300));
+  }
+
+  /// Rebuild E with one new doc while the link is down for `partition`
+  /// seconds; return the delay from rebuild to the user's notification.
+  double measure_delay(SimTime partition) {
+    user->clear_notifications();
+    net.block_pair(hamilton->id(), london->id());
+    const SimTime t0 = net.now();
+    docmodel::DataSet data;
+    for (DocumentId i = 1; i <= next_doc; ++i) data.add(make_doc(i));
+    data.add(make_doc(++next_doc));
+    london->rebuild_collection("E", std::move(data));
+    net.run_until(t0 + partition);
+    net.unblock_pair(hamilton->id(), london->id());
+    net.run_until(net.now() + SimTime::seconds(30));
+    if (user->notifications().empty()) return -1;
+    return (user->notifications()[0].at - t0).as_seconds();
+  }
+};
+
+}  // namespace
+
+int main() {
+  workload::print_table_header(
+      "E11 — partition recovery for the auxiliary-profile path",
+      "partition_s notified delay_s  (delay ≈ partition + retry ≤ 1s + hops)");
+  bool all_delivered = true;
+  for (const int seconds : {0, 1, 5, 20, 60}) {
+    World world;
+    const double delay =
+        world.measure_delay(SimTime::seconds(seconds));
+    all_delivered = all_delivered && delay >= 0;
+    char row[160];
+    std::snprintf(row, sizeof(row), "%11d %8s %7.2f", seconds,
+                  delay >= 0 ? "yes" : "LOST", delay);
+    workload::print_row(row);
+  }
+
+  // Cancellation during partition: applied on heal, no false positive.
+  World world;
+  world.net.block_pair(world.hamilton->id(), world.london->id());
+  world.hamilton->remove_sub_collection("D", CollectionRef{"London", "E"});
+  world.net.run_until(world.net.now() + SimTime::seconds(10));
+  world.net.unblock_pair(world.hamilton->id(), world.london->id());
+  world.net.run_until(world.net.now() + SimTime::seconds(5));
+  world.user->clear_notifications();
+  docmodel::DataSet data;
+  data.add(make_doc(1));
+  data.add(make_doc(99));
+  world.london->rebuild_collection("E", std::move(data));
+  world.net.run_until(world.net.now() + SimTime::seconds(5));
+  std::printf(
+      "\ncancel-during-partition: %zu spurious notification(s) after heal "
+      "(must be 0)\n",
+      world.user->notifications().size());
+  std::printf(
+      "shape check: delivery is delayed by ~the partition duration, never "
+      "lost; §7's three dangling cases resolve on reconnect.\n");
+  return all_delivered && world.user->notifications().empty() ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// E6: rendezvous-node fragility and hotspot load (paper §2.2 on
+// Scribe/Hermes'02: "a rendezvous node may become a bottleneck…; node or
+// link failures may lead to erroneous system behaviour").
+//
+// Phase A (healthy): measure load concentration — the busiest
+// infrastructure node's message load relative to the mean.
+// Phase B (failure): crash one rendezvous broker (resp. one inner GDS
+// node) and keep publishing. Rendezvous loses every event whose topic
+// hashes to the dead broker (false negatives, forever); the GDS
+// re-parents around the dead node and recovers.
+#include <cstdio>
+
+#include "workload/scenario.h"
+
+using namespace gsalert;
+using workload::Scenario;
+using workload::ScenarioConfig;
+using workload::Strategy;
+
+namespace {
+
+struct Phases {
+  workload::Outcome healthy;
+  workload::Outcome after_failure;
+  double hotspot = 0;
+};
+
+Phases run(Strategy strategy, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.strategy = strategy;
+  config.n_servers = 12;
+  config.n_rendezvous = 4;
+  // Fan-out 2 makes the GDS tree depth 3, so nodes[1] is a true INNER
+  // node: killing it leaves every server's access leaf alive — the
+  // comparable failure to a rendezvous broker (which also does not cut
+  // servers off the network).
+  config.gds_fanout = 2;
+  config.clients_per_server = 1;
+  config.seed = seed;
+  // Collection-watch heavy profile mix => rendezvous topics exist.
+  config.profile.kind_weights = {0.5, 5, 0.5, 1, 1, 0.5};
+  Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(3));
+
+  Phases phases;
+  for (int i = 0; i < 20; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(150));
+  }
+  scenario.settle(SimTime::seconds(5));
+  phases.healthy = scenario.outcome();
+  phases.hotspot = phases.healthy.max_over_mean_node_load;
+
+  // Fail one infrastructure node.
+  if (strategy == Strategy::kRendezvous) {
+    scenario.net().crash(scenario.rendezvous_brokers()[0]->id());
+  } else {
+    // An inner (stratum-2) GDS node; children re-parent to the root.
+    scenario.net().crash(scenario.gds_tree().nodes[1]->id());
+  }
+  scenario.settle(SimTime::seconds(5));  // heartbeats detect, re-parent
+  for (int i = 0; i < 20; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(150));
+  }
+  scenario.settle(SimTime::seconds(10));
+  phases.after_failure = scenario.outcome();
+  return phases;
+}
+
+}  // namespace
+
+int main() {
+  workload::print_table_header(
+      "E6 — rendezvous failure vs GDS re-parenting",
+      "strategy       phase          expected delivered false_neg "
+      "hotspot(max/mean)");
+  for (const Strategy strategy :
+       {Strategy::kGsAlert, Strategy::kRendezvous}) {
+    const Phases phases = run(strategy, 11);
+    char row[200];
+    std::snprintf(row, sizeof(row), "%-14s %-14s %8llu %9llu %9llu %10.1f",
+                  workload::strategy_name(strategy), "healthy",
+                  static_cast<unsigned long long>(
+                      phases.healthy.expected_notifications),
+                  static_cast<unsigned long long>(
+                      phases.healthy.delivered_matching),
+                  static_cast<unsigned long long>(
+                      phases.healthy.false_negatives),
+                  phases.hotspot);
+    workload::print_row(row);
+    const auto& after = phases.after_failure;
+    std::snprintf(
+        row, sizeof(row), "%-14s %-14s %8llu %9llu %9llu %10s",
+        workload::strategy_name(strategy), "node-failure",
+        static_cast<unsigned long long>(after.expected_notifications -
+                                        phases.healthy.expected_notifications),
+        static_cast<unsigned long long>(after.delivered_matching -
+                                        phases.healthy.delivered_matching),
+        static_cast<unsigned long long>(after.false_negatives -
+                                        phases.healthy.false_negatives),
+        "-");
+    workload::print_row(row);
+  }
+  std::printf(
+      "\nshape check: after the failure the rendezvous strategy "
+      "accumulates false negatives (events for the dead broker's topics "
+      "are lost); GSAlert re-parents and keeps false negatives near zero "
+      "(only events in flight during the ~1.5s detection window can "
+      "drop). Rendezvous also concentrates more load on its hottest "
+      "node.\n");
+  return 0;
+}

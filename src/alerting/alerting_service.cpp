@@ -1,0 +1,486 @@
+#include "alerting/alerting_service.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "profiles/event_context.h"
+
+namespace gsalert::alerting {
+
+namespace {
+constexpr std::uint64_t kRetryTimer = 0xA1E27;
+
+std::string forward_key(const docmodel::EventId& id,
+                        const CollectionRef& super) {
+  return id.str() + "->" + super.str();
+}
+}  // namespace
+
+// --- subscriptions ------------------------------------------------------
+
+Result<SubscriptionId> AlertingService::subscribe_local(
+    NodeId client, const std::string& profile_text) {
+  auto parsed = profiles::parse_profile(profile_text);
+  if (!parsed.ok()) return parsed.error();
+  const SubscriptionId id = next_sub_++;
+  parsed.value().id = id;
+  if (Status s = index_.add(std::move(parsed).take()); !s.is_ok()) {
+    return s.error();
+  }
+  subs_[id] = Subscription{client, profile_text};
+  return id;
+}
+
+Status AlertingService::cancel_local(SubscriptionId id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) {
+    return Status{ErrorCode::kNotFound, "unknown subscription"};
+  }
+  subs_.erase(it);
+  return index_.remove(id);
+}
+
+std::vector<CollectionRef> AlertingService::aux_profiles_for(
+    const std::string& sub) const {
+  const auto it = aux_in_.find(sub);
+  if (it == aux_in_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+// --- extension lifecycle ---------------------------------------------------
+
+void AlertingService::attach(gsnet::GreenstoneServer& server) {
+  ServerExtension::attach(server);
+}
+
+void AlertingService::on_started() {}
+
+void AlertingService::on_restarted() {
+  // Profile store, aux registries and the outbox are durable (Greenstone
+  // keeps profiles on disk); only the retry timer needs re-arming.
+  retry_armed_ = false;
+  if (!unacked_.empty()) arm_retry_timer();
+}
+
+// --- event pipeline -----------------------------------------------------------
+
+void AlertingService::filter_and_notify(const docmodel::Event& event) {
+  profiles::EventContext ctx = profiles::EventContext::from(event);
+  // §5: at the event's own host, query predicates run against the
+  // collection's freshly rebuilt index instead of scanning documents.
+  // Renamed events carry another collection's documents, so the local
+  // index does not cover them and the per-document path applies.
+  if (event.via.empty() && event.collection.host == server_->name()) {
+    ctx.set_engine(server_->engine(event.collection.name));
+  }
+  const std::vector<profiles::ProfileId> hits = index_.match(ctx);
+  stats_.filter_matches += hits.size();
+  for (profiles::ProfileId id : hits) {
+    const auto it = subs_.find(id);
+    if (it == subs_.end()) continue;
+    NotificationBody body;
+    body.subscription_id = id;
+    body.event = event;
+    wire::Writer w;
+    body.encode(w);
+    wire::Envelope env = wire::make_envelope(
+        wire::MessageType::kNotification, server_->name(), "",
+        server_->next_msg_id(), std::move(w));
+    server_->send_to(it->second.client, env);
+    stats_.notifications_sent += 1;
+  }
+}
+
+void AlertingService::forward_to_supers(const docmodel::Event& event) {
+  // Only events whose current attribution lives on this host can match an
+  // auxiliary profile here (the aux profile was installed at the
+  // sub-collection's host — us).
+  if (event.collection.host != server_->name()) return;
+  const auto it = aux_in_.find(event.collection.name);
+  if (it == aux_in_.end()) return;
+  for (const CollectionRef& super : it->second) {
+    // Rename-loop guard: never re-attribute to a collection the event has
+    // already been attributed to.
+    if (super == event.collection ||
+        std::find(event.via.begin(), event.via.end(), super.str()) !=
+            event.via.end()) {
+      stats_.rename_loops_cut += 1;
+      continue;
+    }
+    EventForwardBody body;
+    body.super = super;
+    body.event = event;
+    wire::Writer w;
+    body.encode(w);
+    wire::Envelope env = wire::make_envelope(
+        wire::MessageType::kEventForward, server_->name(), super.host, 0,
+        std::move(w));
+    send_reliable(super.host, std::move(env));
+    stats_.aux_forwards += 1;
+  }
+}
+
+void AlertingService::publish(const docmodel::Event& event) {
+  if (!server_->gds().attached()) return;  // solitary server, no directory
+  server_->gds().broadcast(
+      static_cast<std::uint16_t>(wire::MessageType::kEventAnnounce),
+      encode_event(event));
+  stats_.events_published += 1;
+}
+
+void AlertingService::process_event(const docmodel::Event& event,
+                                    bool broadcast) {
+  if (!seen_events_.insert(event.id).second) {
+    stats_.duplicate_events += 1;
+    return;
+  }
+  stats_.events_received += 1;
+  filter_and_notify(event);
+  forward_to_supers(event);
+  if (broadcast) publish(event);
+}
+
+void AlertingService::on_local_event(const docmodel::Event& event) {
+  process_event(event, /*broadcast=*/true);
+}
+
+void AlertingService::on_gds_message(const std::string& /*origin_server*/,
+                                     std::uint16_t payload_type,
+                                     const std::vector<std::byte>& payload) {
+  switch (static_cast<wire::MessageType>(payload_type)) {
+    // Aux-profile and forward traffic relayed anonymously through the
+    // GDS (no direct host reference): the payload is a full envelope.
+    case wire::MessageType::kAuxProfileAdd:
+    case wire::MessageType::kAuxProfileRemove:
+    case wire::MessageType::kEventForward:
+    case wire::MessageType::kAuxProfileAck:
+    case wire::MessageType::kEventForwardAck: {
+      auto env = wire::unpack(sim::Packet{payload});
+      if (env.ok()) {
+        (void)handle_envelope(NodeId::invalid(), env.value());
+      }
+      return;
+    }
+    case wire::MessageType::kEventAnnounce:
+      break;  // handled below
+    default:
+      return;
+  }
+  auto event = decode_event(payload);
+  if (!event.ok()) return;
+  // Flooded events are filtered against local profiles only; forwarding
+  // and re-broadcast happened at (or via) the event's own host.
+  if (!seen_events_.insert(event.value().id).second) {
+    stats_.duplicate_events += 1;
+    return;
+  }
+  stats_.events_received += 1;
+  filter_and_notify(event.value());
+}
+
+// --- auxiliary profile management (super-collection side) ----------------------
+
+void AlertingService::sync_aux_profiles(const docmodel::Collection& coll) {
+  std::set<CollectionRef> current;
+  for (const CollectionRef& sub : coll.config.sub_collections) {
+    if (sub.host != server_->name()) current.insert(sub);
+  }
+  std::set<CollectionRef>& previous = aux_out_[coll.config.name];
+  const CollectionRef super = coll.config.ref();
+
+  for (const CollectionRef& sub : current) {
+    if (previous.contains(sub)) continue;
+    AuxProfileBody body{super, sub};
+    wire::Writer w;
+    body.encode(w);
+    send_reliable(sub.host,
+                  wire::make_envelope(wire::MessageType::kAuxProfileAdd,
+                                      server_->name(), sub.host, 0,
+                                      std::move(w)));
+  }
+  for (const CollectionRef& sub : previous) {
+    if (current.contains(sub)) continue;
+    AuxProfileBody body{super, sub};
+    wire::Writer w;
+    body.encode(w);
+    send_reliable(sub.host,
+                  wire::make_envelope(wire::MessageType::kAuxProfileRemove,
+                                      server_->name(), sub.host, 0,
+                                      std::move(w)));
+  }
+  if (current.empty()) {
+    aux_out_.erase(coll.config.name);
+  } else {
+    previous = std::move(current);
+  }
+}
+
+void AlertingService::on_collection_configured(
+    const docmodel::Collection& coll) {
+  sync_aux_profiles(coll);
+}
+
+void AlertingService::on_collection_removed(const CollectionRef& ref) {
+  const auto it = aux_out_.find(ref.name);
+  if (it == aux_out_.end()) return;
+  for (const CollectionRef& sub : it->second) {
+    AuxProfileBody body{ref, sub};
+    wire::Writer w;
+    body.encode(w);
+    send_reliable(sub.host,
+                  wire::make_envelope(wire::MessageType::kAuxProfileRemove,
+                                      server_->name(), sub.host, 0,
+                                      std::move(w)));
+  }
+  aux_out_.erase(it);
+}
+
+// --- message handling ---------------------------------------------------------------
+
+bool AlertingService::handle_envelope(NodeId from, const wire::Envelope& env) {
+  switch (env.type) {
+    case wire::MessageType::kSubscribe:
+      handle_subscribe(from, env);
+      return true;
+    case wire::MessageType::kCancelSubscription:
+      handle_cancel(env);
+      return true;
+    case wire::MessageType::kAuxProfileAdd:
+      handle_aux_add(from, env);
+      return true;
+    case wire::MessageType::kAuxProfileRemove:
+      handle_aux_remove(from, env);
+      return true;
+    case wire::MessageType::kEventForward:
+      handle_event_forward(from, env);
+      return true;
+    case wire::MessageType::kAuxProfileAck:
+    case wire::MessageType::kEventForwardAck:
+      handle_ack(env);
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AlertingService::handle_subscribe(NodeId from,
+                                       const wire::Envelope& env) {
+  auto body = SubscribeBody::decode(env.body);
+  SubscribeAckBody ack;
+  ack.request_id = env.msg_id;
+  if (!body.ok()) {
+    ack.error = body.error().str();
+  } else {
+    auto sub = subscribe_local(from, body.value().profile_text);
+    if (sub.ok()) {
+      ack.ok = true;
+      ack.subscription_id = sub.value();
+    } else {
+      ack.error = sub.error().str();
+    }
+  }
+  wire::Writer w;
+  ack.encode(w);
+  server_->send_to(from, wire::make_envelope(
+                             wire::MessageType::kSubscribeAck,
+                             server_->name(), "", env.msg_id, std::move(w)));
+}
+
+void AlertingService::handle_cancel(const wire::Envelope& env) {
+  auto body = CancelBody::decode(env.body);
+  if (!body.ok()) return;
+  (void)cancel_local(body.value().subscription_id);
+}
+
+void AlertingService::send_ack(NodeId from, const wire::Envelope& env,
+                               wire::MessageType type) {
+  wire::Envelope ack = wire::make_envelope(type, server_->name(), env.src,
+                                           env.msg_id, wire::Writer{});
+  if (from.valid()) {
+    server_->send_to(from, ack);
+  } else if (server_->gds().attached()) {
+    // The request came through the GDS relay; answer the same way.
+    server_->gds().relay(env.src, static_cast<std::uint16_t>(type),
+                         ack.pack().bytes);
+  }
+}
+
+void AlertingService::handle_aux_add(NodeId from, const wire::Envelope& env) {
+  auto body = AuxProfileBody::decode(env.body);
+  if (!body.ok()) return;
+  aux_in_[body.value().sub.name].insert(body.value().super);
+  send_ack(from, env, wire::MessageType::kAuxProfileAck);
+}
+
+void AlertingService::handle_aux_remove(NodeId from,
+                                        const wire::Envelope& env) {
+  auto body = AuxProfileBody::decode(env.body);
+  if (!body.ok()) return;
+  const auto it = aux_in_.find(body.value().sub.name);
+  if (it != aux_in_.end()) {
+    it->second.erase(body.value().super);
+    if (it->second.empty()) aux_in_.erase(it);
+  }
+  send_ack(from, env, wire::MessageType::kAuxProfileAck);
+}
+
+void AlertingService::handle_event_forward(NodeId from,
+                                           const wire::Envelope& env) {
+  auto decoded = EventForwardBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const EventForwardBody& body = decoded.value();
+  // Always ack: retransmissions of an already-processed forward must be
+  // quenched even though we will not process them again.
+  send_ack(from, env, wire::MessageType::kEventForwardAck);
+
+  if (!processed_forwards_.insert(forward_key(body.event.id, body.super))
+           .second) {
+    return;  // duplicate retransmission
+  }
+  if (body.super.host != server_->name() ||
+      server_->collection(body.super.name) == nullptr) {
+    // Stale aux profile: the super-collection moved or vanished. Per §7
+    // this conflicts with GS collection management; drop defensively.
+    return;
+  }
+  // Rename: attribute the event to the super-collection (paper §4.2 —
+  // "the originating collection is transformed from London.E to
+  // Hamilton.D"), keep the physical origin, extend the via chain, and give
+  // the renamed event its own identity so receivers treat it as a distinct
+  // announcement.
+  docmodel::Event renamed;
+  renamed.id = docmodel::EventId{server_->name(), server_->next_event_seq()};
+  renamed.type = body.event.type;
+  renamed.collection = body.super;
+  renamed.physical_origin = body.event.physical_origin;
+  renamed.build_version = body.event.build_version;
+  renamed.via = body.event.via;
+  renamed.via.push_back(body.event.collection.str());
+  renamed.docs = body.event.docs;
+  stats_.renames += 1;
+  process_event(renamed, /*broadcast=*/true);
+}
+
+void AlertingService::handle_ack(const wire::Envelope& env) {
+  unacked_.erase(env.msg_id);
+}
+
+// --- durability / migration -----------------------------------------------------------
+
+std::vector<std::byte> AlertingService::snapshot_state() const {
+  wire::Writer w;
+  w.u64(next_sub_);
+  w.u32(static_cast<std::uint32_t>(subs_.size()));
+  for (const auto& [id, sub] : subs_) {
+    w.u64(id);
+    w.u32(sub.client.value());
+    w.str(sub.profile_text);
+  }
+  auto write_aux = [&w](const std::map<std::string,
+                                       std::set<CollectionRef>>& table) {
+    w.u32(static_cast<std::uint32_t>(table.size()));
+    for (const auto& [key, refs] : table) {
+      w.str(key);
+      w.u32(static_cast<std::uint32_t>(refs.size()));
+      for (const CollectionRef& ref : refs) {
+        w.str(ref.host);
+        w.str(ref.name);
+      }
+    }
+  };
+  write_aux(aux_in_);
+  write_aux(aux_out_);
+  return std::move(w).take();
+}
+
+Status AlertingService::restore_state(
+    const std::vector<std::byte>& snapshot) {
+  wire::Reader r{snapshot};
+  const std::uint64_t next_sub = r.u64();
+  std::map<SubscriptionId, Subscription> subs;
+  profiles::ProfileIndex index;
+  const std::uint32_t n_subs = r.u32();
+  for (std::uint32_t i = 0; i < n_subs && r.ok(); ++i) {
+    const SubscriptionId id = r.u64();
+    const NodeId client{r.u32()};
+    std::string text = r.str();
+    if (!r.ok()) break;
+    auto parsed = profiles::parse_profile(text);
+    if (!parsed.ok()) return Status{parsed.error()};
+    parsed.value().id = id;
+    if (Status s = index.add(std::move(parsed).take()); !s.is_ok()) return s;
+    subs[id] = Subscription{client, std::move(text)};
+  }
+  auto read_aux = [&r](std::map<std::string, std::set<CollectionRef>>& out) {
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      std::string key = r.str();
+      const std::uint32_t m = r.u32();
+      std::set<CollectionRef>& refs = out[key];
+      for (std::uint32_t j = 0; j < m && r.ok(); ++j) {
+        CollectionRef ref;
+        ref.host = r.str();
+        ref.name = r.str();
+        refs.insert(std::move(ref));
+      }
+    }
+  };
+  std::map<std::string, std::set<CollectionRef>> aux_in, aux_out;
+  read_aux(aux_in);
+  read_aux(aux_out);
+  if (!r.done()) {
+    return Status{ErrorCode::kDecodeFailure, "malformed profile snapshot"};
+  }
+  next_sub_ = next_sub;
+  subs_ = std::move(subs);
+  index_ = std::move(index);
+  aux_in_ = std::move(aux_in);
+  aux_out_ = std::move(aux_out);
+  return Status::ok();
+}
+
+// --- reliable outbox ----------------------------------------------------------------
+
+void AlertingService::attempt_delivery(const std::string& host,
+                                       const wire::Envelope& env) {
+  const NodeId dest = server_->host_ref(host);
+  if (dest.valid()) {
+    server_->send_to(dest, env);
+  } else if (server_->gds().attached()) {
+    // No direct reference to the host: use the GDS naming service and
+    // anonymous relay — the paper's §6 point-to-point path. The payload
+    // is the full envelope so msg_id-based acks work unchanged.
+    server_->gds().relay(host, static_cast<std::uint16_t>(env.type),
+                         env.pack().bytes);
+  }
+  // Neither path available: the outbox retry will try again — the host
+  // may register with the GDS later.
+}
+
+void AlertingService::send_reliable(const std::string& host,
+                                    wire::Envelope env) {
+  env.msg_id = server_->next_msg_id();
+  unacked_[env.msg_id] = Unacked{host, env};
+  attempt_delivery(host, unacked_[env.msg_id].env);
+  arm_retry_timer();
+}
+
+void AlertingService::arm_retry_timer() {
+  if (retry_armed_ || unacked_.empty()) return;
+  retry_armed_ = true;
+  server_->net().set_timer(server_->id(), config_.retry_interval,
+                           kRetryTimer);
+}
+
+void AlertingService::on_timer_token(std::uint64_t token) {
+  if (token != kRetryTimer) return;
+  retry_armed_ = false;
+  if (unacked_.empty()) return;
+  for (const auto& [msg_id, pending] : unacked_) {
+    attempt_delivery(pending.host, pending.env);
+    stats_.retries += 1;
+  }
+  arm_retry_timer();
+}
+
+}  // namespace gsalert::alerting

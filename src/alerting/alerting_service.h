@@ -1,0 +1,158 @@
+// The Greenstone Alerting Service — the paper's core contribution
+// (§4.2): hybrid alerting combining
+//   (1) event flooding over the GDS tree for federated collections —
+//       profiles stay at the server where the user subscribed; events
+//       travel to every server and are filtered locally (no dangling
+//       profiles, robust to GS-network fragmentation), and
+//   (2) auxiliary-profile forwarding over the GS network for distributed
+//       collections — the super-collection's host installs an auxiliary
+//       profile at the sub-collection's host; matching events are
+//       forwarded back, renamed to the super-collection, and re-broadcast.
+//
+// Reliability: delivery is best-effort end to end, but the aux-profile and
+// event-forward messages between the two hosts of a distributed collection
+// are queued in a per-destination outbox and retried until acknowledged,
+// implementing §7's "delayed, not lost" recovery argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "alerting/messages.h"
+#include "common/types.h"
+#include "gsnet/greenstone_server.h"
+#include "gsnet/server_extension.h"
+#include "profiles/index.h"
+#include "profiles/parser.h"
+
+namespace gsalert::alerting {
+
+struct AlertingConfig {
+  /// Retry period for unacknowledged aux-profile / event-forward messages.
+  SimTime retry_interval = SimTime::seconds(1);
+};
+
+/// Counters for experiments and tests.
+struct AlertingStats {
+  std::uint64_t events_published = 0;     // local events broadcast via GDS
+  std::uint64_t events_received = 0;      // events seen (local + GDS)
+  std::uint64_t duplicate_events = 0;     // suppressed by the event id cache
+  std::uint64_t notifications_sent = 0;
+  std::uint64_t filter_matches = 0;       // profile hits across all events
+  std::uint64_t aux_forwards = 0;         // events forwarded sub -> super
+  std::uint64_t renames = 0;              // events renamed at a super host
+  std::uint64_t rename_loops_cut = 0;
+  std::uint64_t retries = 0;              // outbox resends
+};
+
+class AlertingService : public gsnet::ServerExtension {
+ public:
+  explicit AlertingService(AlertingConfig config = {}) : config_(config) {}
+
+  // --- direct (in-process) subscription API, used by local tooling ------
+  /// Subscribe a client node with a profile; returns the subscription id.
+  Result<SubscriptionId> subscribe_local(NodeId client,
+                                         const std::string& profile_text);
+  Status cancel_local(SubscriptionId id);
+
+  std::size_t subscription_count() const { return subs_.size(); }
+  const AlertingStats& stats() const { return stats_; }
+  const profiles::ProfileIndex& index() const { return index_; }
+
+  /// Auxiliary profiles registered here by remote super-collection hosts
+  /// (sub name -> supers). Exposed for tests/benches.
+  std::vector<CollectionRef> aux_profiles_for(const std::string& sub) const;
+  std::size_t outbox_size() const { return unacked_.size(); }
+
+  // --- durability / migration -------------------------------------------------
+  /// Serialize the profile database (subscriptions + auxiliary-profile
+  /// registries) — what real Greenstone keeps on disk. Restoring the
+  /// snapshot into a service on another server migrates the users'
+  /// profiles there, supporting the paper's "unified single access point"
+  /// requirement (challenge 3) when users move between installations.
+  std::vector<std::byte> snapshot_state() const;
+  Status restore_state(const std::vector<std::byte>& snapshot);
+
+  // --- gsnet::ServerExtension -------------------------------------------------
+  void attach(gsnet::GreenstoneServer& server) override;
+  bool handle_envelope(NodeId from, const wire::Envelope& env) override;
+  void on_gds_message(const std::string& origin_server,
+                      std::uint16_t payload_type,
+                      const std::vector<std::byte>& payload) override;
+  void on_local_event(const docmodel::Event& event) override;
+  void on_collection_configured(const docmodel::Collection& coll) override;
+  void on_collection_removed(const CollectionRef& ref) override;
+  void on_started() override;
+  void on_restarted() override;
+  void on_timer_token(std::uint64_t token) override;
+
+ private:
+  struct Subscription {
+    NodeId client;
+    std::string profile_text;
+  };
+
+  /// Filter an event against local profiles and notify matching clients.
+  void filter_and_notify(const docmodel::Event& event);
+  /// Forward the event to every super-collection host whose auxiliary
+  /// profile matches its physical collection.
+  void forward_to_supers(const docmodel::Event& event);
+  /// Broadcast the event to all servers through the GDS.
+  void publish(const docmodel::Event& event);
+  /// Process an event that this server is seeing for the first time
+  /// (local build or arriving forward), end to end.
+  void process_event(const docmodel::Event& event, bool broadcast);
+
+  void handle_subscribe(NodeId from, const wire::Envelope& env);
+  void handle_cancel(const wire::Envelope& env);
+  void handle_aux_add(NodeId from, const wire::Envelope& env);
+  void handle_aux_remove(NodeId from, const wire::Envelope& env);
+  void handle_event_forward(NodeId from, const wire::Envelope& env);
+  void handle_ack(const wire::Envelope& env);
+
+  /// Acknowledge `env` back to its sender: directly when we saw the
+  /// sender's node, else anonymously by name through the GDS relay.
+  void send_ack(NodeId from, const wire::Envelope& env,
+                wire::MessageType type);
+  /// Queue an envelope for reliable delivery to a host (retried until a
+  /// matching ack arrives).
+  void send_reliable(const std::string& host, wire::Envelope env);
+  /// One delivery attempt: direct host reference if known, otherwise the
+  /// anonymous GDS point-to-point relay (paper §6).
+  void attempt_delivery(const std::string& host, const wire::Envelope& env);
+  void arm_retry_timer();
+
+  /// Sync aux_out_ for one collection against its current remote subs.
+  void sync_aux_profiles(const docmodel::Collection& coll);
+
+  AlertingConfig config_;
+  profiles::ProfileIndex index_;
+  std::map<SubscriptionId, Subscription> subs_;
+  SubscriptionId next_sub_ = 1;
+
+  // Downstream side: sub-collection name -> super-collections observing it.
+  std::map<std::string, std::set<CollectionRef>> aux_in_;
+  // Upstream side: local super-collection name -> remote subs registered.
+  std::map<std::string, std::set<CollectionRef>> aux_out_;
+
+  // Reliable delivery: msg_id -> (destination host, envelope).
+  struct Unacked {
+    std::string host;
+    wire::Envelope env;
+  };
+  std::unordered_map<std::uint64_t, Unacked> unacked_;
+  bool retry_armed_ = false;
+
+  std::unordered_set<docmodel::EventId> seen_events_;
+  // (event id, super) pairs already renamed here — quenches duplicate
+  // EventForward retransmissions.
+  std::unordered_set<std::string> processed_forwards_;
+  AlertingStats stats_;
+};
+
+}  // namespace gsalert::alerting

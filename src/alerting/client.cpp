@@ -1,0 +1,61 @@
+#include "alerting/client.h"
+
+#include "wire/envelope.h"
+
+namespace gsalert::alerting {
+
+void Client::subscribe(const std::string& profile_text,
+                       SubscribeCallback callback) {
+  SubscribeBody body{profile_text};
+  wire::Writer w;
+  body.encode(w);
+  const std::uint64_t request_id = next_request_++;
+  if (callback) pending_[request_id] = std::move(callback);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kSubscribe, name(), "", request_id, std::move(w));
+  network().send(id(), home_, env.pack());
+}
+
+void Client::cancel(SubscriptionId sub_id) {
+  CancelBody body{sub_id};
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kCancelSubscription, name(), "", next_request_++,
+      std::move(w));
+  network().send(id(), home_, env.pack());
+  std::erase(subscription_ids_, sub_id);
+}
+
+void Client::on_packet(NodeId /*from*/, const sim::Packet& packet) {
+  auto decoded = wire::unpack(packet);
+  if (!decoded.ok()) return;
+  const wire::Envelope& env = decoded.value();
+  if (env.type == wire::MessageType::kSubscribeAck) {
+    auto ack = SubscribeAckBody::decode(env.body);
+    if (!ack.ok()) return;
+    const SubscribeAckBody& body = ack.value();
+    SubscribeCallback callback;
+    const auto it = pending_.find(body.request_id);
+    if (it != pending_.end()) {
+      callback = std::move(it->second);
+      pending_.erase(it);
+    }
+    if (body.ok) {
+      subscription_ids_.push_back(body.subscription_id);
+      if (callback) callback(body.subscription_id);
+    } else if (callback) {
+      callback(Error{ErrorCode::kInvalidArgument, body.error});
+    }
+    return;
+  }
+  if (env.type == wire::MessageType::kNotification) {
+    auto body = NotificationBody::decode(env.body);
+    if (!body.ok()) return;
+    notifications_.push_back(ReceivedNotification{
+        body.value().subscription_id, std::move(body.value().event),
+        network().now()});
+  }
+}
+
+}  // namespace gsalert::alerting

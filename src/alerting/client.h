@@ -1,0 +1,59 @@
+// An alerting client: a user at some Greenstone server. Subscribes with
+// profile text over the client protocol and records every notification for
+// correctness and latency analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alerting/messages.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace gsalert::alerting {
+
+class Client : public sim::Node {
+ public:
+  struct ReceivedNotification {
+    SubscriptionId subscription_id = 0;
+    docmodel::Event event;
+    SimTime at;
+  };
+
+  /// The server this user interacts with (their "single unified access
+  /// point" — challenge 3 in the paper).
+  void set_home(NodeId server) { home_ = server; }
+  NodeId home() const { return home_; }
+
+  /// Send a Subscribe request; callback fires with the ack (subscription
+  /// id on success).
+  using SubscribeCallback =
+      std::function<void(Result<SubscriptionId>)>;
+  void subscribe(const std::string& profile_text,
+                 SubscribeCallback callback = {});
+
+  void cancel(SubscriptionId id);
+
+  const std::vector<ReceivedNotification>& notifications() const {
+    return notifications_;
+  }
+  const std::vector<SubscriptionId>& subscriptions() const {
+    return subscription_ids_;
+  }
+  void clear_notifications() { notifications_.clear(); }
+
+  void on_packet(NodeId from, const sim::Packet& packet) override;
+
+ private:
+  NodeId home_;
+  std::uint64_t next_request_ = 1;
+  std::unordered_map<std::uint64_t, SubscribeCallback> pending_;
+  std::vector<SubscriptionId> subscription_ids_;
+  std::vector<ReceivedNotification> notifications_;
+};
+
+}  // namespace gsalert::alerting

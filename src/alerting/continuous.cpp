@@ -1,0 +1,71 @@
+#include "alerting/continuous.h"
+
+#include "common/strings.h"
+#include "retrieval/query_parser.h"
+
+namespace gsalert::alerting {
+
+Result<std::string> profile_from_search(const CollectionRef& collection,
+                                        std::string_view query_text) {
+  auto query = retrieval::parse_query(query_text);
+  if (!query.ok()) return query.error();
+  // Render the parsed form (not the raw text): quotes inside the profile
+  // string stay balanced and the query is already normalized.
+  return "ref = " + collection.str() + " AND doc ~ \"" +
+         query.value()->str() + "\"";
+}
+
+std::string profile_from_browse(const CollectionRef& collection,
+                                std::string_view attribute,
+                                std::string_view value) {
+  return "ref = " + collection.str() + " AND " + std::string(attribute) +
+         " = \"" + std::string(value) + "\"";
+}
+
+std::string profile_from_watch(const CollectionRef& collection,
+                               DocumentId document) {
+  return "ref = " + collection.str() + " AND doc_id IN [" +
+         std::to_string(document) + "]";
+}
+
+Result<ContinuousSearch> search_from_profile(
+    const profiles::Profile& profile) {
+  if (profile.dnf.size() != 1) {
+    return Error{ErrorCode::kUnsupported,
+                 "profile is a disjunction, not a single search"};
+  }
+  const profiles::Conjunction& conj = profile.dnf.front();
+  ContinuousSearch out;
+  bool have_ref = false, have_query = false;
+  for (const profiles::Predicate& pred : conj.preds) {
+    if (pred.op == profiles::Op::kEq && pred.attribute == "ref") {
+      if (have_ref) {
+        return Error{ErrorCode::kUnsupported, "multiple ref predicates"};
+      }
+      const auto dot = pred.value.find('.');
+      if (dot == std::string::npos) {
+        return Error{ErrorCode::kUnsupported, "malformed collection ref"};
+      }
+      out.collection.host = pred.value.substr(0, dot);
+      out.collection.name = pred.value.substr(dot + 1);
+      have_ref = true;
+    } else if (pred.op == profiles::Op::kQuery) {
+      if (have_query) {
+        return Error{ErrorCode::kUnsupported, "multiple query predicates"};
+      }
+      out.query = pred.query;
+      have_query = true;
+    } else {
+      return Error{ErrorCode::kUnsupported,
+                   "predicate '" + pred.str() +
+                       "' has no search equivalent"};
+    }
+  }
+  if (!have_ref || !have_query) {
+    return Error{ErrorCode::kUnsupported,
+                 "profile lacks the ref + query shape"};
+  }
+  return out;
+}
+
+}  // namespace gsalert::alerting

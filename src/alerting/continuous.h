@@ -1,0 +1,51 @@
+// Alerting as a fluent extension of searching and browsing (paper §5,
+// challenge 5) and the §8 future work: "a smooth transformation of
+// Greenstone search queries into profiles and vice versa".
+//
+//  - a search box query becomes a continuous query over one collection;
+//  - a browse classifier node becomes a metadata watch;
+//  - the "watch this" button on a document becomes an identity-centered
+//    observation;
+//  - and a profile of the right shape converts back into the search it
+//    came from, so the UI can show/edit it as a query.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "profiles/profile.h"
+#include "retrieval/query.h"
+
+namespace gsalert::alerting {
+
+/// Search -> profile. Validates the query text with the retrieval parser;
+/// the result subscribes to future documents of `collection` matching it.
+Result<std::string> profile_from_search(const CollectionRef& collection,
+                                        std::string_view query_text);
+
+/// Browse -> profile: watch a classifier bucket (attribute = value) of one
+/// collection.
+std::string profile_from_browse(const CollectionRef& collection,
+                                std::string_view attribute,
+                                std::string_view value);
+
+/// "Watch this" -> profile: identity-centered observation of one document.
+std::string profile_from_watch(const CollectionRef& collection,
+                               DocumentId document);
+
+/// A profile that is equivalent to a continuous search: one collection,
+/// one retrieval query.
+struct ContinuousSearch {
+  CollectionRef collection;
+  retrieval::QueryPtr query;
+};
+
+/// Profile -> search (the "vice versa" direction). Succeeds only for
+/// profiles of the canonical continuous-search shape — a single
+/// conjunction of `ref = <collection>` and one `doc ~ "…"` predicate;
+/// anything else returns kUnsupported.
+Result<ContinuousSearch> search_from_profile(const profiles::Profile& profile);
+
+}  // namespace gsalert::alerting

@@ -1,0 +1,28 @@
+#include "baselines/messages.h"
+
+namespace gsalert::baselines {
+
+void RemoteProfileBody::encode(wire::Writer& w) const {
+  w.str(owner_server);
+  w.u64(owner_sub_id);
+  w.str(profile_text);
+  w.boolean(remove);
+  w.u64(flood_seq);
+}
+
+Result<RemoteProfileBody> RemoteProfileBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  RemoteProfileBody out;
+  out.owner_server = r.str();
+  out.owner_sub_id = r.u64();
+  out.profile_text = r.str();
+  out.remove = r.boolean();
+  out.flood_seq = r.u64();
+  if (!r.done()) {
+    return Error{ErrorCode::kDecodeFailure, "RemoteProfileBody"};
+  }
+  return out;
+}
+
+}  // namespace gsalert::baselines

@@ -1,0 +1,31 @@
+// Payloads shared by the baseline alerting strategies (DESIGN.md S10).
+// The event payload and client notification reuse the alerting module's
+// encodings; this header adds profile-propagation messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "wire/codec.h"
+
+namespace gsalert::baselines {
+
+/// A profile traveling away from its owner: to the central server (B1),
+/// flooded broker-to-broker (B2), or to a rendezvous node (B3).
+/// (owner_server, owner_sub_id) identifies the subscription; `remove`
+/// turns the message into an unsubscription. For flooding, (owner_server,
+/// flood_seq) is the duplicate-suppression key.
+struct RemoteProfileBody {
+  std::string owner_server;
+  std::uint64_t owner_sub_id = 0;
+  std::string profile_text;
+  bool remove = false;
+  std::uint64_t flood_seq = 0;
+
+  void encode(wire::Writer& w) const;
+  static Result<RemoteProfileBody> decode(const std::vector<std::byte>& body);
+};
+
+}  // namespace gsalert::baselines

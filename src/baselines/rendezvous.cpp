@@ -1,0 +1,152 @@
+#include "baselines/rendezvous.h"
+
+#include <functional>
+
+#include "alerting/messages.h"
+#include "common/strings.h"
+#include "profiles/event_context.h"
+#include "profiles/parser.h"
+#include "wire/envelope.h"
+
+namespace gsalert::baselines {
+
+std::string rendezvous_topic_of_profile(const profiles::Profile& profile) {
+  for (const auto& conj : profile.dnf) {
+    for (const auto& pred : conj.preds) {
+      if (pred.op == profiles::Op::kEq && pred.attribute == "ref") {
+        return pred.value;
+      }
+    }
+  }
+  return "*";
+}
+
+std::size_t rendezvous_bucket(const std::string& topic, std::size_t n) {
+  return std::hash<std::string>{}(topic) % n;
+}
+
+namespace {
+std::uint64_t owner_key(NodeId node, SubscriptionId sub) {
+  return (static_cast<std::uint64_t>(node.value()) << 32) ^ sub;
+}
+}  // namespace
+
+void RendezvousBroker::on_packet(NodeId from, const sim::Packet& packet) {
+  auto decoded = wire::unpack(packet);
+  if (!decoded.ok()) return;
+  const wire::Envelope& env = decoded.value();
+  switch (env.type) {
+    case wire::MessageType::kRvSubscribe:
+    case wire::MessageType::kRvUnsubscribe: {
+      auto body = RemoteProfileBody::decode(env.body);
+      if (!body.ok()) return;
+      const RemoteProfileBody& msg = body.value();
+      const std::uint64_t key = owner_key(from, msg.owner_sub_id);
+      if (msg.remove || env.type == wire::MessageType::kRvUnsubscribe) {
+        const auto it = by_owner_.find(key);
+        if (it != by_owner_.end()) {
+          (void)index_.remove(it->second);
+          owners_.erase(it->second);
+          by_owner_.erase(it);
+        }
+        return;
+      }
+      auto parsed = profiles::parse_profile(msg.profile_text);
+      if (!parsed.ok()) return;
+      const profiles::ProfileId id = next_id_++;
+      parsed.value().id = id;
+      if (index_.add(std::move(parsed).take()).is_ok()) {
+        owners_[id] = {from, msg.owner_sub_id};
+        by_owner_[key] = id;
+      }
+      return;
+    }
+    case wire::MessageType::kRvPublish: {
+      auto event = alerting::decode_event(env.body);
+      if (!event.ok()) return;
+      events_received_ += 1;
+      const profiles::EventContext ctx =
+          profiles::EventContext::from(event.value());
+      for (profiles::ProfileId id : index_.match(ctx)) {
+        const auto owner = owners_.find(id);
+        if (owner == owners_.end()) continue;
+        alerting::NotificationBody note;
+        note.subscription_id = owner->second.second;
+        note.event = event.value();
+        wire::Writer w;
+        note.encode(w);
+        network().send(this->id(), owner->second.first,
+                       wire::make_envelope(wire::MessageType::kRvNotify,
+                                           name(), "", next_msg_++,
+                                           std::move(w))
+                           .pack());
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+NodeId RendezvousAlerting::broker_for(const std::string& topic) const {
+  return brokers_[rendezvous_bucket(topic, brokers_.size())];
+}
+
+void RendezvousAlerting::on_subscribed(const Sub& sub,
+                                       profiles::Profile profile) {
+  const std::string topic = rendezvous_topic_of_profile(profile);
+  topic_of_[profile.id] = topic;
+  RemoteProfileBody body;
+  body.owner_server = server_->name();
+  body.owner_sub_id = profile.id;
+  body.profile_text = sub.profile_text;
+  wire::Writer w;
+  body.encode(w);
+  server_->send_to(broker_for(topic),
+                   wire::make_envelope(wire::MessageType::kRvSubscribe,
+                                       server_->name(), "",
+                                       server_->next_msg_id(),
+                                       std::move(w)));
+}
+
+void RendezvousAlerting::on_cancelled(SubscriptionId id, const Sub&) {
+  const auto it = topic_of_.find(id);
+  if (it == topic_of_.end()) return;
+  RemoteProfileBody body;
+  body.owner_server = server_->name();
+  body.owner_sub_id = id;
+  body.remove = true;
+  wire::Writer w;
+  body.encode(w);
+  server_->send_to(broker_for(it->second),
+                   wire::make_envelope(wire::MessageType::kRvUnsubscribe,
+                                       server_->name(), "",
+                                       server_->next_msg_id(),
+                                       std::move(w)));
+  topic_of_.erase(it);
+}
+
+void RendezvousAlerting::on_local_event(const docmodel::Event& event) {
+  wire::Writer w;
+  event.encode(w);
+  const wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kRvPublish, server_->name(), "",
+      server_->next_msg_id(), std::move(w));
+  // The event goes to its own topic's broker and to the catch-all broker
+  // (which holds the unkeyed profiles). Send once if they coincide.
+  const NodeId topical = broker_for(to_lower(event.collection.str()));
+  const NodeId catch_all = broker_for("*");
+  server_->send_to(topical, env);
+  if (catch_all != topical) server_->send_to(catch_all, env);
+}
+
+bool RendezvousAlerting::handle_strategy_envelope(NodeId /*from*/,
+                                                  const wire::Envelope& env) {
+  if (env.type != wire::MessageType::kRvNotify) return false;
+  auto body = alerting::NotificationBody::decode(env.body);
+  if (!body.ok()) return true;
+  notify_client(body.value().subscription_id, body.value().event);
+  return true;
+}
+
+}  // namespace gsalert::baselines

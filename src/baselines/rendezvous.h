@@ -1,0 +1,69 @@
+// Baseline B3 — rendezvous-node routing in the style of Scribe /
+// Hermes'02 (paper §2.2): a profile's "topic" (the collection it watches)
+// is hashed to one of a fixed set of rendezvous brokers; subscriptions are
+// stored there, events are sent there, matching happens there.
+//
+// The paper's objections, which bench E6 quantifies: a rendezvous node is
+// a load hotspot, and when it (or its links) fail, events for its topics
+// are silently lost — false negatives — while cancelled profiles it holds
+// keep matching — false positives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/messages.h"
+#include "baselines/subscription_base.h"
+#include "profiles/index.h"
+#include "sim/node.h"
+
+namespace gsalert::baselines {
+
+/// Derive the rendezvous topic from a profile: the value of its first
+/// macro equality predicate on "ref" (collection-qualified profiles), else
+/// the catch-all topic "*". Events use their collection ref.
+std::string rendezvous_topic_of_profile(const profiles::Profile& profile);
+std::size_t rendezvous_bucket(const std::string& topic, std::size_t n);
+
+/// One rendezvous broker.
+class RendezvousBroker : public sim::Node {
+ public:
+  void on_packet(NodeId from, const sim::Packet& packet) override;
+
+  std::size_t profile_count() const { return index_.profile_count(); }
+  std::uint64_t events_received() const { return events_received_; }
+
+ private:
+  profiles::ProfileIndex index_;
+  std::unordered_map<profiles::ProfileId, std::pair<NodeId, SubscriptionId>>
+      owners_;
+  std::unordered_map<std::uint64_t, profiles::ProfileId> by_owner_;
+  profiles::ProfileId next_id_ = 1;
+  std::uint64_t events_received_ = 0;
+  std::uint64_t next_msg_ = 1;
+};
+
+class RendezvousAlerting : public SubscriptionExtensionBase {
+ public:
+  explicit RendezvousAlerting(std::vector<NodeId> brokers)
+      : brokers_(std::move(brokers)) {}
+
+  void on_local_event(const docmodel::Event& event) override;
+
+ protected:
+  void on_subscribed(const Sub& sub, profiles::Profile profile) override;
+  void on_cancelled(SubscriptionId id, const Sub& sub) override;
+  bool handle_strategy_envelope(NodeId from,
+                                const wire::Envelope& env) override;
+
+ private:
+  NodeId broker_for(const std::string& topic) const;
+
+  std::vector<NodeId> brokers_;
+  // Remember each subscription's topic so cancel routes identically.
+  std::unordered_map<SubscriptionId, std::string> topic_of_;
+};
+
+}  // namespace gsalert::baselines

@@ -1,0 +1,71 @@
+#include "baselines/subscription_base.h"
+
+#include "profiles/parser.h"
+
+namespace gsalert::baselines {
+
+bool SubscriptionExtensionBase::handle_envelope(NodeId from,
+                                                const wire::Envelope& env) {
+  switch (env.type) {
+    case wire::MessageType::kSubscribe: {
+      auto body = alerting::SubscribeBody::decode(env.body);
+      alerting::SubscribeAckBody ack;
+      ack.request_id = env.msg_id;
+      if (!body.ok()) {
+        ack.error = body.error().str();
+      } else {
+        auto parsed = profiles::parse_profile(body.value().profile_text);
+        if (!parsed.ok()) {
+          ack.error = parsed.error().str();
+        } else {
+          const SubscriptionId id = next_sub_++;
+          parsed.value().id = id;
+          Sub sub{from, body.value().profile_text};
+          subs_[id] = sub;
+          on_subscribed(sub, std::move(parsed).take());
+          ack.ok = true;
+          ack.subscription_id = id;
+        }
+      }
+      wire::Writer w;
+      ack.encode(w);
+      server_->send_to(from,
+                       wire::make_envelope(wire::MessageType::kSubscribeAck,
+                                           server_->name(), "", env.msg_id,
+                                           std::move(w)));
+      return true;
+    }
+    case wire::MessageType::kCancelSubscription: {
+      auto body = alerting::CancelBody::decode(env.body);
+      if (!body.ok()) return true;
+      const auto it = subs_.find(body.value().subscription_id);
+      if (it != subs_.end()) {
+        const Sub sub = it->second;
+        subs_.erase(it);
+        on_cancelled(body.value().subscription_id, sub);
+      }
+      return true;
+    }
+    default:
+      return handle_strategy_envelope(from, env);
+  }
+}
+
+void SubscriptionExtensionBase::notify_client(SubscriptionId id,
+                                              const docmodel::Event& event) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  alerting::NotificationBody body;
+  body.subscription_id = id;
+  body.event = event;
+  wire::Writer w;
+  body.encode(w);
+  server_->send_to(it->second.client,
+                   wire::make_envelope(wire::MessageType::kNotification,
+                                       server_->name(), "",
+                                       server_->next_msg_id(),
+                                       std::move(w)));
+  notifications_sent_ += 1;
+}
+
+}  // namespace gsalert::baselines

@@ -1,0 +1,38 @@
+#include "common/error.h"
+
+namespace gsalert {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kDecodeFailure:
+      return "decode_failure";
+    case ErrorCode::kUnreachable:
+      return "unreachable";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::str() const {
+  std::string out = error_code_name(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace gsalert

@@ -1,0 +1,100 @@
+// Error codes and a lightweight Result<T> used at module boundaries where a
+// failure is an expected outcome (decoding, name resolution, lookup).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gsalert {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // name/collection/document does not exist
+  kAlreadyExists,   // duplicate registration or subscription
+  kDecodeFailure,   // malformed wire message
+  kUnreachable,     // destination node is down or partitioned away
+  kInvalidArgument, // caller error (bad profile text, bad config)
+  kUnsupported,     // operation not available on this collection
+  kTimeout,         // request did not complete in time
+  kInternal,        // invariant violation inside a component
+};
+
+/// Human-readable name for an error code ("not_found", ...).
+const char* error_code_name(ErrorCode code);
+
+/// An error: a code plus free-text context for logs and test output.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Minimal expected-like type (std::expected is C++23).
+///
+/// Result<T> holds either a value or an Error. Result<void> (via the
+/// Status alias) holds either success or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message)
+      : data_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if ok, otherwise the provided fallback.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Success-or-error for operations with no payload.
+class Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Status(ErrorCode code, std::string message)
+      : error_(Error{code, std::move(message)}) {}
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Error& error() const {
+    assert(!is_ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace gsalert

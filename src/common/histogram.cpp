@@ -1,0 +1,57 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace gsalert {
+
+void Histogram::record(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  assert(!samples_.empty());
+  const double total =
+      std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return total / static_cast<double>(samples_.size());
+}
+
+double Histogram::quantile(double q) const {
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+}  // namespace gsalert

@@ -1,0 +1,36 @@
+// A simple recording histogram for latency and size distributions.
+// Stores raw samples (benches here record at most a few hundred thousand
+// values) and computes exact quantiles on demand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gsalert {
+
+class Histogram {
+ public:
+  void record(double value);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Exact quantile by nearest-rank; q in [0, 1]. Requires non-empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace gsalert

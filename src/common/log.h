@@ -1,0 +1,41 @@
+// Minimal leveled logger. Simulation components log with the virtual
+// timestamp injected by the caller; the default level keeps benches quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/types.h"
+
+namespace gsalert {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line: "[level] [t=12.345ms] component: message".
+void log_line(LogLevel level, SimTime now, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Convenience: log with streaming-style arguments.
+template <typename... Args>
+void logf(LogLevel level, SimTime now, const std::string& component,
+          const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, now, component, os.str());
+}
+
+}  // namespace gsalert

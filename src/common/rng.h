@@ -1,0 +1,47 @@
+// Deterministic random number generation. Every experiment seeds one Rng;
+// re-running with the same seed reproduces the run exactly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gsalert {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s >= 0).
+  /// Rank 0 is the most popular item. Uses the classic rejection-free
+  /// inverse-CDF over precomputed weights; cache is rebuilt when (n, s)
+  /// changes.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Pick a uniformly random element index from a non-empty container size.
+  std::size_t index(std::size_t size);
+
+  /// Underlying engine, for std::shuffle and distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached zipf CDF for the last (n, s) requested.
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace gsalert

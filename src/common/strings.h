@@ -1,0 +1,27 @@
+// Small string helpers used by the profile parser, query parser and
+// workload generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsalert {
+
+/// Split on a single character; empty pieces are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` matches `pattern` where '*' matches any (possibly empty)
+/// run of characters. This is the paper's wildcard micro-predicate.
+bool wildcard_match(std::string_view pattern, std::string_view text);
+
+/// Tokenize free text into lowercase alphanumeric terms.
+std::vector<std::string> tokenize(std::string_view text);
+
+}  // namespace gsalert

@@ -1,0 +1,37 @@
+#include "docmodel/collection.h"
+
+namespace gsalert::docmodel {
+
+void CollectionConfig::encode(wire::Writer& w) const {
+  w.str(name);
+  w.str(host);
+  w.seq(sub_collections, [](wire::Writer& w2, const CollectionRef& ref) {
+    w2.str(ref.host);
+    w2.str(ref.name);
+  });
+  w.boolean(is_public);
+  w.seq(indexed_attributes,
+        [](wire::Writer& w2, const std::string& a) { w2.str(a); });
+  w.seq(classifier_attributes,
+        [](wire::Writer& w2, const std::string& a) { w2.str(a); });
+}
+
+CollectionConfig CollectionConfig::decode(wire::Reader& r) {
+  CollectionConfig c;
+  c.name = r.str();
+  c.host = r.str();
+  c.sub_collections = r.seq<CollectionRef>([](wire::Reader& r2) {
+    CollectionRef ref;
+    ref.host = r2.str();
+    ref.name = r2.str();
+    return ref;
+  });
+  c.is_public = r.boolean();
+  c.indexed_attributes =
+      r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  c.classifier_attributes =
+      r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  return c;
+}
+
+}  // namespace gsalert::docmodel

@@ -1,0 +1,65 @@
+// Collection model reproducing the paper's §3 / Figure 1 semantics:
+// solitary, federated, and distributed collections; sub-collections that
+// may live on other hosts; private and virtual collections; the entry
+// collection of a complex collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "docmodel/document.h"
+#include "wire/codec.h"
+
+namespace gsalert::docmodel {
+
+/// The collection's configuration file: everything the Greenstone server
+/// needs to serve and (re)build it.
+struct CollectionConfig {
+  std::string name;  // local name, e.g. "D" — global name is host + "." + name
+  std::string host;  // owning host
+
+  /// Sub-collections, possibly on other hosts (the "conceptual
+  /// sub-collection link" of Figure 3).
+  std::vector<CollectionRef> sub_collections;
+
+  /// Private collections are reachable only as a sub-collection of their
+  /// parent (London.G in Figure 1), never independently.
+  bool is_public = true;
+
+  /// Metadata attributes the designer chose to index for search. Full text
+  /// is always indexed under the pseudo-attribute "text".
+  std::vector<std::string> indexed_attributes;
+
+  /// Attributes exposed as browse classifiers.
+  std::vector<std::string> classifier_attributes;
+
+  CollectionRef ref() const { return CollectionRef{host, name}; }
+
+  void encode(wire::Writer& w) const;
+  static CollectionConfig decode(wire::Reader& r);
+};
+
+/// A collection instance held by one server: config + local data set +
+/// build bookkeeping. Sub-collection *content* is never stored here — it is
+/// fetched over the GS protocol on demand, exactly as §3 describes.
+struct Collection {
+  CollectionConfig config;
+  DataSet data;
+  std::uint64_t build_version = 0;  // bumped on every (re)build
+
+  /// Virtual collection: no data of its own, only sub-collections
+  /// (Hamilton.C in Figure 1).
+  bool is_virtual() const {
+    return data.empty() && !config.sub_collections.empty();
+  }
+
+  bool has_remote_subs() const {
+    for (const auto& sub : config.sub_collections) {
+      if (sub.host != config.host) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace gsalert::docmodel

@@ -1,0 +1,84 @@
+#include "docmodel/document.h"
+
+#include <algorithm>
+
+namespace gsalert::docmodel {
+
+void Metadata::add(std::string attribute, std::string value) {
+  entries_.emplace_back(std::move(attribute), std::move(value));
+}
+
+void Metadata::set(std::string attribute, std::string value) {
+  std::erase_if(entries_, [&](const auto& e) { return e.first == attribute; });
+  add(std::move(attribute), std::move(value));
+}
+
+bool Metadata::has(std::string_view attribute) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == attribute; });
+}
+
+std::optional<std::string> Metadata::first(std::string_view attribute) const {
+  for (const auto& [attr, value] : entries_) {
+    if (attr == attribute) return value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Metadata::all(std::string_view attribute) const {
+  std::vector<std::string> out;
+  for (const auto& [attr, value] : entries_) {
+    if (attr == attribute) out.push_back(value);
+  }
+  return out;
+}
+
+void Metadata::encode(wire::Writer& w) const {
+  w.seq(entries_, [](wire::Writer& w2, const auto& entry) {
+    w2.str(entry.first);
+    w2.str(entry.second);
+  });
+}
+
+Metadata Metadata::decode(wire::Reader& r) {
+  Metadata m;
+  m.entries_ = r.seq<std::pair<std::string, std::string>>([](wire::Reader& r2) {
+    std::string attr = r2.str();
+    std::string value = r2.str();
+    return std::pair{std::move(attr), std::move(value)};
+  });
+  return m;
+}
+
+void Document::encode(wire::Writer& w) const {
+  w.u64(id);
+  metadata.encode(w);
+  w.seq(terms, [](wire::Writer& w2, const std::string& t) { w2.str(t); });
+}
+
+Document Document::decode(wire::Reader& r) {
+  Document d;
+  d.id = r.u64();
+  d.metadata = Metadata::decode(r);
+  d.terms = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  return d;
+}
+
+DataSet::DataSet(std::vector<Document> docs) : docs_(std::move(docs)) {}
+
+void DataSet::add(Document doc) { docs_.push_back(std::move(doc)); }
+
+bool DataSet::remove(DocumentId id) {
+  const auto n = std::erase_if(
+      docs_, [id](const Document& d) { return d.id == id; });
+  return n > 0;
+}
+
+const Document* DataSet::find(DocumentId id) const {
+  for (const auto& d : docs_) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace gsalert::docmodel

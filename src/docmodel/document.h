@@ -1,0 +1,83 @@
+// Documents and their metadata. Greenstone collections are heterogeneous
+// (paper §1, challenge 6): each installation chooses its own metadata
+// schema, so Metadata is an open multimap of attribute -> values rather
+// than a fixed record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "wire/codec.h"
+
+namespace gsalert::docmodel {
+
+/// Open attribute->value multimap. Order-preserving; attributes may repeat
+/// (e.g. several "creator" entries).
+class Metadata {
+ public:
+  void add(std::string attribute, std::string value);
+  /// Replace all values of `attribute` with a single value.
+  void set(std::string attribute, std::string value);
+
+  bool has(std::string_view attribute) const;
+  /// First value for the attribute, if any.
+  std::optional<std::string> first(std::string_view attribute) const;
+  /// All values for the attribute (possibly empty).
+  std::vector<std::string> all(std::string_view attribute) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  bool operator==(const Metadata&) const = default;
+
+  void encode(wire::Writer& w) const;
+  static Metadata decode(wire::Reader& r);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// A document: identifier, metadata, and tokenized full text.
+///
+/// The text is stored as its term sequence (what an indexer extracts); the
+/// original byte stream is irrelevant to alerting and omitted.
+struct Document {
+  DocumentId id = 0;
+  Metadata metadata;
+  std::vector<std::string> terms;
+
+  bool operator==(const Document&) const = default;
+
+  void encode(wire::Writer& w) const;
+  static Document decode(wire::Reader& r);
+};
+
+/// An ordered set of documents — the "data set" attached to a collection
+/// (squares in the paper's Figure 1).
+class DataSet {
+ public:
+  DataSet() = default;
+  explicit DataSet(std::vector<Document> docs);
+
+  void add(Document doc);
+  /// Remove by id; returns true if a document was removed.
+  bool remove(DocumentId id);
+  const Document* find(DocumentId id) const;
+
+  const std::vector<Document>& docs() const { return docs_; }
+  std::size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+ private:
+  std::vector<Document> docs_;
+};
+
+}  // namespace gsalert::docmodel

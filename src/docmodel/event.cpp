@@ -1,0 +1,52 @@
+#include "docmodel/event.h"
+
+namespace gsalert::docmodel {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kCollectionBuilt:
+      return "collection_built";
+    case EventType::kCollectionRebuilt:
+      return "collection_rebuilt";
+    case EventType::kCollectionDeleted:
+      return "collection_deleted";
+    case EventType::kDocumentsAdded:
+      return "documents_added";
+    case EventType::kDocumentsModified:
+      return "documents_modified";
+    case EventType::kDocumentsRemoved:
+      return "documents_removed";
+  }
+  return "unknown";
+}
+
+void Event::encode(wire::Writer& w) const {
+  w.str(id.origin);
+  w.u64(id.seq);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.str(collection.host);
+  w.str(collection.name);
+  w.str(physical_origin.host);
+  w.str(physical_origin.name);
+  w.u64(build_version);
+  w.seq(via, [](wire::Writer& w2, const std::string& v) { w2.str(v); });
+  w.seq(docs, [](wire::Writer& w2, const Document& d) { d.encode(w2); });
+}
+
+Event Event::decode(wire::Reader& r) {
+  Event e;
+  e.id.origin = r.str();
+  e.id.seq = r.u64();
+  e.type = static_cast<EventType>(r.u8());
+  e.collection.host = r.str();
+  e.collection.name = r.str();
+  e.physical_origin.host = r.str();
+  e.physical_origin.name = r.str();
+  e.build_version = r.u64();
+  e.via = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  e.docs = r.seq<Document>(
+      [](wire::Reader& r2) { return Document::decode(r2); });
+  return e;
+}
+
+}  // namespace gsalert::docmodel

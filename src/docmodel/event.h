@@ -1,0 +1,76 @@
+// Alerting events. An event describes a change to a collection (built,
+// rebuilt, deleted) or its documents and carries enough document content
+// (metadata + terms) for a remote server to filter profiles against it
+// without a follow-up fetch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "docmodel/document.h"
+#include "wire/codec.h"
+
+namespace gsalert::docmodel {
+
+enum class EventType : std::uint8_t {
+  kCollectionBuilt = 1,    // first build of a new collection
+  kCollectionRebuilt = 2,  // an existing collection was rebuilt
+  kCollectionDeleted = 3,
+  kDocumentsAdded = 4,     // incremental additions within a rebuild
+  kDocumentsModified = 5,  // same id, different content after a rebuild
+  kDocumentsRemoved = 6,   // present before the rebuild, gone after
+};
+
+const char* event_type_name(EventType type);
+
+/// Globally unique event identity: (origin host, per-origin sequence
+/// number). Used for duplicate suppression in the GDS broadcast and in the
+/// hybrid forwarding path.
+struct EventId {
+  std::string origin;
+  std::uint64_t seq = 0;
+
+  auto operator<=>(const EventId&) const = default;
+  std::string str() const { return origin + "#" + std::to_string(seq); }
+};
+
+struct Event {
+  EventId id;
+  EventType type = EventType::kCollectionRebuilt;
+
+  /// The collection the change is attributed to. For distributed
+  /// collections the hybrid scheme rewrites this from the sub-collection
+  /// (London.E) to the super-collection (Hamilton.D) before the GDS
+  /// broadcast — see paper §4.2.
+  CollectionRef collection;
+
+  /// The collection where the change physically happened (never rewritten;
+  /// kept so tests can verify the origin-rename logic).
+  CollectionRef physical_origin;
+
+  std::uint64_t build_version = 0;
+
+  /// Collections this event has already been attributed to (as
+  /// "Host.Name") during hybrid forwarding. Guards against infinite
+  /// rename loops when super/sub-collection links form a cycle.
+  std::vector<std::string> via;
+
+  /// Documents affected by the change, with metadata and terms for
+  /// content filtering.
+  std::vector<Document> docs;
+
+  void encode(wire::Writer& w) const;
+  static Event decode(wire::Reader& r);
+};
+
+}  // namespace gsalert::docmodel
+
+template <>
+struct std::hash<gsalert::docmodel::EventId> {
+  std::size_t operator()(const gsalert::docmodel::EventId& id) const noexcept {
+    return std::hash<std::string>{}(id.origin) ^
+           std::hash<std::uint64_t>{}(id.seq) * 0x9e3779b97f4a7c15ULL;
+  }
+};

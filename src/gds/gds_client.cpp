@@ -1,0 +1,128 @@
+#include "gds/gds_client.h"
+
+#include <cassert>
+
+namespace gsalert::gds {
+
+void GdsClient::attach(sim::Network* net, NodeId self, std::string self_name,
+                       NodeId gds_node) {
+  assert(net != nullptr);
+  net_ = net;
+  self_ = self;
+  self_name_ = std::move(self_name);
+  gds_node_ = gds_node;
+}
+
+void GdsClient::send_register() {
+  RegisterBody body{self_name_};
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsRegister, self_name_, "", next_seq_++,
+      std::move(w));
+  net_->send(self_, gds_node_, env.pack());
+}
+
+void GdsClient::start() {
+  if (!attached()) return;
+  send_register();
+  net_->set_timer(self_, refresh_interval_, kRefreshTimer);
+}
+
+void GdsClient::on_refresh_timer() {
+  if (!attached()) return;
+  send_register();
+  net_->set_timer(self_, refresh_interval_, kRefreshTimer);
+}
+
+void GdsClient::unregister() {
+  if (!attached()) return;
+  RegisterBody body{self_name_};
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsUnregister, self_name_, "", next_seq_++,
+      std::move(w));
+  net_->send(self_, gds_node_, env.pack());
+}
+
+std::uint64_t GdsClient::broadcast(std::uint16_t payload_type,
+                                   std::vector<std::byte> payload) {
+  assert(attached());
+  BroadcastBody body;
+  body.origin_server = self_name_;
+  body.seq = next_seq_++;
+  body.payload_type = payload_type;
+  body.payload = std::move(payload);
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsBroadcast, self_name_, "", body.seq,
+      std::move(w));
+  net_->send(self_, gds_node_, env.pack());
+  return body.seq;
+}
+
+void GdsClient::relay(const std::string& dst, std::uint16_t payload_type,
+                      std::vector<std::byte> payload) {
+  assert(attached());
+  RelayBody body;
+  body.origin_server = self_name_;
+  body.dst_server = dst;
+  body.payload_type = payload_type;
+  body.payload = std::move(payload);
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsRelay, self_name_, dst, next_seq_++,
+      std::move(w));
+  net_->send(self_, gds_node_, env.pack());
+}
+
+std::uint64_t GdsClient::multicast(std::vector<std::string> targets,
+                                   std::uint16_t payload_type,
+                                   std::vector<std::byte> payload) {
+  assert(attached());
+  MulticastBody body;
+  body.origin_server = self_name_;
+  body.seq = next_seq_++;
+  body.targets = std::move(targets);
+  body.payload_type = payload_type;
+  body.payload = std::move(payload);
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsMulticast, self_name_, "", body.seq,
+      std::move(w));
+  net_->send(self_, gds_node_, env.pack());
+  return body.seq;
+}
+
+void GdsClient::resolve(const std::string& server_name,
+                        ResolveCallback callback) {
+  assert(attached());
+  ResolveBody body;
+  body.query_id = next_query_++;
+  body.server_name = server_name;
+  pending_resolves_[body.query_id] = std::move(callback);
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsResolve, self_name_, "", next_seq_++,
+      std::move(w));
+  net_->send(self_, gds_node_, env.pack());
+}
+
+bool GdsClient::handle_resolve_reply(const wire::Envelope& env) {
+  auto decoded = ResolveReplyBody::decode(env.body);
+  if (!decoded.ok()) return false;
+  const ResolveReplyBody& reply = decoded.value();
+  const auto it = pending_resolves_.find(reply.query_id);
+  if (it == pending_resolves_.end()) return false;
+  ResolveCallback cb = std::move(it->second);
+  pending_resolves_.erase(it);
+  cb(reply.found, reply.owner_gds);
+  return true;
+}
+
+}  // namespace gsalert::gds

@@ -1,0 +1,84 @@
+// Client-side access to the GDS, embedded in every Greenstone server (and
+// in baseline brokers). Handles registration (with periodic refresh, so a
+// restarted GDS node re-learns its servers), broadcast/multicast/relay
+// submission, and name resolution with async callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "gds/messages.h"
+#include "sim/network.h"
+#include "wire/envelope.h"
+
+namespace gsalert::gds {
+
+class GdsClient {
+ public:
+  /// Timer token the owner must route to on_refresh_timer().
+  static constexpr std::uint64_t kRefreshTimer = 0x6D5FE5;
+
+  GdsClient() = default;
+
+  /// Attach to the owner node and its GDS node. Call before Network::start.
+  void attach(sim::Network* net, NodeId self, std::string self_name,
+              NodeId gds_node);
+
+  bool attached() const { return gds_node_.valid(); }
+  NodeId gds_node() const { return gds_node_; }
+
+  /// Register now and arm the periodic refresh.
+  void start();
+  /// Re-register after the owner restarts.
+  void restart() { start(); }
+  /// Called by the owner when the refresh timer fires.
+  void on_refresh_timer();
+
+  void unregister();
+
+  /// Broadcast a payload to all servers in the directory; returns the
+  /// sequence number used (the dedup key together with our name).
+  std::uint64_t broadcast(std::uint16_t payload_type,
+                          std::vector<std::byte> payload);
+
+  /// Point-to-point relay by name through the tree.
+  void relay(const std::string& dst, std::uint16_t payload_type,
+             std::vector<std::byte> payload);
+
+  /// Multicast to an explicit set of names.
+  std::uint64_t multicast(std::vector<std::string> targets,
+                          std::uint16_t payload_type,
+                          std::vector<std::byte> payload);
+
+  using ResolveCallback = std::function<void(bool found, const std::string&
+                                                             owner_gds)>;
+  /// Resolve a name; the callback fires when the reply arrives (it may
+  /// never fire under failures — best-effort, like everything here).
+  void resolve(const std::string& server_name, ResolveCallback callback);
+
+  /// The owner forwards kGdsResolveReply envelopes here. Returns true if
+  /// the envelope matched a pending resolve.
+  bool handle_resolve_reply(const wire::Envelope& env);
+
+  /// Refresh period for registrations (exposed for tests).
+  SimTime refresh_interval() const { return refresh_interval_; }
+  void set_refresh_interval(SimTime t) { refresh_interval_ = t; }
+
+ private:
+  void send_register();
+
+  sim::Network* net_ = nullptr;
+  NodeId self_;
+  std::string self_name_;
+  NodeId gds_node_;
+  SimTime refresh_interval_ = SimTime::seconds(2);
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_query_ = 1;
+  std::unordered_map<std::uint64_t, ResolveCallback> pending_resolves_;
+};
+
+}  // namespace gsalert::gds

@@ -1,0 +1,469 @@
+#include "gds/gds_server.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gsalert::gds {
+
+namespace {
+constexpr std::uint64_t kHeartbeatTimer = 1;
+
+std::string resolve_key(const std::string& origin, std::uint64_t query_id) {
+  return origin + "#" + std::to_string(query_id);
+}
+}  // namespace
+
+void GdsServer::set_ancestors(std::vector<NodeId> ancestors) {
+  ancestors_ = std::move(ancestors);
+  ancestor_index_ = 0;
+  parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
+}
+
+void GdsServer::adopt_parent(NodeId new_parent) {
+  std::vector<NodeId> ancestors{new_parent};
+  for (NodeId old : ancestors_) {
+    if (old != new_parent) ancestors.push_back(old);
+  }
+  ancestors_ = std::move(ancestors);
+  ancestor_index_ = 0;
+  parent_ = new_parent;
+  heartbeat_misses_ = 0;
+  heartbeat_outstanding_ = false;
+  send_child_hello(/*full=*/true, subtree_names(), {});
+}
+
+void GdsServer::on_start() {
+  if (parent_.valid()) {
+    send_child_hello(/*full=*/true, subtree_names(), {});
+  }
+  network().set_timer(id(), config_.heartbeat_interval, kHeartbeatTimer);
+}
+
+void GdsServer::on_restart() {
+  // Registrations and routes are volatile: a restarted GDS node rejoins the
+  // tree empty; GS servers re-register on their refresh timer.
+  local_servers_.clear();
+  name_routes_.clear();
+  children_.clear();
+  seen_.clear();
+  resolve_backpaths_.clear();
+  heartbeat_misses_ = 0;
+  heartbeat_outstanding_ = false;
+  ancestor_index_ = 0;
+  parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
+  on_start();
+}
+
+void GdsServer::send_envelope(NodeId to, const wire::Envelope& env) {
+  network().send(id(), to, env.pack());
+}
+
+void GdsServer::on_packet(NodeId from, const sim::Packet& packet) {
+  auto decoded = wire::unpack(packet);
+  if (!decoded.ok()) {
+    logf(LogLevel::kWarn, network().now(), name(),
+         "dropping malformed packet from node ", from.value());
+    return;
+  }
+  wire::Envelope env = std::move(decoded).take();
+  switch (env.type) {
+    case wire::MessageType::kGdsRegister:
+      handle_register(from, env);
+      break;
+    case wire::MessageType::kGdsUnregister:
+      handle_unregister(env);
+      break;
+    case wire::MessageType::kGdsChildHello:
+      handle_child_hello(from, env);
+      break;
+    case wire::MessageType::kGdsHeartbeat:
+      handle_heartbeat(from, env);
+      break;
+    case wire::MessageType::kGdsHeartbeatAck:
+      handle_heartbeat_ack(from);
+      break;
+    case wire::MessageType::kGdsBroadcast:
+      handle_broadcast(from, env);
+      break;
+    case wire::MessageType::kGdsRelay:
+      handle_relay(from, std::move(env));
+      break;
+    case wire::MessageType::kGdsMulticast:
+      handle_multicast(from, env);
+      break;
+    case wire::MessageType::kGdsResolve:
+      handle_resolve(from, env);
+      break;
+    case wire::MessageType::kGdsResolveReply:
+      handle_resolve_reply(from, env);
+      break;
+    default:
+      logf(LogLevel::kWarn, network().now(), name(),
+           "unexpected message type ",
+           static_cast<unsigned>(env.type));
+  }
+}
+
+void GdsServer::on_timer(std::uint64_t token) {
+  if (token != kHeartbeatTimer) return;
+  if (parent_.valid()) {
+    if (heartbeat_outstanding_) {
+      ++heartbeat_misses_;
+      if (heartbeat_misses_ >= config_.heartbeat_miss_limit) reparent();
+    }
+    wire::Envelope hb = wire::make_envelope(
+        wire::MessageType::kGdsHeartbeat, name(), "", next_msg_id_++,
+        wire::Writer{});
+    send_envelope(parent_, hb);
+    heartbeat_outstanding_ = true;
+  }
+  prune_dead_children();
+  network().set_timer(id(), config_.heartbeat_interval, kHeartbeatTimer);
+}
+
+// --- registration ----------------------------------------------------------
+
+void GdsServer::handle_register(NodeId from, const wire::Envelope& env) {
+  auto body = RegisterBody::decode(env.body);
+  if (!body.ok()) return;
+  const std::string& server = body.value().server_name;
+  const bool is_new = !local_servers_.contains(server);
+  local_servers_[server] = from;
+  name_routes_[server] = Route{.local = true, .via = NodeId::invalid()};
+  if (is_new) advertise_up({server}, {});
+  wire::Envelope ack = wire::make_envelope(
+      wire::MessageType::kGdsRegisterAck, name(), server, env.msg_id,
+      wire::Writer{});
+  send_envelope(from, ack);
+}
+
+void GdsServer::handle_unregister(const wire::Envelope& env) {
+  auto body = RegisterBody::decode(env.body);
+  if (!body.ok()) return;
+  const std::string& server = body.value().server_name;
+  if (local_servers_.erase(server) > 0) {
+    name_routes_.erase(server);
+    advertise_up({}, {server});
+  }
+}
+
+void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
+  auto decoded = ChildHelloBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const ChildHelloBody& body = decoded.value();
+  children_[from] = network().now();
+
+  std::vector<std::string> new_adds;
+  std::vector<std::string> new_removes;
+  if (body.full) {
+    // Drop everything previously routed via this child, then re-learn.
+    for (auto it = name_routes_.begin(); it != name_routes_.end();) {
+      if (!it->second.local && it->second.via == from) {
+        new_removes.push_back(it->first);
+        it = name_routes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& name_added : body.adds) {
+    auto [it, inserted] = name_routes_.try_emplace(
+        name_added, Route{.local = false, .via = from});
+    if (!inserted) {
+      // Never clobber a local registration: with sibling-ring fallback
+      // parents, advertisements can travel a cycle and come back to us.
+      if (!it->second.local) {
+        it->second = Route{.local = false, .via = from};
+      }
+    } else {
+      new_adds.push_back(name_added);
+    }
+    // If this name was just re-added after a full reset, cancel the remove.
+    std::erase(new_removes, name_added);
+  }
+  for (const auto& name_removed : body.removes) {
+    const auto it = name_routes_.find(name_removed);
+    if (it != name_routes_.end() && !it->second.local &&
+        it->second.via == from) {
+      name_routes_.erase(it);
+      new_removes.push_back(name_removed);
+    }
+  }
+  if (!new_adds.empty() || !new_removes.empty()) {
+    advertise_up(std::move(new_adds), std::move(new_removes));
+  }
+}
+
+void GdsServer::handle_heartbeat(NodeId from, const wire::Envelope& env) {
+  const auto it = children_.find(from);
+  if (it != children_.end()) it->second = network().now();
+  wire::Envelope ack = wire::make_envelope(
+      wire::MessageType::kGdsHeartbeatAck, name(), env.src, env.msg_id,
+      wire::Writer{});
+  send_envelope(from, ack);
+}
+
+void GdsServer::handle_heartbeat_ack(NodeId from) {
+  if (from != parent_) return;  // stale ack from a previous parent
+  heartbeat_misses_ = 0;
+  heartbeat_outstanding_ = false;
+}
+
+void GdsServer::reparent() {
+  if (ancestors_.size() <= 1) {
+    // No fallback: operate headless (our subtree keeps working).
+    heartbeat_misses_ = 0;
+    heartbeat_outstanding_ = false;
+    return;
+  }
+  ancestor_index_ = (ancestor_index_ + 1) % ancestors_.size();
+  parent_ = ancestors_[ancestor_index_];
+  heartbeat_misses_ = 0;
+  heartbeat_outstanding_ = false;
+  stats_.reparents += 1;
+  logf(LogLevel::kInfo, network().now(), name(), "re-parenting to node ",
+       parent_.value());
+  send_child_hello(/*full=*/true, subtree_names(), {});
+}
+
+void GdsServer::prune_dead_children() {
+  const SimTime cutoff_age =
+      config_.heartbeat_interval * (config_.heartbeat_miss_limit + 1);
+  const SimTime now = network().now();
+  std::vector<std::string> removed_names;
+  for (auto it = children_.begin(); it != children_.end();) {
+    if (now - it->second > cutoff_age) {
+      const NodeId dead = it->first;
+      for (auto rit = name_routes_.begin(); rit != name_routes_.end();) {
+        if (!rit->second.local && rit->second.via == dead) {
+          removed_names.push_back(rit->first);
+          rit = name_routes_.erase(rit);
+        } else {
+          ++rit;
+        }
+      }
+      it = children_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!removed_names.empty()) advertise_up({}, std::move(removed_names));
+}
+
+std::vector<std::string> GdsServer::subtree_names() const {
+  std::vector<std::string> names;
+  names.reserve(name_routes_.size());
+  for (const auto& [n, route] : name_routes_) names.push_back(n);
+  return names;
+}
+
+void GdsServer::send_child_hello(bool full, std::vector<std::string> adds,
+                                 std::vector<std::string> removes) {
+  if (!parent_.valid()) return;
+  ChildHelloBody body;
+  body.stratum = config_.stratum;
+  body.full = full;
+  body.adds = std::move(adds);
+  body.removes = std::move(removes);
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsChildHello, name(), "", next_msg_id_++,
+      std::move(w));
+  send_envelope(parent_, env);
+}
+
+void GdsServer::advertise_up(std::vector<std::string> adds,
+                             std::vector<std::string> removes) {
+  send_child_hello(/*full=*/false, std::move(adds), std::move(removes));
+}
+
+// --- broadcast -----------------------------------------------------------
+
+bool GdsServer::is_duplicate(const std::string& origin, std::uint64_t seq) {
+  if (!config_.dedup_enabled) return false;
+  return !seen_[origin].insert(seq).second;
+}
+
+void GdsServer::deliver(NodeId server, const BroadcastBody& body) {
+  wire::Writer w;
+  body.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGdsDeliver, name(), "", next_msg_id_++,
+      std::move(w));
+  send_envelope(server, env);
+  stats_.deliveries += 1;
+}
+
+void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
+  auto decoded = BroadcastBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const BroadcastBody& body = decoded.value();
+  stats_.broadcasts_seen += 1;
+  if (is_duplicate(body.origin_server, body.seq)) {
+    stats_.duplicates_suppressed += 1;
+    return;
+  }
+  if (env.ttl == 0) return;
+
+  // Deliver to locally registered servers (never echo back to the origin).
+  for (const auto& [server_name, node] : local_servers_) {
+    if (server_name == body.origin_server) continue;
+    deliver(node, body);
+  }
+  // Forward upwards and downwards, skipping the edge it arrived on.
+  wire::Envelope forward = env;
+  forward.src = name();
+  forward.ttl = static_cast<std::uint16_t>(env.ttl - 1);
+  if (parent_.valid() && parent_ != from) send_envelope(parent_, forward);
+  for (const auto& [child, last_seen] : children_) {
+    if (child != from) send_envelope(child, forward);
+  }
+}
+
+// --- relay / multicast -------------------------------------------------------
+
+void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
+  auto decoded = RelayBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const RelayBody& body = decoded.value();
+  if (env.ttl == 0) {
+    stats_.unroutable += 1;
+    return;
+  }
+  const auto route = name_routes_.find(body.dst_server);
+  if (route != name_routes_.end() && route->second.local) {
+    const auto server = local_servers_.find(body.dst_server);
+    if (server != local_servers_.end()) {
+      BroadcastBody inner;
+      inner.origin_server = body.origin_server;
+      inner.seq = 0;
+      inner.payload_type = body.payload_type;
+      inner.payload = body.payload;
+      deliver(server->second, inner);
+      stats_.relays_routed += 1;
+    }
+    return;
+  }
+  env.src = name();
+  env.ttl -= 1;
+  if (route != name_routes_.end()) {
+    send_envelope(route->second.via, env);
+    stats_.relays_routed += 1;
+  } else if (parent_.valid() && parent_ != from) {
+    send_envelope(parent_, env);
+    stats_.relays_routed += 1;
+  } else {
+    stats_.unroutable += 1;
+  }
+}
+
+void GdsServer::handle_multicast(NodeId from, const wire::Envelope& env) {
+  auto decoded = MulticastBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const MulticastBody& body = decoded.value();
+  if (env.ttl == 0) return;
+
+  std::vector<std::string> to_parent;
+  std::unordered_map<NodeId, std::vector<std::string>> per_child;
+  for (const auto& target : body.targets) {
+    const auto route = name_routes_.find(target);
+    if (route != name_routes_.end() && route->second.local) {
+      const auto server = local_servers_.find(target);
+      if (server != local_servers_.end()) {
+        BroadcastBody inner;
+        inner.origin_server = body.origin_server;
+        inner.seq = body.seq;
+        inner.payload_type = body.payload_type;
+        inner.payload = body.payload;
+        deliver(server->second, inner);
+      }
+    } else if (route != name_routes_.end()) {
+      per_child[route->second.via].push_back(target);
+    } else if (parent_.valid() && parent_ != from) {
+      to_parent.push_back(target);
+    } else {
+      stats_.unroutable += 1;
+    }
+  }
+  auto forward_to = [&](NodeId hop, std::vector<std::string> targets) {
+    MulticastBody out = body;
+    out.targets = std::move(targets);
+    wire::Writer w;
+    out.encode(w);
+    wire::Envelope fwd = wire::make_envelope(
+        wire::MessageType::kGdsMulticast, name(), "", next_msg_id_++,
+        std::move(w));
+    fwd.ttl = static_cast<std::uint16_t>(env.ttl - 1);
+    send_envelope(hop, fwd);
+  };
+  for (auto& [child, targets] : per_child) {
+    forward_to(child, std::move(targets));
+  }
+  if (!to_parent.empty()) forward_to(parent_, std::move(to_parent));
+}
+
+// --- naming -----------------------------------------------------------------
+
+void GdsServer::handle_resolve(NodeId from, const wire::Envelope& env) {
+  auto decoded = ResolveBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const ResolveBody& body = decoded.value();
+  const std::string key = resolve_key(env.src, body.query_id);
+
+  auto reply_with = [&](NodeId to, bool found) {
+    ResolveReplyBody reply;
+    reply.query_id = body.query_id;
+    reply.server_name = body.server_name;
+    reply.found = found;
+    reply.owner_gds = found ? name() : "";
+    wire::Writer w;
+    reply.encode(w);
+    wire::Envelope out = wire::make_envelope(
+        wire::MessageType::kGdsResolveReply, name(), env.src,
+        next_msg_id_++, std::move(w));
+    send_envelope(to, out);
+  };
+
+  const auto route = name_routes_.find(body.server_name);
+  if (route != name_routes_.end() && route->second.local) {
+    reply_with(from, true);
+    return;
+  }
+  if (env.ttl == 0) {
+    reply_with(from, false);
+    return;
+  }
+  NodeId next;
+  if (route != name_routes_.end()) {
+    next = route->second.via;
+  } else if (parent_.valid() && parent_ != from) {
+    next = parent_;
+  } else {
+    reply_with(from, false);
+    return;
+  }
+  resolve_backpaths_[key] = from;
+  wire::Envelope fwd = env;
+  fwd.ttl -= 1;
+  send_envelope(next, fwd);
+}
+
+void GdsServer::handle_resolve_reply(NodeId /*from*/,
+                                     const wire::Envelope& env) {
+  auto decoded = ResolveReplyBody::decode(env.body);
+  if (!decoded.ok()) return;
+  const std::string key = resolve_key(env.dst, decoded.value().query_id);
+  const auto it = resolve_backpaths_.find(key);
+  if (it == resolve_backpaths_.end()) return;  // not ours / already answered
+  const NodeId back = it->second;
+  resolve_backpaths_.erase(it);
+  send_envelope(back, env);
+}
+
+bool GdsServer::knows_name(const std::string& name_queried) const {
+  return name_routes_.contains(name_queried);
+}
+
+}  // namespace gsalert::gds

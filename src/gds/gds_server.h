@@ -1,0 +1,132 @@
+// A Greenstone Directory Service node (paper §4.1, Figure 2).
+//
+// GDS nodes form a stratum tree: one primary server on stratum 1, further
+// nodes on strata 2+. Each Greenstone server registers with exactly one GDS
+// node. The GDS provides, per the paper:
+//   - a naming service (resolve a server's network-internal name),
+//   - broadcast: "distributed upwards within the tree and downwards to all
+//     tree leaves", with duplicate suppression,
+//   - multicast to an explicit set of names,
+//   - anonymous point-to-point relay ("without the servers having to be
+//     aware of the identity of the recipient"),
+//   - best-effort delivery.
+// Tree maintenance (heartbeats and re-parenting to a configured ancestor
+// list) keeps broadcast working across node failures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "gds/messages.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "wire/envelope.h"
+
+namespace gsalert::gds {
+
+struct GdsConfig {
+  std::uint16_t stratum = 1;
+  /// Heartbeat period towards the parent; also the child-liveness sweep.
+  SimTime heartbeat_interval = SimTime::millis(500);
+  /// Consecutive unanswered heartbeats before re-parenting.
+  int heartbeat_miss_limit = 3;
+  /// Duplicate suppression for broadcasts (ablation switch for bench E7).
+  bool dedup_enabled = true;
+};
+
+/// Counters exposed for benches and tests.
+struct GdsNodeStats {
+  std::uint64_t broadcasts_seen = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t deliveries = 0;       // kGdsDeliver messages to GS servers
+  std::uint64_t relays_routed = 0;
+  std::uint64_t unroutable = 0;       // relay/multicast target unknown at root
+  std::uint64_t reparents = 0;
+};
+
+class GdsServer : public sim::Node {
+ public:
+  explicit GdsServer(GdsConfig config) : config_(config) {}
+
+  /// Wire the tree (done by the builder before Network::start). The
+  /// ancestor list is ordered: [parent, grandparent, ..., root]; on parent
+  /// failure the node re-parents to the next entry.
+  void set_ancestors(std::vector<NodeId> ancestors);
+
+  /// Merge into another directory tree at runtime: `new_parent` becomes
+  /// this node's parent and the whole subtree's names are advertised
+  /// there. This is how independently grown GDS networks federate —
+  /// the operation the paper notes DHT overlays cannot offer "without
+  /// considerable reconstruction" (§2.2). Typically called on the root of
+  /// the joining tree.
+  void adopt_parent(NodeId new_parent);
+
+  void on_start() override;
+  void on_restart() override;
+  void on_packet(NodeId from, const sim::Packet& packet) override;
+  void on_timer(std::uint64_t token) override;
+
+  std::uint16_t stratum() const { return config_.stratum; }
+  NodeId parent() const { return parent_; }
+  const GdsNodeStats& stats() const { return stats_; }
+  std::size_t registered_count() const { return local_servers_.size(); }
+  std::size_t known_names() const { return name_routes_.size(); }
+  bool knows_name(const std::string& name) const;
+
+ private:
+  struct Route {
+    bool local = false;
+    NodeId via;  // child to forward towards (when !local)
+  };
+
+  void handle_register(NodeId from, const wire::Envelope& env);
+  void handle_unregister(const wire::Envelope& env);
+  void handle_child_hello(NodeId from, const wire::Envelope& env);
+  void handle_heartbeat(NodeId from, const wire::Envelope& env);
+  void handle_heartbeat_ack(NodeId from);
+  void handle_broadcast(NodeId from, const wire::Envelope& env);
+  void handle_relay(NodeId from, wire::Envelope env);
+  void handle_multicast(NodeId from, const wire::Envelope& env);
+  void handle_resolve(NodeId from, const wire::Envelope& env);
+  void handle_resolve_reply(NodeId from, const wire::Envelope& env);
+
+  /// Deliver an inner payload to a locally registered server.
+  void deliver(NodeId server, const BroadcastBody& body);
+
+  void send_envelope(NodeId to, const wire::Envelope& env);
+  void send_child_hello(bool full, std::vector<std::string> adds,
+                        std::vector<std::string> removes);
+  void advertise_up(std::vector<std::string> adds,
+                    std::vector<std::string> removes);
+  void reparent();
+  void prune_dead_children();
+  std::vector<std::string> subtree_names() const;
+  bool is_duplicate(const std::string& origin, std::uint64_t seq);
+
+  GdsConfig config_;
+  NodeId parent_;                       // invalid at root
+  std::vector<NodeId> ancestors_;
+  std::size_t ancestor_index_ = 0;
+  int heartbeat_misses_ = 0;
+  bool heartbeat_outstanding_ = false;
+
+  std::unordered_map<std::string, NodeId> local_servers_;
+  std::unordered_map<std::string, Route> name_routes_;
+  std::unordered_map<NodeId, SimTime> children_;  // child -> last heartbeat
+
+  // Duplicate suppression for broadcast/multicast: origin -> seen seqs.
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>> seen_;
+
+  // Resolve back-paths: (origin server name, query id) -> previous hop.
+  std::unordered_map<std::string, NodeId> resolve_backpaths_;
+
+  std::uint64_t next_msg_id_ = 1;
+  GdsNodeStats stats_;
+};
+
+}  // namespace gsalert::gds

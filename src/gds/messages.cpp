@@ -1,0 +1,131 @@
+#include "gds/messages.h"
+
+namespace gsalert::gds {
+
+namespace {
+Error malformed(const char* what) {
+  return Error{ErrorCode::kDecodeFailure, what};
+}
+}  // namespace
+
+void RegisterBody::encode(wire::Writer& w) const { w.str(server_name); }
+
+Result<RegisterBody> RegisterBody::decode(const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  RegisterBody out;
+  out.server_name = r.str();
+  if (!r.done()) return malformed("RegisterBody");
+  return out;
+}
+
+void BroadcastBody::encode(wire::Writer& w) const {
+  w.str(origin_server);
+  w.u64(seq);
+  w.u16(payload_type);
+  w.bytes(payload);
+}
+
+Result<BroadcastBody> BroadcastBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  BroadcastBody out;
+  out.origin_server = r.str();
+  out.seq = r.u64();
+  out.payload_type = r.u16();
+  out.payload = r.bytes();
+  if (!r.done()) return malformed("BroadcastBody");
+  return out;
+}
+
+void RelayBody::encode(wire::Writer& w) const {
+  w.str(origin_server);
+  w.str(dst_server);
+  w.u16(payload_type);
+  w.bytes(payload);
+}
+
+Result<RelayBody> RelayBody::decode(const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  RelayBody out;
+  out.origin_server = r.str();
+  out.dst_server = r.str();
+  out.payload_type = r.u16();
+  out.payload = r.bytes();
+  if (!r.done()) return malformed("RelayBody");
+  return out;
+}
+
+void MulticastBody::encode(wire::Writer& w) const {
+  w.str(origin_server);
+  w.u64(seq);
+  w.seq(targets, [](wire::Writer& w2, const std::string& t) { w2.str(t); });
+  w.u16(payload_type);
+  w.bytes(payload);
+}
+
+Result<MulticastBody> MulticastBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  MulticastBody out;
+  out.origin_server = r.str();
+  out.seq = r.u64();
+  out.targets = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  out.payload_type = r.u16();
+  out.payload = r.bytes();
+  if (!r.done()) return malformed("MulticastBody");
+  return out;
+}
+
+void ResolveBody::encode(wire::Writer& w) const {
+  w.u64(query_id);
+  w.str(server_name);
+}
+
+Result<ResolveBody> ResolveBody::decode(const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  ResolveBody out;
+  out.query_id = r.u64();
+  out.server_name = r.str();
+  if (!r.done()) return malformed("ResolveBody");
+  return out;
+}
+
+void ResolveReplyBody::encode(wire::Writer& w) const {
+  w.u64(query_id);
+  w.str(server_name);
+  w.boolean(found);
+  w.str(owner_gds);
+}
+
+Result<ResolveReplyBody> ResolveReplyBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  ResolveReplyBody out;
+  out.query_id = r.u64();
+  out.server_name = r.str();
+  out.found = r.boolean();
+  out.owner_gds = r.str();
+  if (!r.done()) return malformed("ResolveReplyBody");
+  return out;
+}
+
+void ChildHelloBody::encode(wire::Writer& w) const {
+  w.u16(stratum);
+  w.boolean(full);
+  w.seq(adds, [](wire::Writer& w2, const std::string& s) { w2.str(s); });
+  w.seq(removes, [](wire::Writer& w2, const std::string& s) { w2.str(s); });
+}
+
+Result<ChildHelloBody> ChildHelloBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  ChildHelloBody out;
+  out.stratum = r.u16();
+  out.full = r.boolean();
+  out.adds = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  out.removes = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  if (!r.done()) return malformed("ChildHelloBody");
+  return out;
+}
+
+}  // namespace gsalert::gds

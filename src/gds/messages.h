@@ -1,0 +1,92 @@
+// Payload structs for the GDS protocol (paper §4.1, §6). Envelope types
+// are in wire/message_types.h; these are the bodies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "wire/codec.h"
+
+namespace gsalert::gds {
+
+/// GS server -> its GDS node: register under a network-internal name.
+struct RegisterBody {
+  std::string server_name;
+
+  void encode(wire::Writer& w) const;
+  static Result<RegisterBody> decode(const std::vector<std::byte>& body);
+};
+
+/// Broadcast payload flooded through the tree. The (origin_server, seq)
+/// pair is the duplicate-suppression key; payload_type tags the inner
+/// message so receivers can dispatch without the GDS understanding it
+/// (the GDS is an anonymous forwarding network).
+struct BroadcastBody {
+  std::string origin_server;
+  std::uint64_t seq = 0;
+  std::uint16_t payload_type = 0;
+  std::vector<std::byte> payload;
+
+  void encode(wire::Writer& w) const;
+  static Result<BroadcastBody> decode(const std::vector<std::byte>& body);
+};
+
+/// Point-to-point message routed through the tree by name.
+struct RelayBody {
+  std::string origin_server;
+  std::string dst_server;
+  std::uint16_t payload_type = 0;
+  std::vector<std::byte> payload;
+
+  void encode(wire::Writer& w) const;
+  static Result<RelayBody> decode(const std::vector<std::byte>& body);
+};
+
+/// Multicast to an explicit set of server names. Forwarders split the
+/// target list per next hop, so each tree edge carries the payload once.
+struct MulticastBody {
+  std::string origin_server;
+  std::uint64_t seq = 0;
+  std::vector<std::string> targets;
+  std::uint16_t payload_type = 0;
+  std::vector<std::byte> payload;
+
+  void encode(wire::Writer& w) const;
+  static Result<MulticastBody> decode(const std::vector<std::byte>& body);
+};
+
+/// Name lookup (the DNS-like naming service).
+struct ResolveBody {
+  std::uint64_t query_id = 0;
+  std::string server_name;
+
+  void encode(wire::Writer& w) const;
+  static Result<ResolveBody> decode(const std::vector<std::byte>& body);
+};
+
+struct ResolveReplyBody {
+  std::uint64_t query_id = 0;
+  std::string server_name;
+  bool found = false;
+  std::string owner_gds;  // name of the GDS node holding the registration
+
+  void encode(wire::Writer& w) const;
+  static Result<ResolveReplyBody> decode(const std::vector<std::byte>& body);
+};
+
+/// Child GDS node -> parent: announce itself and advertise subtree names.
+/// Sent with full=true on (re)connect carrying the whole subtree name set;
+/// incremental updates use full=false with adds/removes deltas.
+struct ChildHelloBody {
+  std::uint16_t stratum = 0;
+  bool full = false;
+  std::vector<std::string> adds;
+  std::vector<std::string> removes;
+
+  void encode(wire::Writer& w) const;
+  static Result<ChildHelloBody> decode(const std::vector<std::byte>& body);
+};
+
+}  // namespace gsalert::gds

@@ -1,0 +1,112 @@
+#include "gds/tree_builder.h"
+
+#include <cassert>
+
+namespace gsalert::gds {
+
+std::vector<GdsServer*> GdsTree::leaves() const {
+  // A leaf is a node that is no other node's ancestor-parent; with the
+  // builders here, leaves are exactly the maximum-stratum nodes plus any
+  // childless inner nodes. We approximate by "no node lists it as parent".
+  std::vector<GdsServer*> out;
+  for (GdsServer* candidate : nodes) {
+    bool has_child = false;
+    for (GdsServer* other : nodes) {
+      if (other != candidate && other->parent() == candidate->id()) {
+        has_child = true;
+        break;
+      }
+    }
+    if (!has_child) out.push_back(candidate);
+  }
+  return out;
+}
+
+GdsServer* GdsTree::leaf_for(std::size_t i) const {
+  const auto ls = leaves();
+  assert(!ls.empty());
+  return ls[i % ls.size()];
+}
+
+GdsTree build_tree(sim::Network& net, int fanout, int depth,
+                   GdsConfig config, const std::string& prefix) {
+  assert(fanout >= 1 && depth >= 1);
+  GdsTree tree;
+  // ancestry[i] = chain from node i's parent up to the root (node indices).
+  std::vector<std::vector<std::size_t>> ancestry;
+  std::vector<std::size_t> level_start{0};
+
+  int k = 0;
+  std::vector<int> level_counts(depth);
+  level_counts[0] = 1;
+  for (int d = 1; d < depth; ++d) {
+    level_counts[d] = level_counts[d - 1] * fanout;
+  }
+  for (int d = 0; d < depth; ++d) {
+    for (int i = 0; i < level_counts[d]; ++i) {
+      GdsConfig node_config = config;
+      node_config.stratum = static_cast<std::uint16_t>(d + 1);
+      auto* node = net.make_node<GdsServer>(
+          prefix + "-" + std::to_string(++k), node_config);
+      tree.nodes.push_back(node);
+      if (d == 0) {
+        ancestry.push_back({});
+      } else {
+        const std::size_t parent_index =
+            level_start[d - 1] + static_cast<std::size_t>(i / fanout);
+        std::vector<std::size_t> chain{parent_index};
+        for (std::size_t a : ancestry[parent_index]) chain.push_back(a);
+        ancestry.push_back(std::move(chain));
+      }
+    }
+    if (d + 1 < depth) level_start.push_back(tree.nodes.size());
+  }
+  // Children of the root fall back to a sibling ring if the root dies:
+  // the resulting parent cycle is harmless (broadcast dedup suppresses
+  // the redundant path) and keeps the directory connected.
+  const std::size_t stratum2_first = 1;
+  const std::size_t stratum2_count =
+      depth >= 2 ? static_cast<std::size_t>(level_counts[1]) : 0;
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    std::vector<NodeId> ancestors;
+    for (std::size_t a : ancestry[i]) {
+      ancestors.push_back(tree.nodes[a]->id());
+    }
+    if (stratum2_count > 1 && i >= stratum2_first &&
+        i < stratum2_first + stratum2_count) {
+      const std::size_t sibling =
+          stratum2_first + ((i - stratum2_first + 1) % stratum2_count);
+      ancestors.push_back(tree.nodes[sibling]->id());
+    }
+    tree.nodes[i]->set_ancestors(std::move(ancestors));
+  }
+  return tree;
+}
+
+GdsTree build_figure2_tree(sim::Network& net, GdsConfig config) {
+  GdsTree tree;
+  auto make = [&](int number, std::uint16_t stratum) {
+    GdsConfig node_config = config;
+    node_config.stratum = stratum;
+    return net.make_node<GdsServer>("gds-" + std::to_string(number),
+                                    node_config);
+  };
+  GdsServer* n1 = make(1, 1);
+  GdsServer* n2 = make(2, 2);
+  GdsServer* n3 = make(3, 3);
+  GdsServer* n4 = make(4, 3);
+  GdsServer* n5 = make(5, 2);
+  GdsServer* n6 = make(6, 3);
+  GdsServer* n7 = make(7, 2);
+  // Stratum-2 nodes fall back to a sibling ring if the root dies.
+  n2->set_ancestors({n1->id(), n5->id()});
+  n5->set_ancestors({n1->id(), n7->id()});
+  n7->set_ancestors({n1->id(), n2->id()});
+  n3->set_ancestors({n2->id(), n1->id()});
+  n4->set_ancestors({n2->id(), n1->id()});
+  n6->set_ancestors({n5->id(), n1->id()});
+  tree.nodes = {n1, n2, n3, n4, n5, n6, n7};
+  return tree;
+}
+
+}  // namespace gsalert::gds

@@ -1,0 +1,38 @@
+// Helpers that assemble GDS trees inside a simulated network: a regular
+// tree with given fan-out and depth, and the exact 7-node topology of the
+// paper's Figure 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gds/gds_server.h"
+#include "sim/network.h"
+
+namespace gsalert::gds {
+
+struct GdsTree {
+  std::vector<GdsServer*> nodes;  // nodes[0] is the stratum-1 root
+
+  GdsServer* root() const { return nodes.front(); }
+
+  /// The leaf-most node covering index i when assigning GS servers
+  /// round-robin over the tree's leaves.
+  GdsServer* leaf_for(std::size_t i) const;
+  std::vector<GdsServer*> leaves() const;
+};
+
+/// Build a complete tree: `fanout` children per node, `depth` strata
+/// (depth 1 = root only). Node names are "<prefix>-<k>"; pass a distinct
+/// prefix when building several trees in one network (e.g. for merging).
+GdsTree build_tree(sim::Network& net, int fanout, int depth,
+                   GdsConfig config = {}, const std::string& prefix = "gds");
+
+/// The paper's Figure 2: seven GDS installations —
+///   node 1 (stratum 1, root)
+///   nodes 2, 5, 7 (stratum 2, children of 1)
+///   nodes 3, 4 (stratum 3, children of 2), node 6 (stratum 3, child of 5)
+/// Returned in id order gds-1..gds-7.
+GdsTree build_figure2_tree(sim::Network& net, GdsConfig config = {});
+
+}  // namespace gsalert::gds

@@ -1,0 +1,96 @@
+#include "gsnet/messages.h"
+
+namespace gsalert::gsnet {
+
+void CollRequestBody::encode(wire::Writer& w) const {
+  w.u64(request_id);
+  w.str(collection_name);
+  w.boolean(as_subcollection);
+  w.seq(chain, [](wire::Writer& w2, const std::string& s) { w2.str(s); });
+}
+
+Result<CollRequestBody> CollRequestBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  CollRequestBody out;
+  out.request_id = r.u64();
+  out.collection_name = r.str();
+  out.as_subcollection = r.boolean();
+  out.chain = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  if (!r.done()) return Error{ErrorCode::kDecodeFailure, "CollRequestBody"};
+  return out;
+}
+
+void CollResponseBody::encode(wire::Writer& w) const {
+  w.u64(request_id);
+  w.boolean(ok);
+  w.str(error);
+  w.seq(docs, [](wire::Writer& w2, const docmodel::Document& d) {
+    d.encode(w2);
+  });
+  w.u32(hops);
+  w.u32(servers_contacted);
+}
+
+Result<CollResponseBody> CollResponseBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  CollResponseBody out;
+  out.request_id = r.u64();
+  out.ok = r.boolean();
+  out.error = r.str();
+  out.docs = r.seq<docmodel::Document>(
+      [](wire::Reader& r2) { return docmodel::Document::decode(r2); });
+  out.hops = r.u32();
+  out.servers_contacted = r.u32();
+  if (!r.done()) return Error{ErrorCode::kDecodeFailure, "CollResponseBody"};
+  return out;
+}
+
+void SearchRequestBody::encode(wire::Writer& w) const {
+  w.u64(request_id);
+  w.str(collection_name);
+  w.str(query_text);
+  w.boolean(as_subcollection);
+  w.seq(chain, [](wire::Writer& w2, const std::string& s) { w2.str(s); });
+}
+
+Result<SearchRequestBody> SearchRequestBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  SearchRequestBody out;
+  out.request_id = r.u64();
+  out.collection_name = r.str();
+  out.query_text = r.str();
+  out.as_subcollection = r.boolean();
+  out.chain = r.seq<std::string>([](wire::Reader& r2) { return r2.str(); });
+  if (!r.done()) return Error{ErrorCode::kDecodeFailure, "SearchRequestBody"};
+  return out;
+}
+
+void SearchResponseBody::encode(wire::Writer& w) const {
+  w.u64(request_id);
+  w.boolean(ok);
+  w.str(error);
+  w.seq(hits, [](wire::Writer& w2, DocumentId id) { w2.u64(id); });
+  w.u32(hops);
+  w.u32(servers_contacted);
+}
+
+Result<SearchResponseBody> SearchResponseBody::decode(
+    const std::vector<std::byte>& body) {
+  wire::Reader r{body};
+  SearchResponseBody out;
+  out.request_id = r.u64();
+  out.ok = r.boolean();
+  out.error = r.str();
+  out.hits = r.seq<DocumentId>([](wire::Reader& r2) { return r2.u64(); });
+  out.hops = r.u32();
+  out.servers_contacted = r.u32();
+  if (!r.done()) {
+    return Error{ErrorCode::kDecodeFailure, "SearchResponseBody"};
+  }
+  return out;
+}
+
+}  // namespace gsalert::gsnet

@@ -1,0 +1,86 @@
+// Greenstone protocol payloads (paper §3): collection data requests flowing
+// receptionist -> server and server -> server for distributed
+// sub-collections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "docmodel/document.h"
+#include "wire/codec.h"
+
+namespace gsalert::gsnet {
+
+/// Request for the data of a collection. `chain` lists the collections
+/// (as "Host.Name") already being resolved upstream, so cyclic collection
+/// graphs terminate instead of looping (paper §1, challenge 2).
+struct CollRequestBody {
+  std::uint64_t request_id = 0;
+  std::string collection_name;
+  bool as_subcollection = false;  // server-to-server access to private colls
+  std::vector<std::string> chain;
+
+  void encode(wire::Writer& w) const;
+  static Result<CollRequestBody> decode(const std::vector<std::byte>& body);
+};
+
+struct CollResponseBody {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<docmodel::Document> docs;
+  std::uint32_t hops = 0;              // depth of the resolution tree
+  std::uint32_t servers_contacted = 0; // distinct server visits
+
+  void encode(wire::Writer& w) const;
+  static Result<CollResponseBody> decode(const std::vector<std::byte>& body);
+};
+
+/// Aggregated outcome of resolving a collection (local API form).
+struct CollResult {
+  bool ok = false;
+  std::string error;
+  std::vector<docmodel::Document> docs;
+  std::uint32_t hops = 0;
+  std::uint32_t servers_contacted = 0;
+};
+
+/// Federated search request: run a query over a collection including its
+/// (possibly remote) sub-collections. Same chain-based cycle guard as the
+/// data request.
+struct SearchRequestBody {
+  std::uint64_t request_id = 0;
+  std::string collection_name;
+  std::string query_text;
+  bool as_subcollection = false;
+  std::vector<std::string> chain;
+
+  void encode(wire::Writer& w) const;
+  static Result<SearchRequestBody> decode(const std::vector<std::byte>& body);
+};
+
+struct SearchResponseBody {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<DocumentId> hits;  // sorted, unique per originating server
+  std::uint32_t hops = 0;
+  std::uint32_t servers_contacted = 0;
+
+  void encode(wire::Writer& w) const;
+  static Result<SearchResponseBody> decode(
+      const std::vector<std::byte>& body);
+};
+
+/// Aggregated federated-search outcome (local API form).
+struct SearchResult {
+  bool ok = false;
+  std::string error;
+  std::vector<DocumentId> hits;
+  std::uint32_t hops = 0;
+  std::uint32_t servers_contacted = 0;
+};
+
+}  // namespace gsalert::gsnet

@@ -1,0 +1,112 @@
+#include "gsnet/receptionist.h"
+
+namespace gsalert::gsnet {
+
+void Receptionist::add_host(const std::string& host, NodeId server) {
+  hosts_[host] = server;
+}
+
+void Receptionist::open_collection(const CollectionRef& ref,
+                                   std::function<void(CollResult)> done) {
+  const auto host = hosts_.find(ref.host);
+  if (host == hosts_.end()) {
+    done(CollResult{.ok = false,
+                    .error = "receptionist has no access to host " +
+                             ref.host});
+    return;
+  }
+  CollRequestBody request;
+  request.request_id = next_request_++;
+  request.collection_name = ref.name;
+  request.as_subcollection = false;
+  wire::Writer w;
+  request.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGsCollRequest, name(), ref.host,
+      request.request_id, std::move(w));
+  pending_[request.request_id] = std::move(done);
+  network().set_timer(id(), request_timeout_, request.request_id);
+  network().send(id(), host->second, env.pack());
+}
+
+void Receptionist::search_collection(const CollectionRef& ref,
+                                     const std::string& query_text,
+                                     std::function<void(SearchResult)> done) {
+  const auto host = hosts_.find(ref.host);
+  if (host == hosts_.end()) {
+    done(SearchResult{.ok = false,
+                      .error = "receptionist has no access to host " +
+                               ref.host});
+    return;
+  }
+  SearchRequestBody request;
+  request.request_id = next_request_++;
+  request.collection_name = ref.name;
+  request.query_text = query_text;
+  wire::Writer w;
+  request.encode(w);
+  wire::Envelope env = wire::make_envelope(
+      wire::MessageType::kGsSearchRequest, name(), ref.host,
+      request.request_id, std::move(w));
+  pending_searches_[request.request_id] = std::move(done);
+  network().set_timer(id(), request_timeout_, request.request_id);
+  network().send(id(), host->second, env.pack());
+}
+
+void Receptionist::on_packet(NodeId /*from*/, const sim::Packet& packet) {
+  auto decoded = wire::unpack(packet);
+  if (!decoded.ok()) return;
+  const wire::Envelope& env = decoded.value();
+  if (env.type == wire::MessageType::kGsCollResponse) {
+    auto body = CollResponseBody::decode(env.body);
+    if (!body.ok()) return;
+    CollResponseBody response = std::move(body).take();
+    const auto it = pending_.find(response.request_id);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    CollResult result;
+    result.ok = response.ok;
+    result.error = std::move(response.error);
+    result.docs = std::move(response.docs);
+    result.hops = response.hops;
+    result.servers_contacted = response.servers_contacted;
+    done(std::move(result));
+    return;
+  }
+  if (env.type == wire::MessageType::kGsSearchResponse) {
+    auto body = SearchResponseBody::decode(env.body);
+    if (!body.ok()) return;
+    SearchResponseBody response = std::move(body).take();
+    const auto it = pending_searches_.find(response.request_id);
+    if (it == pending_searches_.end()) return;
+    auto done = std::move(it->second);
+    pending_searches_.erase(it);
+    SearchResult result;
+    result.ok = response.ok;
+    result.error = std::move(response.error);
+    result.hits = std::move(response.hits);
+    result.hops = response.hops;
+    result.servers_contacted = response.servers_contacted;
+    done(std::move(result));
+  }
+}
+
+void Receptionist::on_timer(std::uint64_t token) {
+  // Request ids are shared between data and search requests, so the token
+  // identifies exactly one of the two maps.
+  if (const auto it = pending_.find(token); it != pending_.end()) {
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    done(CollResult{.ok = false, .error = "request timed out"});
+    return;
+  }
+  if (const auto it = pending_searches_.find(token);
+      it != pending_searches_.end()) {
+    auto done = std::move(it->second);
+    pending_searches_.erase(it);
+    done(SearchResult{.ok = false, .error = "request timed out"});
+  }
+}
+
+}  // namespace gsalert::gsnet

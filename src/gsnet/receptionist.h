@@ -1,0 +1,57 @@
+// A receptionist (paper §3, Figure 1): the user-facing access point that
+// can reach one or more Greenstone hosts and presents their collections as
+// a single homogeneous structure. Storage and distribution stay transparent
+// to the user: the receptionist just issues a GS-protocol request to the
+// entry collection's host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "gsnet/messages.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "wire/envelope.h"
+
+namespace gsalert::gsnet {
+
+class Receptionist : public sim::Node {
+ public:
+  explicit Receptionist(SimTime request_timeout = SimTime::seconds(5))
+      : request_timeout_(request_timeout) {}
+
+  /// Grant access to a host (Receptionist I in Figure 1 reaches Hamilton
+  /// and London; II only London).
+  void add_host(const std::string& host, NodeId server);
+  bool has_host(const std::string& host) const {
+    return hosts_.contains(host);
+  }
+
+  /// Fetch the documents of a (possibly distributed) collection on behalf
+  /// of a user. Fails locally if this receptionist has no access to the
+  /// entry collection's host.
+  void open_collection(const CollectionRef& ref,
+                       std::function<void(CollResult)> done);
+
+  /// Federated search: run a query over a collection and all of its
+  /// (possibly remote) sub-collections.
+  void search_collection(const CollectionRef& ref,
+                         const std::string& query_text,
+                         std::function<void(SearchResult)> done);
+
+  void on_packet(NodeId from, const sim::Packet& packet) override;
+  void on_timer(std::uint64_t token) override;
+
+ private:
+  SimTime request_timeout_;
+  std::unordered_map<std::string, NodeId> hosts_;
+  std::unordered_map<std::uint64_t, std::function<void(CollResult)>> pending_;
+  std::unordered_map<std::uint64_t, std::function<void(SearchResult)>>
+      pending_searches_;
+  std::uint64_t next_request_ = 1;
+};
+
+}  // namespace gsalert::gsnet

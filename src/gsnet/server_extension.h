@@ -1,0 +1,54 @@
+// Extension point through which the alerting service (and the baseline
+// backends) attach to a Greenstone server without gsnet depending on them.
+// The server invokes these hooks synchronously from its build pipeline and
+// message loop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "docmodel/collection.h"
+#include "docmodel/event.h"
+#include "wire/envelope.h"
+
+namespace gsalert::gsnet {
+
+class GreenstoneServer;
+
+class ServerExtension {
+ public:
+  virtual ~ServerExtension() = default;
+
+  /// Called once when installed on a server.
+  virtual void attach(GreenstoneServer& server) { server_ = &server; }
+
+  /// An envelope the server itself did not consume. Return true if handled.
+  virtual bool handle_envelope(NodeId /*from*/, const wire::Envelope&) {
+    return false;
+  }
+
+  /// A message delivered through the GDS (broadcast, multicast or relay).
+  virtual void on_gds_message(const std::string& /*origin_server*/,
+                              std::uint16_t /*payload_type*/,
+                              const std::vector<std::byte>& /*payload*/) {}
+
+  /// A local collection (re)build produced an event. Runs synchronously as
+  /// the paper's "additional step in the build process" — its cost is what
+  /// experiment E4 measures.
+  virtual void on_local_event(const docmodel::Event& /*event*/) {}
+
+  /// A collection was added or its configuration changed (sub-collection
+  /// links added/removed). The alerting layer diffs against its own
+  /// auxiliary-profile registry.
+  virtual void on_collection_configured(const docmodel::Collection&) {}
+  virtual void on_collection_removed(const CollectionRef&) {}
+
+  virtual void on_started() {}
+  virtual void on_restarted() {}
+  virtual void on_timer_token(std::uint64_t /*token*/) {}
+
+ protected:
+  GreenstoneServer* server_ = nullptr;
+};
+
+}  // namespace gsalert::gsnet

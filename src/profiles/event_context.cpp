@@ -1,0 +1,64 @@
+#include "profiles/event_context.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace gsalert::profiles {
+
+namespace {
+constexpr std::array<std::string_view, 6> kMacroAttributes = {
+    "host", "collection", "ref", "type", "origin_host", "origin_ref"};
+const std::string kEmpty;
+}  // namespace
+
+bool is_macro_attribute(std::string_view attribute) {
+  for (std::string_view m : kMacroAttributes) {
+    if (m == attribute) return true;
+  }
+  return false;
+}
+
+EventContext EventContext::from(const docmodel::Event& event) {
+  EventContext ctx;
+  ctx.event_ = &event;
+  ctx.docs_ = &event.docs;
+  // Values are lowercased so matching is case-insensitive end to end
+  // (predicate values are lowercased by the parser).
+  ctx.attrs_ = {
+      {"host", to_lower(event.collection.host)},
+      {"collection", to_lower(event.collection.name)},
+      {"ref", to_lower(event.collection.str())},
+      {"type", docmodel::event_type_name(event.type)},
+      {"origin_host", to_lower(event.physical_origin.host)},
+      {"origin_ref", to_lower(event.physical_origin.str())},
+  };
+  return ctx;
+}
+
+const EventContext::DocIndex& EventContext::doc_index() const {
+  if (doc_index_ == nullptr) {
+    auto index = std::make_shared<DocIndex>();
+    for (const docmodel::Document& doc : *docs_) {
+      index->values["doc_id"][std::to_string(doc.id)].push_back(doc.id);
+      for (const auto& [attr, value] : doc.metadata.entries()) {
+        index->values[attr][to_lower(value)].push_back(doc.id);
+      }
+      for (const auto& term : doc.terms) {
+        auto& list = index->values["text"][term];
+        if (list.empty() || list.back() != doc.id) list.push_back(doc.id);
+      }
+    }
+    doc_index_ = std::move(index);
+  }
+  return *doc_index_;
+}
+
+const std::string& EventContext::macro(std::string_view attribute) const {
+  for (const auto& [attr, value] : attrs_) {
+    if (attr == attribute) return value;
+  }
+  return kEmpty;
+}
+
+}  // namespace gsalert::profiles

@@ -1,0 +1,66 @@
+// The view of an event that profiles are evaluated against.
+//
+// Macro-level attributes (paper §5) form a fixed universe derived from the
+// event: host, collection, ref, type, origin_host, origin_ref. Every other
+// attribute referenced by a profile is micro-level and evaluated against
+// the event's documents (their metadata, or their terms for "text").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "docmodel/event.h"
+#include "retrieval/engine.h"
+
+namespace gsalert::profiles {
+
+/// Names of the macro-level attributes.
+bool is_macro_attribute(std::string_view attribute);
+
+class EventContext {
+ public:
+  static EventContext from(const docmodel::Event& event);
+
+  /// Value of a macro attribute ("" if the attribute is not macro-level).
+  const std::string& macro(std::string_view attribute) const;
+
+  const std::vector<std::pair<std::string, std::string>>& macro_attrs()
+      const {
+    return attrs_;
+  }
+  const std::vector<docmodel::Document>& docs() const { return *docs_; }
+  const docmodel::Event& event() const { return *event_; }
+
+  /// Attach the collection's retrieval engine (paper §5: the filter reuses
+  /// "the system's own retrieval functionalities"). When present, query
+  /// predicates are answered from the inverted index instead of scanning
+  /// the event's documents — only valid when the engine indexes the
+  /// documents the event carries (i.e. at the event's own host, for
+  /// un-renamed events).
+  void set_engine(const retrieval::Engine* engine) { engine_ = engine; }
+  const retrieval::Engine* engine() const { return engine_; }
+
+  /// Per-event micro index over the documents: attribute -> lowercase
+  /// value -> present. Built lazily on the first doc-level predicate and
+  /// amortized across all candidate evaluations for this event ("equality
+  /// preferred" applied at the micro level too). Includes metadata,
+  /// "text" terms and the pseudo-attribute "doc_id".
+  struct DocIndex {
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, std::vector<DocumentId>>>
+        values;
+  };
+  const DocIndex& doc_index() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  const std::vector<docmodel::Document>* docs_ = nullptr;
+  const docmodel::Event* event_ = nullptr;
+  const retrieval::Engine* engine_ = nullptr;
+  mutable std::shared_ptr<const DocIndex> doc_index_;
+};
+
+}  // namespace gsalert::profiles

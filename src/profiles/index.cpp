@@ -1,0 +1,127 @@
+#include "profiles/index.h"
+
+#include <algorithm>
+
+namespace gsalert::profiles {
+
+Status ProfileIndex::add(Profile profile) {
+  if (profile.id == 0) {
+    return Status{ErrorCode::kInvalidArgument, "profile id must be non-zero"};
+  }
+  if (by_profile_.contains(profile.id)) {
+    return Status{ErrorCode::kAlreadyExists,
+                  "profile " + std::to_string(profile.id) + " already indexed"};
+  }
+  ProfileEntry entry;
+  for (const Conjunction& conj : profile.dnf) {
+    ConjIdx idx;
+    if (!free_list_.empty()) {
+      idx = free_list_.back();
+      free_list_.pop_back();
+      conjunctions_[idx] = ConjEntry{};
+    } else {
+      idx = static_cast<ConjIdx>(conjunctions_.size());
+      conjunctions_.emplace_back();
+      hit_count_.push_back(0);
+      hit_epoch_.push_back(0);
+    }
+    ConjEntry& ce = conjunctions_[idx];
+    ce.owner = profile.id;
+    ce.alive = true;
+    for (const Predicate& pred : conj.preds) {
+      if (pred.is_hashable_eq()) {
+        eq_index_[pred.attribute][pred.value].push_back(idx);
+        ce.eq_keys.emplace_back(pred.attribute, pred.value);
+        ce.eq_count += 1;
+      } else {
+        ce.residual.push_back(pred);
+      }
+    }
+    if (ce.eq_count == 0) zero_eq_.push_back(idx);
+    entry.conjunctions.push_back(idx);
+    ++live_conjunctions_;
+  }
+  entry.profile = std::move(profile);
+  const ProfileId id = entry.profile.id;
+  by_profile_.emplace(id, std::move(entry));
+  return Status::ok();
+}
+
+void ProfileIndex::unlink_conjunction(ConjIdx idx) {
+  ConjEntry& ce = conjunctions_[idx];
+  for (const auto& [attr, value] : ce.eq_keys) {
+    const auto attr_it = eq_index_.find(attr);
+    if (attr_it == eq_index_.end()) continue;
+    const auto value_it = attr_it->second.find(value);
+    if (value_it == attr_it->second.end()) continue;
+    std::erase(value_it->second, idx);
+    if (value_it->second.empty()) attr_it->second.erase(value_it);
+    if (attr_it->second.empty()) eq_index_.erase(attr_it);
+  }
+  if (ce.eq_count == 0) std::erase(zero_eq_, idx);
+  ce = ConjEntry{};
+  free_list_.push_back(idx);
+  --live_conjunctions_;
+}
+
+Status ProfileIndex::remove(ProfileId id) {
+  const auto it = by_profile_.find(id);
+  if (it == by_profile_.end()) {
+    return Status{ErrorCode::kNotFound,
+                  "profile " + std::to_string(id) + " not indexed"};
+  }
+  for (ConjIdx idx : it->second.conjunctions) unlink_conjunction(idx);
+  by_profile_.erase(it);
+  return Status::ok();
+}
+
+const Profile* ProfileIndex::profile(ProfileId id) const {
+  const auto it = by_profile_.find(id);
+  return it == by_profile_.end() ? nullptr : &it->second.profile;
+}
+
+std::vector<ProfileId> ProfileIndex::match(const EventContext& ctx,
+                                           MatchStats* stats) const {
+  ++epoch_;
+  std::vector<ConjIdx> candidates;
+
+  // Phase 1 — equality hash joins: probe each event attribute value.
+  for (const auto& [attr, value] : ctx.macro_attrs()) {
+    const auto attr_it = eq_index_.find(attr);
+    if (attr_it == eq_index_.end()) continue;
+    const auto value_it = attr_it->second.find(value);
+    if (value_it == attr_it->second.end()) continue;
+    for (ConjIdx idx : value_it->second) {
+      if (stats != nullptr) stats->eq_probe_hits += 1;
+      if (hit_epoch_[idx] != epoch_) {
+        hit_epoch_[idx] = epoch_;
+        hit_count_[idx] = 0;
+      }
+      if (++hit_count_[idx] == conjunctions_[idx].eq_count) {
+        candidates.push_back(idx);
+      }
+    }
+  }
+  // Conjunctions with no equality predicate are always candidates.
+  candidates.insert(candidates.end(), zero_eq_.begin(), zero_eq_.end());
+
+  // Phase 2 — residual evaluation on candidates only.
+  std::vector<ProfileId> matched;
+  for (ConjIdx idx : candidates) {
+    const ConjEntry& ce = conjunctions_[idx];
+    if (!ce.alive) continue;
+    if (stats != nullptr) {
+      stats->candidates += 1;
+      stats->residual_evals += ce.residual.size();
+    }
+    const bool all = std::all_of(
+        ce.residual.begin(), ce.residual.end(),
+        [&](const Predicate& p) { return p.eval(ctx); });
+    if (all) matched.push_back(ce.owner);
+  }
+  std::sort(matched.begin(), matched.end());
+  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+  return matched;
+}
+
+}  // namespace gsalert::profiles

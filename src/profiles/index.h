@@ -1,0 +1,82 @@
+// The equality-preferred profile matching index (paper §5, after Fabret
+// et al.): profiles' DNF conjunctions are split into hashable macro-level
+// equality predicates and residual predicates. Matching hash-joins the
+// event's attribute values against the equality clusters first — counting
+// hits per conjunction — and only conjunctions whose equality predicates
+// all hit (the candidates) pay for residual evaluation (wildcards,
+// inequalities, ID lists, document queries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "profiles/profile.h"
+
+namespace gsalert::profiles {
+
+struct MatchStats {
+  std::uint64_t eq_probe_hits = 0;    // posting entries touched
+  std::uint64_t candidates = 0;       // conjunctions reaching full eq count
+  std::uint64_t residual_evals = 0;   // residual predicates evaluated
+};
+
+class ProfileIndex {
+ public:
+  /// Index a parsed profile. The profile's id must be unique and non-zero.
+  Status add(Profile profile);
+  Status remove(ProfileId id);
+  bool contains(ProfileId id) const { return by_profile_.contains(id); }
+
+  std::size_t profile_count() const { return by_profile_.size(); }
+  std::size_t conjunction_count() const { return live_conjunctions_; }
+
+  /// Profiles matching the event, sorted, unique. `stats` (optional)
+  /// receives instrumentation for the ablation bench.
+  std::vector<ProfileId> match(const EventContext& ctx,
+                               MatchStats* stats = nullptr) const;
+
+  /// Stored profile by id (nullptr if absent).
+  const Profile* profile(ProfileId id) const;
+
+ private:
+  using ConjIdx = std::uint32_t;
+
+  struct ConjEntry {
+    ProfileId owner = 0;
+    std::uint32_t eq_count = 0;
+    std::vector<Predicate> residual;
+    // (attribute, value) buckets holding this conjunction, for O(k) unlink.
+    std::vector<std::pair<std::string, std::string>> eq_keys;
+    bool alive = false;
+  };
+
+  struct ProfileEntry {
+    Profile profile;
+    std::vector<ConjIdx> conjunctions;
+  };
+
+  void unlink_conjunction(ConjIdx idx);
+
+  std::vector<ConjEntry> conjunctions_;
+  std::vector<ConjIdx> free_list_;
+  std::size_t live_conjunctions_ = 0;
+
+  // attr -> value -> conjunction postings (may contain an index twice if a
+  // conjunction repeats the same equality predicate).
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<ConjIdx>>>
+      eq_index_;
+  std::vector<ConjIdx> zero_eq_;  // conjunctions with no hashable equality
+
+  std::unordered_map<ProfileId, ProfileEntry> by_profile_;
+
+  // Epoch-stamped hit counters, reset in O(1) per match.
+  mutable std::vector<std::uint32_t> hit_count_;
+  mutable std::vector<std::uint64_t> hit_epoch_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gsalert::profiles

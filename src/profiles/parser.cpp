@@ -1,0 +1,378 @@
+#include "profiles/parser.h"
+
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "retrieval/query_parser.h"
+
+namespace gsalert::profiles {
+
+namespace {
+
+// --- lexer ------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kWord,    // attribute or bare value
+    kString,  // "quoted"
+    kEq,      // =
+    kNeq,     // !=
+    kTilde,   // ~
+    kLBracket,
+    kRBracket,
+    kComma,
+    kLParen,
+    kRParen,
+    kAnd,
+    kOr,
+    kNot,
+    kIn,
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space();
+      if (pos_ >= input_.size()) break;
+      const char c = input_[pos_];
+      if (c == '(') {
+        out.push_back({Token::Kind::kLParen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({Token::Kind::kRParen, ")"});
+        ++pos_;
+      } else if (c == '[') {
+        out.push_back({Token::Kind::kLBracket, "["});
+        ++pos_;
+      } else if (c == ']') {
+        out.push_back({Token::Kind::kRBracket, "]"});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({Token::Kind::kComma, ","});
+        ++pos_;
+      } else if (c == '~') {
+        out.push_back({Token::Kind::kTilde, "~"});
+        ++pos_;
+      } else if (c == '=') {
+        out.push_back({Token::Kind::kEq, "="});
+        ++pos_;
+      } else if (c == '!' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '=') {
+        out.push_back({Token::Kind::kNeq, "!="});
+        pos_ += 2;
+      } else if (c == '"') {
+        ++pos_;
+        const std::size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != '"') ++pos_;
+        if (pos_ >= input_.size()) {
+          return Error{ErrorCode::kInvalidArgument, "unterminated string"};
+        }
+        out.push_back({Token::Kind::kString,
+                       std::string(input_.substr(start, pos_ - start))});
+        ++pos_;
+      } else if (is_word_char(c)) {
+        std::string word = read_word();
+        if (word == "AND") {
+          out.push_back({Token::Kind::kAnd, word});
+        } else if (word == "OR") {
+          out.push_back({Token::Kind::kOr, word});
+        } else if (word == "NOT") {
+          out.push_back({Token::Kind::kNot, word});
+        } else if (word == "IN") {
+          out.push_back({Token::Kind::kIn, word});
+        } else {
+          out.push_back({Token::Kind::kWord, std::move(word)});
+        }
+      } else {
+        return Error{ErrorCode::kInvalidArgument,
+                     std::string("unexpected character '") + c +
+                         "' in profile"};
+      }
+    }
+    out.push_back({Token::Kind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  static bool is_word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == '*' || c == '?' || c == ':';
+  }
+  void skip_space() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string read_word() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() && is_word_char(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+// --- boolean AST ----------------------------------------------------------
+
+struct BoolNode {
+  enum class Kind { kPred, kAnd, kOr, kNot };
+  Kind kind = Kind::kPred;
+  Predicate pred;
+  std::vector<std::unique_ptr<BoolNode>> children;
+};
+
+using NodePtr = std::unique_ptr<BoolNode>;
+
+NodePtr make_node(BoolNode::Kind kind) {
+  auto n = std::make_unique<BoolNode>();
+  n->kind = kind;
+  return n;
+}
+
+// --- parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<NodePtr> parse() {
+    auto node = parse_or();
+    if (!node.ok()) return node;
+    if (peek().kind != Token::Kind::kEnd) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "trailing tokens after profile"};
+    }
+    return node;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+
+  Result<NodePtr> parse_or() {
+    auto first = parse_and();
+    if (!first.ok()) return first;
+    if (peek().kind != Token::Kind::kOr) return first;
+    auto node = make_node(BoolNode::Kind::kOr);
+    node->children.push_back(std::move(first).take());
+    while (peek().kind == Token::Kind::kOr) {
+      take();
+      auto next = parse_and();
+      if (!next.ok()) return next;
+      node->children.push_back(std::move(next).take());
+    }
+    return NodePtr{std::move(node)};
+  }
+
+  Result<NodePtr> parse_and() {
+    auto first = parse_unary();
+    if (!first.ok()) return first;
+    if (peek().kind != Token::Kind::kAnd) return first;
+    auto node = make_node(BoolNode::Kind::kAnd);
+    node->children.push_back(std::move(first).take());
+    while (peek().kind == Token::Kind::kAnd) {
+      take();
+      auto next = parse_unary();
+      if (!next.ok()) return next;
+      node->children.push_back(std::move(next).take());
+    }
+    return NodePtr{std::move(node)};
+  }
+
+  Result<NodePtr> parse_unary() {
+    if (peek().kind == Token::Kind::kNot) {
+      take();
+      auto child = parse_unary();
+      if (!child.ok()) return child;
+      auto node = make_node(BoolNode::Kind::kNot);
+      node->children.push_back(std::move(child).take());
+      return NodePtr{std::move(node)};
+    }
+    if (peek().kind == Token::Kind::kLParen) {
+      take();
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      if (peek().kind != Token::Kind::kRParen) {
+        return Error{ErrorCode::kInvalidArgument, "missing ')'"};
+      }
+      take();
+      return inner;
+    }
+    return parse_predicate();
+  }
+
+  Result<NodePtr> parse_predicate() {
+    if (peek().kind != Token::Kind::kWord) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "expected attribute name, got '" + peek().text + "'"};
+    }
+    const std::string attribute = to_lower(take().text);
+    auto node = make_node(BoolNode::Kind::kPred);
+    Predicate& pred = node->pred;
+    pred.attribute = attribute;
+
+    switch (peek().kind) {
+      case Token::Kind::kEq:
+      case Token::Kind::kNeq: {
+        const bool neq = take().kind == Token::Kind::kNeq;
+        auto value = parse_value();
+        if (!value.ok()) return value.error();
+        pred.value = std::move(value).take();
+        const bool wild = pred.value.find('*') != std::string::npos ||
+                          pred.value.find('?') != std::string::npos;
+        pred.op = wild ? (neq ? Op::kNotWildcard : Op::kWildcard)
+                       : (neq ? Op::kNeq : Op::kEq);
+        break;
+      }
+      case Token::Kind::kIn: {
+        take();
+        if (take().kind != Token::Kind::kLBracket) {
+          return Error{ErrorCode::kInvalidArgument, "expected '[' after IN"};
+        }
+        pred.op = Op::kIn;
+        while (true) {
+          auto value = parse_value();
+          if (!value.ok()) return value.error();
+          pred.values.push_back(std::move(value).take());
+          if (peek().kind == Token::Kind::kComma) {
+            take();
+            continue;
+          }
+          break;
+        }
+        if (take().kind != Token::Kind::kRBracket) {
+          return Error{ErrorCode::kInvalidArgument, "expected ']'"};
+        }
+        break;
+      }
+      case Token::Kind::kTilde: {
+        take();
+        if (peek().kind != Token::Kind::kString) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "expected quoted query after '~'"};
+        }
+        auto query = retrieval::parse_query(take().text);
+        if (!query.ok()) return query.error();
+        pred.op = Op::kQuery;
+        pred.query = std::move(query).take();
+        break;
+      }
+      default:
+        return Error{ErrorCode::kInvalidArgument,
+                     "expected =, !=, IN or ~ after '" + attribute + "'"};
+    }
+    return NodePtr{std::move(node)};
+  }
+
+  Result<std::string> parse_value() {
+    if (peek().kind == Token::Kind::kWord ||
+        peek().kind == Token::Kind::kString) {
+      return to_lower(take().text);
+    }
+    return Error{ErrorCode::kInvalidArgument,
+                 "expected value, got '" + peek().text + "'"};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// --- DNF conversion ------------------------------------------------------------
+
+/// Push NOT down to predicates (De Morgan), eliminating kNot nodes.
+NodePtr push_negations(NodePtr node, bool negate) {
+  switch (node->kind) {
+    case BoolNode::Kind::kPred: {
+      if (negate) node->pred = node->pred.negated();
+      return node;
+    }
+    case BoolNode::Kind::kNot:
+      return push_negations(std::move(node->children.front()), !negate);
+    case BoolNode::Kind::kAnd:
+    case BoolNode::Kind::kOr: {
+      if (negate) {
+        node->kind = node->kind == BoolNode::Kind::kAnd
+                         ? BoolNode::Kind::kOr
+                         : BoolNode::Kind::kAnd;
+      }
+      for (auto& child : node->children) {
+        child = push_negations(std::move(child), negate);
+      }
+      return node;
+    }
+  }
+  return node;
+}
+
+Status to_dnf(const BoolNode& node, std::vector<Conjunction>& out) {
+  switch (node.kind) {
+    case BoolNode::Kind::kPred:
+      out.push_back(Conjunction{{node.pred}});
+      return Status::ok();
+    case BoolNode::Kind::kOr:
+      for (const auto& child : node.children) {
+        if (Status s = to_dnf(*child, out); !s.is_ok()) return s;
+        if (out.size() > kMaxConjunctions) {
+          return Status{ErrorCode::kInvalidArgument, "profile too complex"};
+        }
+      }
+      return Status::ok();
+    case BoolNode::Kind::kAnd: {
+      std::vector<Conjunction> acc{Conjunction{}};
+      for (const auto& child : node.children) {
+        std::vector<Conjunction> child_dnf;
+        if (Status s = to_dnf(*child, child_dnf); !s.is_ok()) return s;
+        std::vector<Conjunction> next;
+        next.reserve(acc.size() * child_dnf.size());
+        for (const auto& a : acc) {
+          for (const auto& b : child_dnf) {
+            Conjunction merged = a;
+            merged.preds.insert(merged.preds.end(), b.preds.begin(),
+                                b.preds.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        if (next.size() > kMaxConjunctions) {
+          return Status{ErrorCode::kInvalidArgument, "profile too complex"};
+        }
+        acc = std::move(next);
+      }
+      for (auto& c : acc) out.push_back(std::move(c));
+      return Status::ok();
+    }
+    case BoolNode::Kind::kNot:
+      return Status{ErrorCode::kInternal, "NOT not pushed down"};
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<Profile> parse_profile(std::string_view text) {
+  if (trim(text).empty()) {
+    return Error{ErrorCode::kInvalidArgument, "empty profile"};
+  }
+  auto tokens = Lexer{text}.run();
+  if (!tokens.ok()) return tokens.error();
+  auto ast = Parser{std::move(tokens).take()}.parse();
+  if (!ast.ok()) return ast.error();
+  NodePtr root = push_negations(std::move(ast).take(), /*negate=*/false);
+  Profile profile;
+  profile.text = std::string(text);
+  if (Status s = to_dnf(*root, profile.dnf); !s.is_ok()) return s.error();
+  return profile;
+}
+
+}  // namespace gsalert::profiles

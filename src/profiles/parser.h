@@ -1,0 +1,32 @@
+// Parser for the profile language (paper §5):
+//
+//   profile   := or
+//   or        := and ( "OR" and )*
+//   and       := unary ( "AND" unary )*
+//   unary     := "NOT" unary | "(" or ")" | predicate
+//   predicate := attr "=" value            equality (wildcard if * or ?)
+//              | attr "!=" value           inequality
+//              | attr "IN" "[" v, v… "]"   ID list (micro level)
+//              | attr "~" "query text"     filter query (micro level,
+//                                          reuses the retrieval language)
+//   value     := word | "quoted string"
+//
+// The result is normalized to DNF with negation pushed into predicates.
+// Attribute names and values are lowercased (matching is case-insensitive
+// throughout).
+#pragma once
+
+#include <string_view>
+
+#include "common/error.h"
+#include "profiles/profile.h"
+
+namespace gsalert::profiles {
+
+/// Upper bound on DNF conjunctions; parsing fails above it rather than
+/// letting a pathological profile blow up the matcher.
+inline constexpr std::size_t kMaxConjunctions = 128;
+
+Result<Profile> parse_profile(std::string_view text);
+
+}  // namespace gsalert::profiles

@@ -1,0 +1,218 @@
+#include "profiles/predicate.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gsalert::profiles {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNeq:
+      return "!=";
+    case Op::kWildcard:
+      return "=~";
+    case Op::kNotWildcard:
+      return "!~";
+    case Op::kIn:
+      return "IN";
+    case Op::kNotIn:
+      return "NOT IN";
+    case Op::kQuery:
+      return "~";
+    case Op::kNotQuery:
+      return "NOT ~";
+  }
+  return "?";
+}
+
+bool Predicate::is_doc_level() const {
+  if (op == Op::kQuery || op == Op::kNotQuery) return true;
+  return !is_macro_attribute(attribute);
+}
+
+namespace {
+
+bool value_op_matches(Op op, const Predicate& p, const std::string& value) {
+  switch (op) {
+    case Op::kEq:
+      return value == p.value;
+    case Op::kWildcard:
+      return wildcard_match(p.value, value);
+    case Op::kIn:
+      return std::find(p.values.begin(), p.values.end(), value) !=
+             p.values.end();
+    default:
+      return false;
+  }
+}
+
+/// Positive form of a doc-level predicate against one document.
+/// "doc_id" matches the document id; "text" matches terms; anything else
+/// matches metadata values (all comparisons lowercase).
+bool doc_matches_positive(Op op, const Predicate& p,
+                          const docmodel::Document& doc) {
+  if (op == Op::kQuery) return p.query != nullptr && p.query->matches(doc);
+  if (p.attribute == "doc_id") {
+    return value_op_matches(op, p, std::to_string(doc.id));
+  }
+  if (p.attribute == retrieval::kTextAttribute) {
+    return std::any_of(doc.terms.begin(), doc.terms.end(),
+                       [&](const std::string& t) {
+                         return value_op_matches(op, p, t);
+                       });
+  }
+  for (const auto& [attr, value] : doc.metadata.entries()) {
+    if (attr == p.attribute && value_op_matches(op, p, to_lower(value))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Op positive_form(Op op) {
+  switch (op) {
+    case Op::kNeq:
+      return Op::kEq;
+    case Op::kNotWildcard:
+      return Op::kWildcard;
+    case Op::kNotIn:
+      return Op::kIn;
+    case Op::kNotQuery:
+      return Op::kQuery;
+    default:
+      return op;
+  }
+}
+
+bool is_negative(Op op) {
+  return op == Op::kNeq || op == Op::kNotWildcard || op == Op::kNotIn ||
+         op == Op::kNotQuery;
+}
+
+}  // namespace
+
+bool Predicate::eval(const EventContext& ctx) const {
+  if (is_doc_level()) {
+    // Doc-level semantics: positive predicates need SOME document to match;
+    // negative predicates need NO document to match the positive form
+    // (e.g. NOT doc_id IN [7] = "the event does not touch document 7").
+    const Op pos = positive_form(op);
+    if (pos == Op::kQuery && ctx.engine() != nullptr && query != nullptr) {
+      // Index-based path (§5): run the query on the collection's inverted
+      // index and test whether any of the event's documents is a hit.
+      const retrieval::PostingList hits = ctx.engine()->search(*query);
+      const bool any = std::any_of(
+          ctx.docs().begin(), ctx.docs().end(),
+          [&](const docmodel::Document& d) {
+            return std::binary_search(hits.begin(), hits.end(), d.id);
+          });
+      return is_negative(op) ? !any : any;
+    }
+    if (pos == Op::kQuery) {
+      // No engine available: evaluate the query per document.
+      const bool any = std::any_of(
+          ctx.docs().begin(), ctx.docs().end(),
+          [&](const docmodel::Document& d) {
+            return doc_matches_positive(pos, *this, d);
+          });
+      return is_negative(op) ? !any : any;
+    }
+    // EQ / IN / wildcard over documents: answered from the per-event
+    // micro index, amortized across every candidate for this event.
+    const auto& index = ctx.doc_index().values;
+    const auto attr_it = index.find(attribute);
+    bool any = false;
+    if (attr_it != index.end()) {
+      switch (pos) {
+        case Op::kEq:
+          any = attr_it->second.contains(value);
+          break;
+        case Op::kIn:
+          any = std::any_of(values.begin(), values.end(),
+                            [&](const std::string& v) {
+                              return attr_it->second.contains(v);
+                            });
+          break;
+        case Op::kWildcard:
+          any = std::any_of(attr_it->second.begin(), attr_it->second.end(),
+                            [&](const auto& entry) {
+                              return wildcard_match(value, entry.first);
+                            });
+          break;
+        default:
+          break;
+      }
+    }
+    return is_negative(op) ? !any : any;
+  }
+  const std::string& actual = ctx.macro(attribute);
+  const bool positive = value_op_matches(positive_form(op), *this, actual);
+  return is_negative(op) ? !positive : positive;
+}
+
+Predicate Predicate::negated() const {
+  Predicate out = *this;
+  switch (op) {
+    case Op::kEq:
+      out.op = Op::kNeq;
+      break;
+    case Op::kNeq:
+      out.op = Op::kEq;
+      break;
+    case Op::kWildcard:
+      out.op = Op::kNotWildcard;
+      break;
+    case Op::kNotWildcard:
+      out.op = Op::kWildcard;
+      break;
+    case Op::kIn:
+      out.op = Op::kNotIn;
+      break;
+    case Op::kNotIn:
+      out.op = Op::kIn;
+      break;
+    case Op::kQuery:
+      out.op = Op::kNotQuery;
+      break;
+    case Op::kNotQuery:
+      out.op = Op::kQuery;
+      break;
+  }
+  return out;
+}
+
+std::string Predicate::str() const {
+  switch (op) {
+    case Op::kEq:
+      return attribute + " = " + value;
+    case Op::kNeq:
+      return attribute + " != " + value;
+    case Op::kWildcard:
+      return attribute + " = " + value;
+    case Op::kNotWildcard:
+      return "NOT " + attribute + " = " + value;
+    case Op::kIn:
+    case Op::kNotIn: {
+      std::string out =
+          (op == Op::kNotIn ? "NOT " : "") + attribute + " IN [";
+      const char* sep = "";
+      for (const auto& v : values) {
+        out += sep;
+        out += v;
+        sep = ", ";
+      }
+      return out + "]";
+    }
+    case Op::kQuery:
+      return attribute + " ~ \"" + (query ? query->str() : "") + "\"";
+    case Op::kNotQuery:
+      return "NOT " + attribute + " ~ \"" + (query ? query->str() : "") +
+             "\"";
+  }
+  return "";
+}
+
+}  // namespace gsalert::profiles

@@ -1,0 +1,34 @@
+#include "retrieval/classifier.h"
+
+#include <algorithm>
+
+namespace gsalert::retrieval {
+
+const std::vector<DocumentId> Classifier::kEmpty{};
+
+void Classifier::build(const docmodel::DataSet& data) {
+  buckets_.clear();
+  for (const auto& doc : data.docs()) {
+    for (const auto& value : doc.metadata.all(attribute_)) {
+      auto& bucket = buckets_[value];
+      const auto it =
+          std::lower_bound(bucket.begin(), bucket.end(), doc.id);
+      if (it == bucket.end() || *it != doc.id) bucket.insert(it, doc.id);
+    }
+  }
+}
+
+std::vector<std::string> Classifier::values() const {
+  std::vector<std::string> out;
+  out.reserve(buckets_.size());
+  for (const auto& [value, docs] : buckets_) out.push_back(value);
+  return out;
+}
+
+const std::vector<DocumentId>& Classifier::docs(
+    const std::string& value) const {
+  const auto it = buckets_.find(value);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+}  // namespace gsalert::retrieval

@@ -1,0 +1,40 @@
+// Browse classifiers: Greenstone presents collections not only through
+// search but through browsable hierarchies (by title, by creator, by
+// subject...). The alerting service's "watch this" button attaches to a
+// browse node, so classifiers are part of the substrate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "docmodel/document.h"
+
+namespace gsalert::retrieval {
+
+/// One classifier = one attribute; documents are grouped by value, values
+/// sorted lexicographically (Greenstone's AZList).
+class Classifier {
+ public:
+  explicit Classifier(std::string attribute) : attribute_(std::move(attribute)) {}
+
+  void build(const docmodel::DataSet& data);
+
+  const std::string& attribute() const { return attribute_; }
+
+  /// Sorted distinct values present in the collection.
+  std::vector<std::string> values() const;
+
+  /// Documents classified under a value (empty if unknown value).
+  const std::vector<DocumentId>& docs(const std::string& value) const;
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  std::string attribute_;
+  std::map<std::string, std::vector<DocumentId>> buckets_;
+  static const std::vector<DocumentId> kEmpty;
+};
+
+}  // namespace gsalert::retrieval

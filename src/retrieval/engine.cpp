@@ -1,0 +1,28 @@
+#include "retrieval/engine.h"
+
+namespace gsalert::retrieval {
+
+void Engine::build(const docmodel::Collection& collection) {
+  index_.build(collection.data, collection.config.indexed_attributes);
+  classifiers_.clear();
+  for (const auto& attr : collection.config.classifier_attributes) {
+    Classifier c{attr};
+    c.build(collection.data);
+    classifiers_.push_back(std::move(c));
+  }
+}
+
+Result<PostingList> Engine::search(std::string_view query_text) const {
+  auto query = parse_query(query_text);
+  if (!query.ok()) return query.error();
+  return index_.execute(*query.value());
+}
+
+const Classifier* Engine::classifier(std::string_view attribute) const {
+  for (const auto& c : classifiers_) {
+    if (c.attribute() == attribute) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace gsalert::retrieval

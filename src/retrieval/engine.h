@@ -1,0 +1,45 @@
+// The per-collection retrieval engine: the index plus the classifiers the
+// collection's designer configured. One engine per built collection lives
+// inside the Greenstone server.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "docmodel/collection.h"
+#include "retrieval/classifier.h"
+#include "retrieval/inverted_index.h"
+#include "retrieval/query_parser.h"
+
+namespace gsalert::retrieval {
+
+class Engine {
+ public:
+  /// (Re)build index and classifiers from the collection's config + data.
+  void build(const docmodel::Collection& collection);
+
+  /// Incrementally index one new document (classifiers are NOT updated;
+  /// Greenstone also defers classifier refresh to the next full build).
+  void add_document(const docmodel::Document& doc,
+                    const std::vector<std::string>& indexed_attributes) {
+    index_.add_document(doc, indexed_attributes);
+  }
+
+  /// Parse and execute a textual query.
+  Result<PostingList> search(std::string_view query_text) const;
+
+  /// Execute an already-parsed query.
+  PostingList search(const Query& query) const { return index_.execute(query); }
+
+  const InvertedIndex& index() const { return index_; }
+  const std::vector<Classifier>& classifiers() const { return classifiers_; }
+  const Classifier* classifier(std::string_view attribute) const;
+
+ private:
+  InvertedIndex index_;
+  std::vector<Classifier> classifiers_;
+};
+
+}  // namespace gsalert::retrieval

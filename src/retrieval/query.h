@@ -1,0 +1,64 @@
+// Boolean query AST over document attributes and full text. This is the
+// "collection's own retrieval functionality" the alerting service reuses
+// for micro-level filter queries (paper §5): the same Query type drives
+// both interactive search (via the inverted index) and profile filtering
+// (via direct per-document evaluation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "docmodel/document.h"
+
+namespace gsalert::retrieval {
+
+/// Pseudo-attribute naming the document's full text.
+inline constexpr std::string_view kTextAttribute = "text";
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+enum class QueryKind : std::uint8_t {
+  kTerm,      // attribute contains exact term (case-insensitive)
+  kWildcard,  // attribute value matches pattern with * / ?
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// Immutable query node. Shared (const) ownership lets profiles keep a
+/// parsed query alive while engines evaluate it concurrently.
+class Query {
+ public:
+  static QueryPtr term(std::string attribute, std::string term);
+  static QueryPtr wildcard(std::string attribute, std::string pattern);
+  static QueryPtr conj(std::vector<QueryPtr> children);  // AND
+  static QueryPtr disj(std::vector<QueryPtr> children);  // OR
+  static QueryPtr negate(QueryPtr child);                // NOT
+
+  QueryKind kind() const { return kind_; }
+  const std::string& attribute() const { return attribute_; }
+  const std::string& value() const { return value_; }
+  const std::vector<QueryPtr>& children() const { return children_; }
+
+  /// Evaluate directly against one document (used for filtering events).
+  /// Term queries match either a metadata value (case-insensitively, exact)
+  /// or a full-text term when attribute == "text".
+  bool matches(const docmodel::Document& doc) const;
+
+  /// Canonical text rendering (parseable back by the query parser).
+  std::string str() const;
+
+ private:
+  Query(QueryKind kind, std::string attribute, std::string value,
+        std::vector<QueryPtr> children);
+
+  QueryKind kind_;
+  std::string attribute_;
+  std::string value_;
+  std::vector<QueryPtr> children_;
+};
+
+}  // namespace gsalert::retrieval

@@ -1,0 +1,188 @@
+#include "retrieval/query_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace gsalert::retrieval {
+
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kAnd, kOr, kNot, kLParen, kRParen, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;  // for kWord: possibly "attr:value"
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_space();
+      if (pos_ >= input_.size()) break;
+      const char c = input_[pos_];
+      if (c == '(') {
+        tokens.push_back({Token::Kind::kLParen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({Token::Kind::kRParen, ")"});
+        ++pos_;
+      } else if (is_word_char(c)) {
+        std::string word = read_word();
+        if (word == "AND") {
+          tokens.push_back({Token::Kind::kAnd, word});
+        } else if (word == "OR") {
+          tokens.push_back({Token::Kind::kOr, word});
+        } else if (word == "NOT") {
+          tokens.push_back({Token::Kind::kNot, word});
+        } else {
+          tokens.push_back({Token::Kind::kWord, std::move(word)});
+        }
+      } else {
+        return Error{ErrorCode::kInvalidArgument,
+                     std::string("unexpected character '") + c + "' in query"};
+      }
+    }
+    tokens.push_back({Token::Kind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  static bool is_word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
+           c == '*' || c == '?' || c == '_' || c == '-' || c == '.';
+  }
+  void skip_space() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string read_word() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() && is_word_char(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryPtr> parse() {
+    auto q = parse_or();
+    if (!q.ok()) return q;
+    if (peek().kind != Token::Kind::kEnd) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "trailing tokens after query"};
+    }
+    return q;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+
+  Result<QueryPtr> parse_or() {
+    std::vector<QueryPtr> parts;
+    auto first = parse_and();
+    if (!first.ok()) return first;
+    parts.push_back(std::move(first).take());
+    while (peek().kind == Token::Kind::kOr) {
+      take();
+      auto next = parse_and();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).take());
+    }
+    return Query::disj(std::move(parts));
+  }
+
+  Result<QueryPtr> parse_and() {
+    std::vector<QueryPtr> parts;
+    auto first = parse_unary();
+    if (!first.ok()) return first;
+    parts.push_back(std::move(first).take());
+    while (true) {
+      if (peek().kind == Token::Kind::kAnd) {
+        take();
+      } else if (peek().kind == Token::Kind::kWord ||
+                 peek().kind == Token::Kind::kNot ||
+                 peek().kind == Token::Kind::kLParen) {
+        // juxtaposition: "digital library" == digital AND library
+      } else {
+        break;
+      }
+      auto next = parse_unary();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).take());
+    }
+    return Query::conj(std::move(parts));
+  }
+
+  Result<QueryPtr> parse_unary() {
+    if (peek().kind == Token::Kind::kNot) {
+      take();
+      auto child = parse_unary();
+      if (!child.ok()) return child;
+      return Query::negate(std::move(child).take());
+    }
+    if (peek().kind == Token::Kind::kLParen) {
+      take();
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      if (peek().kind != Token::Kind::kRParen) {
+        return Error{ErrorCode::kInvalidArgument, "missing ')'"};
+      }
+      take();
+      return inner;
+    }
+    if (peek().kind == Token::Kind::kWord) {
+      return parse_leaf(take().text);
+    }
+    return Error{ErrorCode::kInvalidArgument,
+                 "expected term, NOT or '(' in query"};
+  }
+
+  Result<QueryPtr> parse_leaf(const std::string& word) {
+    std::string attribute{kTextAttribute};
+    std::string value = word;
+    const std::size_t colon = word.find(':');
+    if (colon != std::string::npos) {
+      attribute = word.substr(0, colon);
+      value = word.substr(colon + 1);
+    }
+    if (value.empty() || attribute.empty()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "malformed term: '" + word + "'"};
+    }
+    if (value.find('*') != std::string::npos ||
+        value.find('?') != std::string::npos) {
+      return Query::wildcard(std::move(attribute), std::move(value));
+    }
+    return Query::term(std::move(attribute), std::move(value));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> parse_query(std::string_view text) {
+  if (trim(text).empty()) {
+    return Error{ErrorCode::kInvalidArgument, "empty query"};
+  }
+  auto tokens = Lexer{text}.run();
+  if (!tokens.ok()) return tokens.error();
+  return Parser{std::move(tokens).take()}.parse();
+}
+
+}  // namespace gsalert::retrieval

@@ -1,0 +1,22 @@
+// Parser for the query language:
+//
+//   query   := or
+//   or      := and ( "OR" and )*
+//   and     := unary ( "AND" unary )*     (juxtaposition also means AND)
+//   unary   := "NOT" unary | "(" query ")" | leaf
+//   leaf    := [attribute ":"] word       (word with * or ? is a wildcard)
+//
+// Attribute defaults to "text" (full-text search), matching how Greenstone
+// search boxes behave.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.h"
+#include "retrieval/query.h"
+
+namespace gsalert::retrieval {
+
+Result<QueryPtr> parse_query(std::string_view text);
+
+}  // namespace gsalert::retrieval

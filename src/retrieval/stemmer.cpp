@@ -1,0 +1,116 @@
+#include "retrieval/stemmer.h"
+
+#include "common/strings.h"
+
+namespace gsalert::retrieval {
+
+namespace {
+
+bool ends_with(std::string_view word, std::string_view suffix) {
+  return word.size() >= suffix.size() &&
+         word.substr(word.size() - suffix.size()) == suffix;
+}
+
+bool is_vowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool has_vowel(std::string_view word) {
+  for (char c : word) {
+    if (is_vowel(c)) return true;
+  }
+  return false;
+}
+
+/// Porter's measure: the number of vowel->consonant transitions in the
+/// stem ("docu" has m=1, "manage" m=2). Suffix rules require a minimum
+/// measure so that e.g. "document" is not stripped to "docu".
+int measure(std::string_view word) {
+  int m = 0;
+  bool in_vowel_run = false;
+  for (char c : word) {
+    if (is_vowel(c)) {
+      in_vowel_run = true;
+    } else {
+      if (in_vowel_run) ++m;
+      in_vowel_run = false;
+    }
+  }
+  return m;
+}
+
+/// Strip `suffix` if the remaining stem keeps a vowel and has at least
+/// `min_measure`. Returns true if applied.
+bool strip(std::string& word, std::string_view suffix,
+           int min_measure = 0) {
+  if (!ends_with(word, suffix)) return false;
+  const std::string_view stem_part =
+      std::string_view(word).substr(0, word.size() - suffix.size());
+  if (stem_part.size() < 2 || !has_vowel(stem_part)) return false;
+  if (measure(stem_part) < min_measure) return false;
+  word.resize(word.size() - suffix.size());
+  return true;
+}
+
+}  // namespace
+
+std::string stem(std::string_view input) {
+  std::string word(input);
+  if (word.size() < 3) return word;
+
+  // Step 1a — plurals.
+  if (ends_with(word, "sses")) {
+    word.resize(word.size() - 2);
+  } else if (ends_with(word, "ies")) {
+    word.resize(word.size() - 2);  // "libraries" -> "librari" -> step 1c
+  } else if (ends_with(word, "ss")) {
+    // keep
+  } else if (ends_with(word, "s") && !ends_with(word, "us") &&
+             !ends_with(word, "is")) {
+    word.resize(word.size() - 1);
+  }
+
+  // Step 1b — -ed / -ing.
+  if (strip(word, "ing") || strip(word, "ed")) {
+    // Undouble a final consonant ("stopped" -> "stopp" -> "stop").
+    if (word.size() >= 2 && word[word.size() - 1] == word[word.size() - 2] &&
+        !is_vowel(word.back()) && word.back() != 'l' && word.back() != 's') {
+      word.pop_back();
+    }
+    // Restore a silent e for -ate/-ble style stems ("creating" ->
+    // "creat" -> "create").
+    if (ends_with(word, "at") || ends_with(word, "bl") ||
+        ends_with(word, "iz")) {
+      word.push_back('e');
+    }
+  }
+
+  // Step 1c — terminal y after a consonant becomes i ("alerti" ==
+  // "alerty" family collapses with "ies" plurals).
+  if (word.size() > 2 && word.back() == 'y' &&
+      !is_vowel(word[word.size() - 2])) {
+    word.back() = 'i';
+  }
+
+  // A few common derivational suffixes (subset of Porter steps 2-4):
+  // ization -> ize, ation -> ate, and plain removals. The measure
+  // conditions are Porter's (-ment needs m>1, so "document" survives).
+  if (strip(word, "ization", 1)) {
+    word += "ize";
+  } else if (strip(word, "ation", 1)) {
+    word += "ate";
+  }
+  strip(word, "ness", 1);
+  strip(word, "ment", 2);
+  strip(word, "ful", 1);
+
+  return word;
+}
+
+std::vector<std::string> tokenize_stemmed(std::string_view text) {
+  std::vector<std::string> terms = tokenize(text);
+  for (std::string& t : terms) t = stem(t);
+  return terms;
+}
+
+}  // namespace gsalert::retrieval

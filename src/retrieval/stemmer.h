@@ -1,0 +1,22 @@
+// A simplified English suffix-stripping stemmer (Porter steps 1a/1b/1c
+// plus a few common derivational suffixes). Greenstone's MG indexer stems
+// at ingestion time; this reproduction does the same: apply stem() when
+// tokenizing documents AND when authoring queries/profiles, so matching
+// stays consistent everywhere (stemming at query time only would make
+// engine-backed and per-document filtering disagree).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsalert::retrieval {
+
+/// Stem one lowercase token. Tokens shorter than 3 characters are
+/// returned unchanged.
+std::string stem(std::string_view word);
+
+/// Tokenize free text (common/strings.h tokenize) and stem each term.
+std::vector<std::string> tokenize_stemmed(std::string_view text);
+
+}  // namespace gsalert::retrieval

@@ -1,0 +1,178 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gsalert::sim {
+
+void Network::register_node(std::string name, std::unique_ptr<Node> node) {
+  assert(node != nullptr);
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size() + 1)};
+  node->id_ = id;
+  node->name_ = name;
+  node->network_ = this;
+  if (!by_name_.emplace(std::move(name), id).second) {
+    throw std::invalid_argument("duplicate node name: " + node->name_);
+  }
+  nodes_.push_back(std::move(node));
+  up_.push_back(true);
+  node_stats_.emplace_back();
+}
+
+void Network::start() {
+  for (auto& node : nodes_) {
+    scheduler_.schedule_after(SimTime::zero(), [n = node.get()] {
+      n->on_start();
+    });
+  }
+}
+
+std::uint64_t Network::pair_key(NodeId a, NodeId b) {
+  std::uint32_t lo = a.value(), hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+void Network::set_path(NodeId a, NodeId b, PathConfig config) {
+  path_overrides_[pair_key(a, b)] = config;
+}
+
+const PathConfig& Network::path_for(NodeId a, NodeId b) const {
+  const auto it = path_overrides_.find(pair_key(a, b));
+  return it == path_overrides_.end() ? default_path_ : it->second;
+}
+
+void Network::crash(NodeId node) {
+  assert(node.value() >= 1 && node.value() <= nodes_.size());
+  up_[node.value() - 1] = false;
+}
+
+void Network::restart(NodeId node) {
+  assert(node.value() >= 1 && node.value() <= nodes_.size());
+  if (up_[node.value() - 1]) return;
+  up_[node.value() - 1] = true;
+  scheduler_.schedule_after(SimTime::zero(),
+                            [n = nodes_[node.value() - 1].get()] {
+                              n->on_restart();
+                            });
+}
+
+bool Network::is_up(NodeId node) const {
+  if (!node.valid() || node.value() > nodes_.size()) return false;
+  return up_[node.value() - 1];
+}
+
+void Network::block_pair(NodeId a, NodeId b) {
+  blocked_.insert(pair_key(a, b));
+}
+
+void Network::unblock_pair(NodeId a, NodeId b) {
+  blocked_.erase(pair_key(a, b));
+}
+
+bool Network::is_blocked(NodeId a, NodeId b) const {
+  if (blocked_.contains(pair_key(a, b))) return true;
+  if (partition_active_) {
+    const auto ga = partition_group_.find(a.value());
+    const auto gb = partition_group_.find(b.value());
+    const int group_a = ga == partition_group_.end() ? 0 : ga->second;
+    const int group_b = gb == partition_group_.end() ? 0 : gb->second;
+    if (group_a != group_b) return true;
+  }
+  return false;
+}
+
+void Network::set_partition(const std::vector<std::vector<NodeId>>& groups) {
+  partition_group_.clear();
+  int group = 1;
+  for (const auto& members : groups) {
+    for (NodeId id : members) partition_group_[id.value()] = group;
+    ++group;
+  }
+  partition_active_ = true;
+}
+
+void Network::clear_partition() {
+  partition_group_.clear();
+  partition_active_ = false;
+}
+
+bool Network::send(NodeId from, NodeId to, Packet packet) {
+  if (!is_up(from)) return false;
+  stats_.sent += 1;
+  stats_.bytes_sent += packet.size();
+  auto& sender = node_stats_[from.value() - 1];
+  sender.sent += 1;
+  sender.bytes_sent += packet.size();
+
+  if (!to.valid() || to.value() > nodes_.size()) {
+    stats_.dropped_down += 1;
+    return false;
+  }
+  if (is_blocked(from, to)) {
+    stats_.dropped_blocked += 1;
+    return false;
+  }
+  if (!is_up(to)) {
+    stats_.dropped_down += 1;
+    return false;
+  }
+  const PathConfig& path = path_for(from, to);
+  if (path.loss > 0.0 && rng_.chance(path.loss)) {
+    stats_.dropped_loss += 1;
+    return false;
+  }
+  SimTime delay = path.latency;
+  if (path.jitter > SimTime::zero()) {
+    delay += SimTime::micros(
+        rng_.uniform_int(0, path.jitter.as_micros()));
+  }
+  scheduler_.schedule_after(
+      delay, [this, from, to, p = std::move(packet)]() mutable {
+        // Re-check state at arrival: the destination may have crashed or a
+        // partition formed while the packet was in flight.
+        if (!is_up(to) ) {
+          stats_.dropped_down += 1;
+          return;
+        }
+        if (is_blocked(from, to)) {
+          stats_.dropped_blocked += 1;
+          return;
+        }
+        stats_.delivered += 1;
+        auto& receiver = node_stats_[to.value() - 1];
+        receiver.received += 1;
+        receiver.bytes_received += p.size();
+        nodes_[to.value() - 1]->on_packet(from, p);
+      });
+  return true;
+}
+
+void Network::set_timer(NodeId node, SimTime delay, std::uint64_t token) {
+  scheduler_.schedule_after(delay, [this, node, token] {
+    if (!is_up(node)) return;
+    nodes_[node.value() - 1]->on_timer(token);
+  });
+}
+
+Node* Network::node(NodeId id) const {
+  if (!id.valid() || id.value() > nodes_.size()) return nullptr;
+  return nodes_[id.value() - 1].get();
+}
+
+NodeId Network::find_node(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? NodeId::invalid() : it->second;
+}
+
+void Network::reset_stats() {
+  stats_ = NetStats{};
+  for (auto& s : node_stats_) s = NodeStats{};
+}
+
+const NodeStats& Network::node_stats(NodeId id) const {
+  assert(id.valid() && id.value() <= nodes_.size());
+  return node_stats_[id.value() - 1];
+}
+
+}  // namespace gsalert::sim

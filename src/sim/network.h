@@ -1,0 +1,146 @@
+// The simulated network: owns nodes, delivers packets with configurable
+// latency/loss, and models failures (node crashes, blocked pairs,
+// partitions). Connectivity is internet-like: any node may address any
+// other; failures subtract reachability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/node.h"
+#include "sim/scheduler.h"
+
+namespace gsalert::sim {
+
+/// Transmission characteristics for a path.
+struct PathConfig {
+  SimTime latency = SimTime::millis(10);  // base one-way latency
+  SimTime jitter = SimTime::zero();       // uniform extra in [0, jitter]
+  double loss = 0.0;                      // drop probability per packet
+};
+
+/// Aggregate counters over the whole network.
+struct NetStats {
+  std::uint64_t sent = 0;            // send() calls that found a live sender
+  std::uint64_t delivered = 0;       // packets handed to on_packet
+  std::uint64_t dropped_loss = 0;    // random loss
+  std::uint64_t dropped_down = 0;    // destination crashed (at send or arrival)
+  std::uint64_t dropped_blocked = 0; // blocked pair / partition
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Per-node counters (index by NodeId).
+struct NodeStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Add a node; the network takes ownership. Returns a pointer of the
+  /// concrete type for direct driving from tests and workloads.
+  template <typename T>
+  T* add_node(std::string name, std::unique_ptr<T> node) {
+    T* raw = node.get();
+    register_node(std::move(name), std::move(node));
+    return raw;
+  }
+
+  /// Construct a node in place.
+  template <typename T, typename... Args>
+  T* make_node(std::string name, Args&&... args) {
+    return add_node(std::move(name),
+                    std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  /// Invoke on_start on every node (in id order). Call once after setup.
+  void start();
+
+  Scheduler& scheduler() { return scheduler_; }
+  SimTime now() const { return scheduler_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Default path characteristics for pairs without an override.
+  void set_default_path(PathConfig config) { default_path_ = config; }
+  /// Override characteristics for a specific unordered pair.
+  void set_path(NodeId a, NodeId b, PathConfig config);
+
+  /// --- Failure injection ------------------------------------------------
+  /// Crash: node stops sending/receiving; in-flight packets to it drop.
+  void crash(NodeId node);
+  /// Restart a crashed node (on_restart is invoked).
+  void restart(NodeId node);
+  bool is_up(NodeId node) const;
+
+  /// Block/unblock communication between an unordered pair.
+  void block_pair(NodeId a, NodeId b);
+  void unblock_pair(NodeId a, NodeId b);
+  bool is_blocked(NodeId a, NodeId b) const;
+
+  /// Partition the network into groups: traffic crossing group boundaries
+  /// drops. Nodes absent from all groups land in implicit group 0.
+  void set_partition(const std::vector<std::vector<NodeId>>& groups);
+  void clear_partition();
+
+  /// --- Messaging ----------------------------------------------------------
+  /// Send a packet; returns false if it was dropped at send time (sender or
+  /// destination down, pair blocked/partitioned) — callers treat the result
+  /// as best-effort information only, matching the GDS delivery contract.
+  bool send(NodeId from, NodeId to, Packet packet);
+
+  /// Arrange for node's on_timer(token) to fire after `delay` (skipped if
+  /// the node is down at fire time).
+  void set_timer(NodeId node, SimTime delay, std::uint64_t token);
+
+  /// --- Introspection ------------------------------------------------------
+  Node* node(NodeId id) const;
+  NodeId find_node(const std::string& name) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  const NetStats& stats() const { return stats_; }
+  void reset_stats();
+  const NodeStats& node_stats(NodeId id) const;
+
+  /// Run until the event queue drains or `max_events` executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX) {
+    return scheduler_.run(max_events);
+  }
+  std::size_t run_until(SimTime deadline) {
+    return scheduler_.run_until(deadline);
+  }
+
+ private:
+  void register_node(std::string name, std::unique_ptr<Node> node);
+  const PathConfig& path_for(NodeId a, NodeId b) const;
+  static std::uint64_t pair_key(NodeId a, NodeId b);
+
+  Scheduler scheduler_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  std::vector<bool> up_;
+  std::vector<NodeStats> node_stats_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::unordered_map<std::uint64_t, PathConfig> path_overrides_;
+  std::unordered_set<std::uint64_t> blocked_;
+  std::unordered_map<std::uint32_t, int> partition_group_;  // id -> group
+  bool partition_active_ = false;
+  PathConfig default_path_;
+  NetStats stats_;
+};
+
+}  // namespace gsalert::sim

@@ -1,0 +1,55 @@
+// Base class for all simulated actors (Greenstone servers, GDS servers,
+// receptionists, clients, baseline brokers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gsalert::sim {
+
+class Network;
+
+/// A packet is an opaque byte payload — upper layers serialize wire
+/// envelopes into it. The simulator charges bytes for accounting but never
+/// inspects the content.
+struct Packet {
+  std::vector<std::byte> bytes;
+
+  std::size_t size() const { return bytes.size(); }
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once when the simulation starts (Network::start).
+  virtual void on_start() {}
+
+  /// A packet arrived from `from` (delivery already paid latency/loss).
+  virtual void on_packet(NodeId from, const Packet& packet) = 0;
+
+  /// A timer set via Network::set_timer fired.
+  virtual void on_timer(std::uint64_t /*token*/) {}
+
+  /// The node was restarted after a crash. Volatile state was NOT cleared
+  /// automatically — subclasses model their own durability semantics.
+  virtual void on_restart() {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ protected:
+  Network& network() const { return *network_; }
+
+ private:
+  friend class Network;
+  NodeId id_{};
+  std::string name_;
+  Network* network_ = nullptr;
+};
+
+}  // namespace gsalert::sim

@@ -1,0 +1,44 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace gsalert::sim {
+
+void Scheduler::schedule_after(SimTime delay, Action action) {
+  if (delay < SimTime::zero()) delay = SimTime::zero();
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Scheduler::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < limit) {
+    // priority_queue::top returns const&; move out via const_cast-free copy
+    // of the action by re-popping: take a copy of the entry then pop.
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace gsalert::sim

@@ -1,0 +1,58 @@
+// Deterministic discrete-event scheduler: a virtual clock plus an ordered
+// queue of callbacks. Ties at the same timestamp are broken by insertion
+// order, so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gsalert::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `action` to run `delay` after the current time.
+  /// Negative delays are clamped to zero.
+  void schedule_after(SimTime delay, Action action);
+
+  /// Schedule at an absolute time (>= now, clamped otherwise).
+  void schedule_at(SimTime when, Action action);
+
+  /// Run events until the queue is empty or `limit` events ran.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run all events with timestamp <= deadline (events scheduled during
+  /// execution are included if they fall within the deadline). Advances
+  /// the clock to `deadline` even if the queue drains earlier.
+  std::size_t run_until(SimTime deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace gsalert::sim

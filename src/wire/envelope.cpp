@@ -1,0 +1,42 @@
+#include "wire/envelope.h"
+
+namespace gsalert::wire {
+
+sim::Packet Envelope::pack() const {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(type));
+  w.str(src);
+  w.str(dst);
+  w.u64(msg_id);
+  w.u16(ttl);
+  w.bytes(body);
+  return sim::Packet{std::move(w).take()};
+}
+
+Result<Envelope> unpack(const sim::Packet& packet) {
+  Reader r{packet.bytes};
+  Envelope env;
+  env.type = static_cast<MessageType>(r.u16());
+  env.src = r.str();
+  env.dst = r.str();
+  env.msg_id = r.u64();
+  env.ttl = r.u16();
+  env.body = r.bytes();
+  if (!r.done()) {
+    return Error{ErrorCode::kDecodeFailure, "malformed envelope"};
+  }
+  return env;
+}
+
+Envelope make_envelope(MessageType type, std::string src, std::string dst,
+                       std::uint64_t msg_id, Writer body) {
+  Envelope env;
+  env.type = type;
+  env.src = std::move(src);
+  env.dst = std::move(dst);
+  env.msg_id = msg_id;
+  env.body = std::move(body).take();
+  return env;
+}
+
+}  // namespace gsalert::wire

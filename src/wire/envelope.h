@@ -1,0 +1,35 @@
+// The wire envelope: every simulated packet is one encoded Envelope.
+// src/dst are *names*, not addresses — the GDS forwards messages between
+// servers "without the servers having to be aware of the identity of the
+// recipient" (paper §6); an empty dst means broadcast/hop-local.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/node.h"
+#include "wire/codec.h"
+#include "wire/message_types.h"
+
+namespace gsalert::wire {
+
+struct Envelope {
+  MessageType type = MessageType::kInvalid;
+  std::string src;            // logical name of the originating server
+  std::string dst;            // logical destination name ("" = hop-local)
+  std::uint64_t msg_id = 0;   // per-sender unique id (dedup / acks)
+  std::uint16_t ttl = 64;     // hop budget; decremented by forwarders
+  std::vector<std::byte> body;
+
+  sim::Packet pack() const;
+};
+
+Result<Envelope> unpack(const sim::Packet& packet);
+
+/// Helper: build an envelope around an already-encoded body.
+Envelope make_envelope(MessageType type, std::string src, std::string dst,
+                       std::uint64_t msg_id, Writer body);
+
+}  // namespace gsalert::wire

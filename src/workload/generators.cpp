@@ -1,0 +1,198 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace gsalert::workload {
+
+namespace {
+
+const std::vector<std::string> kAttributePool = {
+    "title",   "creator", "subject",  "publisher", "language",
+    "format",  "genre",   "audience", "rights",    "coverage"};
+
+const std::vector<std::string> kValueStems = {
+    "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",
+    "eta",   "theta", "iota",  "kappa", "lambda",  "mu"};
+
+std::string term_for(std::size_t rank) { return "term" + std::to_string(rank); }
+
+}  // namespace
+
+MetadataSchema MetadataSchema::for_host(const std::string& host,
+                                        std::uint64_t seed) {
+  // Deterministic per-host schema: hash the host name into the choice of
+  // attributes and value-pool sizes.
+  Rng rng{seed ^ std::hash<std::string>{}(host)};
+  MetadataSchema schema;
+  // Every host has title+creator (the common DL core); 1-3 extra
+  // attributes differ per installation.
+  schema.attributes = {"title", "creator"};
+  const int extras = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < extras; ++i) {
+    const std::string& attr = kAttributePool[rng.index(kAttributePool.size())];
+    if (std::find(schema.attributes.begin(), schema.attributes.end(), attr) ==
+        schema.attributes.end()) {
+      schema.attributes.push_back(attr);
+    }
+  }
+  for (const std::string& attr : schema.attributes) {
+    std::vector<std::string> pool;
+    const int n = static_cast<int>(rng.uniform_int(4, 10));
+    for (int i = 0; i < n; ++i) {
+      pool.push_back(attr + "-" + kValueStems[rng.index(kValueStems.size())] +
+                     std::to_string(i));
+    }
+    schema.values.push_back(std::move(pool));
+  }
+  return schema;
+}
+
+docmodel::Document CollectionGen::make_document(DocumentId id) {
+  docmodel::Document doc;
+  doc.id = id;
+  for (std::size_t a = 0; a < schema_.attributes.size(); ++a) {
+    doc.metadata.add(schema_.attributes[a],
+                     schema_.values[a][rng_.index(schema_.values[a].size())]);
+  }
+  doc.terms.reserve(static_cast<std::size_t>(config_.terms_per_doc));
+  for (int t = 0; t < config_.terms_per_doc; ++t) {
+    doc.terms.push_back(term_for(
+        rng_.zipf(static_cast<std::size_t>(config_.vocabulary),
+                  config_.zipf_s)));
+  }
+  return doc;
+}
+
+docmodel::DataSet CollectionGen::make_data_set(DocumentId first_id,
+                                               int count) {
+  docmodel::DataSet ds;
+  for (int i = 0; i < count; ++i) {
+    ds.add(make_document(first_id + static_cast<DocumentId>(i)));
+  }
+  return ds;
+}
+
+docmodel::CollectionConfig CollectionGen::make_config(
+    const std::string& name) {
+  docmodel::CollectionConfig config;
+  config.name = name;
+  config.indexed_attributes = schema_.attributes;
+  config.classifier_attributes = {schema_.attributes.front()};
+  return config;
+}
+
+ProfileKind ProfileGen::pick_kind() {
+  const double total = std::accumulate(config_.kind_weights.begin(),
+                                       config_.kind_weights.end(), 0.0);
+  double draw = rng_.uniform() * total;
+  for (std::size_t i = 0; i < config_.kind_weights.size(); ++i) {
+    draw -= config_.kind_weights[i];
+    if (draw <= 0) return static_cast<ProfileKind>(i);
+  }
+  return ProfileKind::kCollectionWatch;
+}
+
+std::string ProfileGen::make_profile(
+    const std::vector<std::string>& hosts,
+    const std::vector<CollectionRef>& collections,
+    const std::vector<MetadataSchema>& schemas) {
+  assert(!hosts.empty() && !collections.empty());
+  const std::size_t host_i = rng_.index(hosts.size());
+  const CollectionRef& coll =
+      collections[rng_.zipf(collections.size(), config_.collection_zipf_s)];
+  const std::string scope = rng_.chance(config_.scope_probability)
+                                ? "ref = " + coll.str() + " AND "
+                                : "";
+  switch (pick_kind()) {
+    case ProfileKind::kHostWatch:
+      return "host = " + hosts[host_i];
+    case ProfileKind::kCollectionWatch:
+      return "ref = " + coll.str();
+    case ProfileKind::kTypeWatch:
+      return "host = " + hosts[host_i] +
+             (rng_.chance(0.5) ? " AND type = collection_rebuilt"
+                               : " AND type = collection_built");
+    case ProfileKind::kMetadataWatch: {
+      const MetadataSchema& schema = schemas[host_i % schemas.size()];
+      const std::size_t a = rng_.index(schema.attributes.size());
+      return scope + schema.attributes[a] + " = " +
+             schema.values[a][rng_.index(schema.values[a].size())];
+    }
+    case ProfileKind::kQueryWatch: {
+      const std::size_t r1 = rng_.zipf(200, 1.0);
+      const std::size_t r2 = rng_.zipf(200, 1.0);
+      if (rng_.chance(0.5)) {
+        return scope + "doc ~ \"" + term_for(r1) + " OR " + term_for(r2) +
+               "\"";
+      }
+      return scope + "doc ~ \"" + term_for(r1) + "\"";
+    }
+    case ProfileKind::kDocWatch: {
+      std::string ids;
+      const int n = static_cast<int>(rng_.uniform_int(1, 3));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) ids += ", ";
+        ids += std::to_string(rng_.uniform_int(1, 2000));
+      }
+      return scope + "doc_id IN [" + ids + "]";
+    }
+  }
+  return "ref = " + coll.str();
+}
+
+std::vector<std::vector<int>> GsTopology::components() const {
+  std::vector<int> parent(static_cast<std::size_t>(n_servers));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : links) {
+    parent[static_cast<std::size_t>(find(a))] = find(b);
+  }
+  std::vector<std::vector<int>> comps(static_cast<std::size_t>(n_servers));
+  for (int i = 0; i < n_servers; ++i) {
+    comps[static_cast<std::size_t>(find(i))].push_back(i);
+  }
+  std::erase_if(comps, [](const auto& c) { return c.empty(); });
+  return comps;
+}
+
+GsTopology make_topology(Rng& rng, int n_servers, TopologyGenConfig config) {
+  GsTopology topo;
+  topo.n_servers = n_servers;
+  std::vector<int> order(static_cast<std::size_t>(n_servers));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  const int n_linked = static_cast<int>(
+      static_cast<double>(n_servers) * (1.0 - config.solitary_fraction));
+  int i = 0;
+  while (i < n_linked) {
+    const int island_end = std::min(
+        i + std::max(2, static_cast<int>(rng.uniform_int(
+                            2, std::max(2, config.island_size)))),
+        n_linked);
+    if (island_end - i < 2) break;
+    // Chain the island's servers, optionally closing the cycle.
+    for (int j = i; j + 1 < island_end; ++j) {
+      topo.links.emplace_back(order[static_cast<std::size_t>(j)],
+                              order[static_cast<std::size_t>(j + 1)]);
+    }
+    if (island_end - i >= 3 && rng.chance(config.cycle_probability)) {
+      topo.links.emplace_back(order[static_cast<std::size_t>(i)],
+                              order[static_cast<std::size_t>(island_end - 1)]);
+    }
+    i = island_end;
+  }
+  return topo;
+}
+
+}  // namespace gsalert::workload

@@ -1,0 +1,111 @@
+// Synthetic workload generators standing in for real library collections,
+// users and the public Greenstone server population (DESIGN.md §4).
+// Everything is driven by a seeded Rng, so workloads are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "docmodel/collection.h"
+#include "docmodel/document.h"
+
+namespace gsalert::workload {
+
+/// Heterogeneity (paper §1, challenge 6): each host draws its own metadata
+/// schema — attribute names and value pools differ across installations.
+struct MetadataSchema {
+  std::vector<std::string> attributes;            // e.g. {"title","creator"}
+  std::vector<std::vector<std::string>> values;   // value pool per attribute
+
+  /// Derive a schema for `host` deterministically from the seed.
+  static MetadataSchema for_host(const std::string& host, std::uint64_t seed);
+};
+
+struct CollectionGenConfig {
+  int docs = 20;
+  int terms_per_doc = 12;
+  int vocabulary = 500;
+  double zipf_s = 1.1;  // term popularity skew
+};
+
+class CollectionGen {
+ public:
+  CollectionGen(Rng& rng, MetadataSchema schema, CollectionGenConfig config)
+      : rng_(rng), schema_(std::move(schema)), config_(config) {}
+
+  docmodel::Document make_document(DocumentId id);
+  docmodel::DataSet make_data_set(DocumentId first_id, int count);
+  /// A full collection config indexing every schema attribute.
+  docmodel::CollectionConfig make_config(const std::string& name);
+
+  const MetadataSchema& schema() const { return schema_; }
+
+ private:
+  Rng& rng_;
+  MetadataSchema schema_;
+  CollectionGenConfig config_;
+};
+
+/// Kinds of user profiles the generator produces, mirroring §5's usage
+/// modes (alerting as continuous searching and browsing).
+enum class ProfileKind {
+  kHostWatch,        // host = X
+  kCollectionWatch,  // ref = X.Y (continuous browsing of a collection)
+  kTypeWatch,        // host = X AND type = t
+  kMetadataWatch,    // creator = v (continuous browsing of a classifier)
+  kQueryWatch,       // doc ~ "…" (continuous searching)
+  kDocWatch,         // doc_id IN […] ("watch this" button)
+};
+
+struct ProfileGenConfig {
+  /// Probability weights for the kinds above (normalized internally).
+  std::vector<double> kind_weights = {1, 3, 1, 2, 2, 1};
+  double collection_zipf_s = 0.9;  // popularity skew over collections
+  /// Probability that a micro-level watch (metadata/query/doc) is scoped
+  /// to one collection ("ref = X AND …") — how real users subscribe: they
+  /// watch a collection for content, not the whole world. Scoping also
+  /// gives the equality-preferred index its handle.
+  double scope_probability = 0.8;
+};
+
+class ProfileGen {
+ public:
+  ProfileGen(Rng& rng, ProfileGenConfig config = {})
+      : rng_(rng), config_(std::move(config)) {}
+
+  /// Generate one profile over the given hosts/collections. `schemas[i]`
+  /// is host i's metadata schema (for metadata/query watches).
+  std::string make_profile(
+      const std::vector<std::string>& hosts,
+      const std::vector<CollectionRef>& collections,
+      const std::vector<MetadataSchema>& schemas);
+
+ private:
+  ProfileKind pick_kind();
+
+  Rng& rng_;
+  ProfileGenConfig config_;
+};
+
+/// A Greenstone-network shape (paper §1, challenge 1): mostly solitary
+/// servers, a few islands of linked ones, optional cycles.
+struct GsTopology {
+  int n_servers = 0;
+  /// Undirected server-index pairs with a direct GS link.
+  std::vector<std::pair<int, int>> links;
+
+  /// Connected components (vectors of server indices).
+  std::vector<std::vector<int>> components() const;
+};
+
+struct TopologyGenConfig {
+  double solitary_fraction = 0.6;  // servers with no links at all
+  int island_size = 4;             // linked groups of about this size
+  double cycle_probability = 0.5;  // chance an island's chain is closed
+};
+
+GsTopology make_topology(Rng& rng, int n_servers, TopologyGenConfig config);
+
+}  // namespace gsalert::workload

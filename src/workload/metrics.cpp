@@ -1,0 +1,16 @@
+#include "workload/metrics.h"
+
+#include <cstdio>
+
+namespace gsalert::workload {
+
+void print_table_header(const std::string& title,
+                        const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+void print_row(const std::string& row) {
+  std::printf("%s\n", row.c_str());
+}
+
+}  // namespace gsalert::workload

@@ -1,0 +1,31 @@
+// Experiment outcome accounting shared by the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace gsalert::workload {
+
+/// Correctness + performance outcome of a scenario run.
+struct Outcome {
+  std::uint64_t events_published = 0;
+  std::uint64_t expected_notifications = 0;
+  std::uint64_t delivered_matching = 0;  // delivered AND expected
+  std::uint64_t false_positives = 0;     // delivered but not expected
+  std::uint64_t false_negatives = 0;     // expected but never delivered
+  Histogram notification_latency_ms;
+
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Hotspot measure: busiest node's message count / mean across nodes.
+  double max_over_mean_node_load = 0.0;
+};
+
+/// Render a row of "name value" pairs for the bench tables.
+void print_table_header(const std::string& title,
+                        const std::string& columns);
+void print_row(const std::string& row);
+
+}  // namespace gsalert::workload

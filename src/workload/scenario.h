@@ -1,0 +1,160 @@
+// Scenario: a full simulated world — Greenstone servers with a pluggable
+// alerting strategy, a GDS tree (for the real service), clients, generated
+// collections and profiles — plus ground-truth accounting so experiments
+// can report false positives/negatives and latency, not just traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alerting/alerting_service.h"
+#include "alerting/client.h"
+#include "baselines/centralized.h"
+#include "baselines/gs_flooding.h"
+#include "baselines/profile_flooding.h"
+#include "baselines/rendezvous.h"
+#include "common/rng.h"
+#include "gds/tree_builder.h"
+#include "gsnet/greenstone_server.h"
+#include "profiles/profile.h"
+#include "sim/network.h"
+#include "workload/generators.h"
+#include "workload/metrics.h"
+
+namespace gsalert::workload {
+
+enum class Strategy {
+  kGsAlert,          // the paper's hybrid service (GDS event flooding)
+  kCentralized,      // B1
+  kProfileFlooding,  // B2
+  kRendezvous,       // B3
+  kGsFlooding,       // B4
+};
+
+const char* strategy_name(Strategy s);
+
+struct ScenarioConfig {
+  Strategy strategy = Strategy::kGsAlert;
+  int n_servers = 8;
+  int gds_fanout = 3;               // GDS tree shape (kGsAlert)
+  int n_rendezvous = 4;             // broker count (kRendezvous)
+  int clients_per_server = 1;
+  int collections_per_server = 2;
+  CollectionGenConfig collection;
+  ProfileGenConfig profile;
+  /// Overlay used by the flooding strategies (B2, B4). The real service
+  /// ignores it (that is the point: the GS network is too fragmented).
+  TopologyGenConfig topology;
+  /// When set, used verbatim instead of generating from `topology`
+  /// (n_servers must match).
+  std::optional<GsTopology> explicit_topology;
+  std::uint64_t seed = 1;
+  sim::PathConfig path{.latency = SimTime::millis(10)};
+  bool gds_dedup = true;            // ablation switch (E7); also B4 dedup
+  bool b2_covering = false;         // ablation switch (E5): B2 merging
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  sim::Network& net() { return net_; }
+  const ScenarioConfig& config() const { return config_; }
+  std::vector<gsnet::GreenstoneServer*>& servers() { return servers_; }
+  std::vector<alerting::Client*>& clients() { return clients_; }
+  const gds::GdsTree& gds_tree() const { return gds_tree_; }
+  const GsTopology& topology() const { return topology_; }
+
+  /// Strategy-specific extensions (empty unless that strategy is active).
+  const std::vector<alerting::AlertingService*>& gsalert() const {
+    return gsalert_;
+  }
+  const std::vector<baselines::ProfileFloodAlerting*>& profile_flood() const {
+    return pflood_;
+  }
+  const std::vector<baselines::GsFloodAlerting*>& gs_flood() const {
+    return gsflood_;
+  }
+  baselines::CentralServer* central() const { return central_; }
+  const std::vector<baselines::RendezvousBroker*>& rendezvous_brokers()
+      const {
+    return rv_brokers_;
+  }
+
+  /// Build the initial collections on every server (run before
+  /// subscriptions so the setup burst is not part of the measurement).
+  void setup_collections();
+
+  /// Every client subscribes `n` generated profiles; call settle()
+  /// afterwards so acks land.
+  void subscribe_all(int n);
+  /// Subscribe one client with an explicit profile.
+  void subscribe(std::size_t client_index, const std::string& text);
+  /// Cancel a random active subscription; returns false if none left.
+  bool cancel_random();
+
+  /// Rebuild a random collection with `fresh_docs` new documents,
+  /// recording the ground-truth expectations for every active profile.
+  void publish_random_rebuild(int fresh_docs = 3);
+  /// Rebuild a specific collection.
+  void publish_rebuild(std::size_t server_index, const std::string& coll,
+                       int fresh_docs);
+
+  void settle(SimTime duration);
+
+  /// Compare client notification logs against the recorded expectations.
+  Outcome outcome() const;
+
+  std::uint64_t events_published() const { return events_published_; }
+
+ private:
+  struct TrackedSub {
+    std::size_t client_index;
+    std::string text;
+    profiles::Profile parsed;
+    SubscriptionId id = 0;  // 0 until acked
+    bool active = true;
+  };
+  struct CollState {
+    std::string name;
+    std::vector<docmodel::Document> docs;
+  };
+
+  void build_world();
+  void wire_links();
+  std::string host_name(int i) const { return "Host" + std::to_string(i); }
+
+  ScenarioConfig config_;
+  Rng rng_;
+  sim::Network net_;
+  gds::GdsTree gds_tree_;
+  GsTopology topology_;
+  std::vector<gsnet::GreenstoneServer*> servers_;
+  std::vector<alerting::Client*> clients_;
+  std::vector<MetadataSchema> schemas_;
+  std::vector<std::unique_ptr<CollectionGen>> collgens_;
+  std::vector<std::vector<CollState>> collections_;  // per server
+
+  std::vector<alerting::AlertingService*> gsalert_;
+  std::vector<baselines::ProfileFloodAlerting*> pflood_;
+  std::vector<baselines::GsFloodAlerting*> gsflood_;
+  baselines::CentralServer* central_ = nullptr;
+  std::vector<baselines::RendezvousBroker*> rv_brokers_;
+
+  std::vector<TrackedSub> subs_;
+  std::vector<std::string> hosts_;
+  std::vector<CollectionRef> all_collections_;
+
+  // Ground truth: expectation key "client#ref#version" -> count; and the
+  // publish time for latency.
+  std::unordered_map<std::string, std::uint64_t> expected_;
+  std::unordered_map<std::string, SimTime> publish_time_;
+  std::uint64_t events_published_ = 0;
+  DocumentId next_doc_id_ = 1;
+};
+
+}  // namespace gsalert::workload

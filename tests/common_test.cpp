@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace gsalert {
+namespace {
+
+// ---------- SimTime ----------------------------------------------------
+
+TEST(SimTimeTest, ConstructionAndConversion) {
+  EXPECT_EQ(SimTime::millis(3).as_micros(), 3000);
+  EXPECT_EQ(SimTime::seconds(2).as_micros(), 2'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::micros(1500).as_millis(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::millis(2500).as_seconds(), 2.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::millis(10);
+  t += SimTime::millis(5);
+  EXPECT_EQ(t, SimTime::millis(15));
+  EXPECT_EQ(t - SimTime::millis(5), SimTime::millis(10));
+  EXPECT_EQ(SimTime::millis(2) * 3, SimTime::millis(6));
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::zero(), SimTime::micros(0));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+}
+
+// ---------- NodeId / CollectionRef --------------------------------------
+
+TEST(NodeIdTest, InvalidByDefault) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(NodeId{7}.valid());
+}
+
+TEST(CollectionRefTest, StrAndOrdering) {
+  CollectionRef ref{"Hamilton", "D"};
+  EXPECT_EQ(ref.str(), "Hamilton.D");
+  CollectionRef other{"London", "E"};
+  EXPECT_NE(ref, other);
+  EXPECT_LT(ref, other);  // lexicographic on (host, name)
+}
+
+TEST(CollectionRefTest, HashDistinguishesHostAndName) {
+  std::hash<CollectionRef> h;
+  EXPECT_NE(h(CollectionRef{"A", "B"}), h(CollectionRef{"B", "A"}));
+}
+
+// ---------- Error / Result ----------------------------------------------
+
+TEST(ErrorTest, CodeNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDecodeFailure), "decode_failure");
+}
+
+TEST(ErrorTest, StrIncludesMessage) {
+  Error e{ErrorCode::kTimeout, "resolve q1"};
+  EXPECT_EQ(e.str(), "timeout: resolve q1");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r{ErrorCode::kNotFound, "x"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  Status bad{ErrorCode::kUnreachable, "down"};
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kUnreachable);
+}
+
+// ---------- Rng -----------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a{12345}, b{12345};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng{7};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ZipfRankZeroMostPopular) {
+  Rng rng{99};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.zipf(10, 1.0)]++;
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(RngTest, ZipfCacheSwitches) {
+  Rng rng{99};
+  // Alternate (n, s) pairs; all results must stay in range.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.zipf(5, 0.8), 5u);
+    EXPECT_LT(rng.zipf(50, 1.2), 50u);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng{4242};
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(10.0);
+  EXPECT_NEAR(total / n, 10.0, 0.5);
+}
+
+// ---------- Histogram ------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 50);
+  EXPECT_DOUBLE_EQ(h.p99(), 99);
+}
+
+TEST(HistogramTest, QuantileEdges) {
+  Histogram h;
+  h.record(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.record(1.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HistogramTest, RecordAfterQuantileResorts) {
+  Histogram h;
+  h.record(10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  h.record(20.0);
+  EXPECT_DOUBLE_EQ(h.max(), 20.0);
+}
+
+// ---------- strings ---------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("Hamilton.D"), "hamilton.d");
+}
+
+TEST(StringsTest, WildcardExact) {
+  EXPECT_TRUE(wildcard_match("abc", "abc"));
+  EXPECT_FALSE(wildcard_match("abc", "abd"));
+  EXPECT_FALSE(wildcard_match("abc", "ab"));
+}
+
+TEST(StringsTest, WildcardStar) {
+  EXPECT_TRUE(wildcard_match("net*", "networking"));
+  EXPECT_TRUE(wildcard_match("net*", "net"));
+  EXPECT_TRUE(wildcard_match("*work*", "networking"));
+  EXPECT_FALSE(wildcard_match("net*", "internet"));
+  EXPECT_TRUE(wildcard_match("*", ""));
+  EXPECT_TRUE(wildcard_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(wildcard_match("a*b*c", "acb"));
+}
+
+TEST(StringsTest, WildcardQuestionMark) {
+  EXPECT_TRUE(wildcard_match("a?c", "abc"));
+  EXPECT_FALSE(wildcard_match("a?c", "ac"));
+}
+
+TEST(StringsTest, Tokenize) {
+  const auto terms = tokenize("The Quick, brown-fox! 42");
+  const std::vector<std::string> expected{"the", "quick", "brown", "fox",
+                                          "42"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(StringsTest, TokenizeEmpty) {
+  EXPECT_TRUE(tokenize("  ,.!  ").empty());
+}
+
+}  // namespace
+}  // namespace gsalert

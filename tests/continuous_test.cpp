@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "alerting/alerting_service.h"
+#include "alerting/client.h"
+#include "alerting/continuous.h"
+#include "common/strings.h"
+#include "gds/tree_builder.h"
+#include "gsnet/greenstone_server.h"
+#include "profiles/parser.h"
+#include "sim/network.h"
+
+namespace gsalert::alerting {
+namespace {
+
+using docmodel::DataSet;
+using docmodel::Document;
+
+const CollectionRef kColl{"Hamilton", "NZHistory"};
+
+// ---------- transformations ---------------------------------------------
+
+TEST(ContinuousSearchTest, SearchToProfileParses) {
+  auto text = profile_from_search(kColl, "title:treaty AND waitangi");
+  ASSERT_TRUE(text.ok());
+  auto profile = profiles::parse_profile(text.value());
+  ASSERT_TRUE(profile.ok()) << text.value();
+  ASSERT_EQ(profile.value().dnf.size(), 1u);
+  EXPECT_EQ(profile.value().dnf[0].preds.size(), 2u);
+}
+
+TEST(ContinuousSearchTest, InvalidSearchRejected) {
+  EXPECT_FALSE(profile_from_search(kColl, "(broken").ok());
+  EXPECT_FALSE(profile_from_search(kColl, "").ok());
+}
+
+TEST(ContinuousSearchTest, RoundTripSearchProfileSearch) {
+  auto text = profile_from_search(kColl, "title:treaty AND waitangi");
+  ASSERT_TRUE(text.ok());
+  auto profile = profiles::parse_profile(text.value());
+  ASSERT_TRUE(profile.ok());
+  auto back = search_from_profile(profile.value());
+  ASSERT_TRUE(back.ok()) << back.error().str();
+  EXPECT_EQ(back.value().collection.str(), "hamilton.nzhistory");
+  ASSERT_NE(back.value().query, nullptr);
+  // The recovered query is the same Boolean structure.
+  EXPECT_EQ(back.value().query->str(),
+            "(title:treaty AND text:waitangi)");
+}
+
+TEST(ContinuousSearchTest, NonSearchProfilesRejectedWithReason) {
+  for (const char* text :
+       {"host = hamilton",                       // no query at all
+        "ref = a.b AND doc ~ \"x\" OR host = y", // disjunction
+        "ref = a.b AND ref = c.d AND doc ~ \"x\"",
+        "ref = a.b AND creator = hinze AND doc ~ \"x\"",
+        "ref = malformed AND doc ~ \"x\""}) {
+    auto profile = profiles::parse_profile(text);
+    ASSERT_TRUE(profile.ok()) << text;
+    auto result = search_from_profile(profile.value());
+    EXPECT_FALSE(result.ok()) << text;
+    EXPECT_EQ(result.error().code, ErrorCode::kUnsupported);
+  }
+}
+
+TEST(ContinuousBrowseTest, BrowseProfileShape) {
+  const std::string text =
+      profile_from_browse(kColl, "creator", "Hinze, Annika");
+  auto profile = profiles::parse_profile(text);
+  ASSERT_TRUE(profile.ok()) << text;
+  EXPECT_EQ(profile.value().dnf[0].preds[1].attribute, "creator");
+  EXPECT_EQ(profile.value().dnf[0].preds[1].value, "hinze, annika");
+}
+
+TEST(WatchThisTest, WatchProfileShape) {
+  const std::string text = profile_from_watch(kColl, 42);
+  auto profile = profiles::parse_profile(text);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().dnf[0].preds[1].op, profiles::Op::kIn);
+  EXPECT_EQ(profile.value().dnf[0].preds[1].values,
+            (std::vector<std::string>{"42"}));
+}
+
+// ---------- end to end: search continues as alerting -------------------------
+
+struct World {
+  sim::Network net{51};
+  gds::GdsTree tree;
+  gsnet::GreenstoneServer* hamilton;
+  gsnet::GreenstoneServer* waikato;
+  Client* user;
+
+  World() {
+    tree = gds::build_tree(net, 2, 2);
+    hamilton = net.make_node<gsnet::GreenstoneServer>("Hamilton");
+    waikato = net.make_node<gsnet::GreenstoneServer>("Waikato");
+    hamilton->set_extension(std::make_unique<AlertingService>());
+    waikato->set_extension(std::make_unique<AlertingService>());
+    hamilton->attach_gds(tree.nodes[1]->id());
+    waikato->attach_gds(tree.nodes[2]->id());
+    user = net.make_node<Client>("user");
+    user->set_home(waikato->id());
+    net.start();
+    net.run_until(SimTime::millis(200));
+
+    docmodel::CollectionConfig cfg;
+    cfg.name = "NZHistory";
+    cfg.indexed_attributes = {"title", "creator"};
+    cfg.classifier_attributes = {"creator"};
+    hamilton->add_collection(cfg, DataSet{{make_doc(1, "Old Charter",
+                                                    "smith")}});
+    net.run_until(net.now() + SimTime::seconds(1));
+  }
+
+  static Document make_doc(DocumentId id, const std::string& title,
+                           const std::string& creator) {
+    Document d;
+    d.id = id;
+    d.metadata.add("title", title);
+    d.metadata.add("creator", creator);
+    for (const auto& t : tokenize(title)) d.terms.push_back(t);
+    return d;
+  }
+
+  void settle() { net.run_until(net.now() + SimTime::seconds(1)); }
+};
+
+TEST(ContinuousEndToEndTest, SearchBecomesStandingQuery) {
+  World w;
+  // The user searched "treaty" interactively; same query, continuous.
+  auto text = profile_from_search(kColl, "treaty");
+  ASSERT_TRUE(text.ok());
+  w.user->subscribe(text.value());
+  w.settle();
+  // A non-matching document arrives: silence.
+  w.hamilton->add_documents("NZHistory",
+                            {World::make_doc(2, "Shipping News", "lee")});
+  w.settle();
+  EXPECT_TRUE(w.user->notifications().empty());
+  // A matching document arrives: notification.
+  w.hamilton->add_documents(
+      "NZHistory", {World::make_doc(3, "Treaty of Waitangi", "orange")});
+  w.settle();
+  ASSERT_EQ(w.user->notifications().size(), 1u);
+  EXPECT_EQ(w.user->notifications()[0].event.docs[0].id, 3u);
+}
+
+TEST(ContinuousEndToEndTest, BrowseBucketBecomesWatch) {
+  World w;
+  // The user browsed the "creator = orange" classifier bucket.
+  w.user->subscribe(profile_from_browse(kColl, "creator", "orange"));
+  w.settle();
+  w.hamilton->add_documents(
+      "NZHistory", {World::make_doc(4, "The Treaty", "orange")});
+  w.settle();
+  EXPECT_EQ(w.user->notifications().size(), 1u);
+  w.hamilton->add_documents("NZHistory",
+                            {World::make_doc(5, "Another", "lee")});
+  w.settle();
+  EXPECT_EQ(w.user->notifications().size(), 1u);  // unchanged
+}
+
+TEST(ContinuousEndToEndTest, WatchThisFiresOnDocumentChange) {
+  World w;
+  w.user->subscribe(profile_from_watch(kColl, 1));
+  w.settle();
+  // Rebuild that does not touch doc 1 (only adds): silence for doc 1.
+  w.hamilton->add_documents("NZHistory",
+                            {World::make_doc(6, "Unrelated", "x")});
+  w.settle();
+  EXPECT_TRUE(w.user->notifications().empty());
+  // Rebuild where doc 1's content changed: the rebuild diff announces
+  // fresh documents only, so a changed doc 1 appears via a full rebuild
+  // carrying it as part of a new data set with a new id? No — identity
+  // watch means: any announced change touching id 1. Emulate an update
+  // by re-adding document 1 with new content.
+  w.hamilton->add_documents(
+      "NZHistory", {World::make_doc(1, "Old Charter (revised)", "smith")});
+  w.settle();
+  ASSERT_EQ(w.user->notifications().size(), 1u);
+  EXPECT_EQ(w.user->notifications()[0].event.docs[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace gsalert::alerting

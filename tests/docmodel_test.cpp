@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "docmodel/collection.h"
+#include "docmodel/document.h"
+#include "docmodel/event.h"
+#include "wire/codec.h"
+
+namespace gsalert::docmodel {
+namespace {
+
+Document sample_doc(DocumentId id) {
+  Document d;
+  d.id = id;
+  d.metadata.add("title", "Digital Library Alerting");
+  d.metadata.add("creator", "hinze");
+  d.metadata.add("creator", "buchanan");
+  d.terms = {"distributed", "alerting", "service"};
+  return d;
+}
+
+// ---------- Metadata ---------------------------------------------------
+
+TEST(MetadataTest, AddAndQuery) {
+  Metadata m;
+  m.add("creator", "hinze");
+  m.add("creator", "buchanan");
+  EXPECT_TRUE(m.has("creator"));
+  EXPECT_FALSE(m.has("subject"));
+  EXPECT_EQ(m.first("creator").value(), "hinze");
+  EXPECT_EQ(m.all("creator").size(), 2u);
+  EXPECT_FALSE(m.first("subject").has_value());
+}
+
+TEST(MetadataTest, SetReplacesAllValues) {
+  Metadata m;
+  m.add("creator", "a");
+  m.add("creator", "b");
+  m.set("creator", "c");
+  EXPECT_EQ(m.all("creator"), std::vector<std::string>{"c"});
+}
+
+TEST(MetadataTest, WireRoundTrip) {
+  Metadata m;
+  m.add("title", "x");
+  m.add("subject", "y");
+  wire::Writer w;
+  m.encode(w);
+  wire::Reader r{w.buffer()};
+  EXPECT_EQ(Metadata::decode(r), m);
+  EXPECT_TRUE(r.done());
+}
+
+// ---------- Document / DataSet --------------------------------------------
+
+TEST(DocumentTest, WireRoundTrip) {
+  const Document d = sample_doc(42);
+  wire::Writer w;
+  d.encode(w);
+  wire::Reader r{w.buffer()};
+  EXPECT_EQ(Document::decode(r), d);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DataSetTest, AddFindRemove) {
+  DataSet ds;
+  ds.add(sample_doc(1));
+  ds.add(sample_doc(2));
+  EXPECT_EQ(ds.size(), 2u);
+  ASSERT_NE(ds.find(1), nullptr);
+  EXPECT_EQ(ds.find(1)->id, 1u);
+  EXPECT_EQ(ds.find(99), nullptr);
+  EXPECT_TRUE(ds.remove(1));
+  EXPECT_FALSE(ds.remove(1));
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+// ---------- CollectionConfig / Collection ----------------------------------
+
+CollectionConfig figure1_config_d() {
+  CollectionConfig c;
+  c.name = "D";
+  c.host = "Hamilton";
+  c.sub_collections = {CollectionRef{"London", "E"}};
+  c.indexed_attributes = {"title", "creator"};
+  c.classifier_attributes = {"title"};
+  return c;
+}
+
+TEST(CollectionConfigTest, WireRoundTrip) {
+  const CollectionConfig c = figure1_config_d();
+  wire::Writer w;
+  c.encode(w);
+  wire::Reader r{w.buffer()};
+  const CollectionConfig out = CollectionConfig::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(out.name, "D");
+  EXPECT_EQ(out.host, "Hamilton");
+  ASSERT_EQ(out.sub_collections.size(), 1u);
+  EXPECT_EQ(out.sub_collections[0], (CollectionRef{"London", "E"}));
+  EXPECT_TRUE(out.is_public);
+  EXPECT_EQ(out.indexed_attributes,
+            (std::vector<std::string>{"title", "creator"}));
+}
+
+TEST(CollectionTest, RefCombinesHostAndName) {
+  Collection c;
+  c.config = figure1_config_d();
+  EXPECT_EQ(c.config.ref().str(), "Hamilton.D");
+}
+
+TEST(CollectionTest, VirtualMeansNoOwnDataButSubs) {
+  Collection c;
+  c.config = figure1_config_d();
+  EXPECT_TRUE(c.is_virtual());  // no data yet, has a sub
+  c.data.add(sample_doc(1));
+  EXPECT_FALSE(c.is_virtual());
+}
+
+TEST(CollectionTest, HasRemoteSubsDetectsCrossHostLinks) {
+  Collection c;
+  c.config = figure1_config_d();
+  EXPECT_TRUE(c.has_remote_subs());
+  c.config.sub_collections = {CollectionRef{"Hamilton", "X"}};
+  EXPECT_FALSE(c.has_remote_subs());
+  c.config.sub_collections.clear();
+  EXPECT_FALSE(c.has_remote_subs());
+}
+
+// ---------- Event ------------------------------------------------------------
+
+TEST(EventTest, TypeNames) {
+  EXPECT_STREQ(event_type_name(EventType::kCollectionBuilt),
+               "collection_built");
+  EXPECT_STREQ(event_type_name(EventType::kCollectionDeleted),
+               "collection_deleted");
+}
+
+TEST(EventTest, IdStrAndOrdering) {
+  EventId a{"Hamilton", 1}, b{"Hamilton", 2}, c{"London", 1};
+  EXPECT_EQ(a.str(), "Hamilton#1");
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, c);
+  std::hash<EventId> h;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(EventTest, WireRoundTrip) {
+  Event e;
+  e.id = {"London", 7};
+  e.type = EventType::kCollectionRebuilt;
+  e.collection = {"Hamilton", "D"};      // renamed origin (hybrid routing)
+  e.physical_origin = {"London", "E"};   // where it actually happened
+  e.build_version = 3;
+  e.docs = {sample_doc(1), sample_doc(2)};
+
+  wire::Writer w;
+  e.encode(w);
+  wire::Reader r{w.buffer()};
+  const Event out = Event::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(out.id, e.id);
+  EXPECT_EQ(out.type, e.type);
+  EXPECT_EQ(out.collection, e.collection);
+  EXPECT_EQ(out.physical_origin, e.physical_origin);
+  EXPECT_EQ(out.build_version, 3u);
+  ASSERT_EQ(out.docs.size(), 2u);
+  EXPECT_EQ(out.docs[0], e.docs[0]);
+}
+
+}  // namespace
+}  // namespace gsalert::docmodel

@@ -1,0 +1,220 @@
+// Property/fuzz tests across module boundaries:
+//  - wire robustness: every decoder must reject arbitrarily truncated or
+//    bit-flipped inputs without crashing or reading out of bounds;
+//  - retrieval equivalence: executing a random query on the inverted
+//    index gives exactly the documents the query matches directly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alerting/messages.h"
+#include "baselines/messages.h"
+#include "common/rng.h"
+#include "docmodel/event.h"
+#include "gds/messages.h"
+#include "gsnet/messages.h"
+#include "retrieval/inverted_index.h"
+#include "retrieval/query_parser.h"
+#include "wire/envelope.h"
+
+namespace gsalert {
+namespace {
+
+struct FuzzParam {
+  std::uint64_t seed;
+};
+
+// ---------- wire robustness ------------------------------------------------
+
+class WireFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::byte> out(
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (auto& b : out) {
+    b = static_cast<std::byte>(rng.uniform_int(0, 255));
+  }
+  return out;
+}
+
+docmodel::Event random_event(Rng& rng) {
+  docmodel::Event e;
+  e.id = {"host" + std::to_string(rng.uniform_int(0, 5)),
+          static_cast<std::uint64_t>(rng.uniform_int(0, 1000))};
+  e.type = static_cast<docmodel::EventType>(rng.uniform_int(1, 6));
+  e.collection = {"H", "C"};
+  e.physical_origin = {"H2", "C2"};
+  const int nvia = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < nvia; ++i) e.via.push_back("V" + std::to_string(i));
+  const int ndocs = static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < ndocs; ++i) {
+    docmodel::Document d;
+    d.id = static_cast<DocumentId>(rng.uniform_int(1, 100));
+    d.metadata.add("title", "t" + std::to_string(rng.uniform_int(0, 9)));
+    d.terms = {"a", "b"};
+    e.docs.push_back(std::move(d));
+  }
+  return e;
+}
+
+/// Every decoder in the system, applied to one byte buffer. None may
+/// crash; success or failure are both acceptable outcomes.
+void run_all_decoders(const std::vector<std::byte>& bytes) {
+  (void)wire::unpack(sim::Packet{bytes});
+  (void)gds::RegisterBody::decode(bytes);
+  (void)gds::BroadcastBody::decode(bytes);
+  (void)gds::RelayBody::decode(bytes);
+  (void)gds::MulticastBody::decode(bytes);
+  (void)gds::ResolveBody::decode(bytes);
+  (void)gds::ResolveReplyBody::decode(bytes);
+  (void)gds::ChildHelloBody::decode(bytes);
+  (void)gsnet::CollRequestBody::decode(bytes);
+  (void)gsnet::CollResponseBody::decode(bytes);
+  (void)gsnet::SearchRequestBody::decode(bytes);
+  (void)gsnet::SearchResponseBody::decode(bytes);
+  (void)alerting::SubscribeBody::decode(bytes);
+  (void)alerting::SubscribeAckBody::decode(bytes);
+  (void)alerting::CancelBody::decode(bytes);
+  (void)alerting::NotificationBody::decode(bytes);
+  (void)alerting::AuxProfileBody::decode(bytes);
+  (void)alerting::EventForwardBody::decode(bytes);
+  (void)alerting::decode_event(bytes);
+  (void)baselines::RemoteProfileBody::decode(bytes);
+}
+
+TEST_P(WireFuzz, DecodersSurviveRandomBytes) {
+  Rng rng{GetParam().seed};
+  for (int i = 0; i < 300; ++i) {
+    run_all_decoders(random_bytes(rng, 200));
+  }
+}
+
+TEST_P(WireFuzz, DecodersSurviveTruncatedValidMessages) {
+  Rng rng{GetParam().seed ^ 0xFEED};
+  for (int i = 0; i < 100; ++i) {
+    const docmodel::Event event = random_event(rng);
+    wire::Writer w;
+    event.encode(w);
+    wire::Envelope env = wire::make_envelope(
+        wire::MessageType::kEventAnnounce, "src", "dst", 7, std::move(w));
+    std::vector<std::byte> bytes = env.pack().bytes;
+    // Truncate at a random point, then run every decoder.
+    bytes.resize(rng.index(bytes.size() + 1));
+    run_all_decoders(bytes);
+  }
+}
+
+TEST_P(WireFuzz, DecodersSurviveBitFlips) {
+  Rng rng{GetParam().seed ^ 0xB17F};
+  for (int i = 0; i < 100; ++i) {
+    const docmodel::Event event = random_event(rng);
+    wire::Writer w;
+    event.encode(w);
+    std::vector<std::byte> bytes = std::move(w).take();
+    if (bytes.empty()) continue;
+    // Flip a few random bits.
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t pos = rng.index(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1 << rng.uniform_int(0, 7));
+    }
+    run_all_decoders(bytes);
+    // The event decoder specifically: must either fail or produce a
+    // structurally valid event (vector sizes already bounded by decode).
+    auto decoded = alerting::decode_event(bytes);
+    if (decoded.ok()) {
+      (void)decoded.value().id.str();
+    }
+  }
+}
+
+TEST_P(WireFuzz, EventRoundTripIsExact) {
+  Rng rng{GetParam().seed ^ 0x404};
+  for (int i = 0; i < 200; ++i) {
+    const docmodel::Event event = random_event(rng);
+    auto decoded = alerting::decode_event(alerting::encode_event(event));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().id, event.id);
+    EXPECT_EQ(decoded.value().via, event.via);
+    EXPECT_EQ(decoded.value().docs.size(), event.docs.size());
+    for (std::size_t d = 0; d < event.docs.size(); ++d) {
+      EXPECT_EQ(decoded.value().docs[d], event.docs[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         ::testing::Values(FuzzParam{1}, FuzzParam{7},
+                                           FuzzParam{99}, FuzzParam{2024}),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           return "seed_" + std::to_string(info.param.seed);
+                         });
+
+// ---------- retrieval: index == direct evaluation -----------------------------
+
+class RetrievalFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+std::string random_query(Rng& rng, int depth = 0) {
+  static const std::vector<std::string> attrs{"text", "title", "creator"};
+  static const std::vector<std::string> words{"alpha", "beta",  "gamma",
+                                              "delta", "omega", "zeta"};
+  if (depth >= 2 || rng.chance(0.5)) {
+    std::string term = words[rng.index(words.size())];
+    if (rng.chance(0.25)) term = term.substr(0, 2) + "*";
+    return attrs[rng.index(attrs.size())] + ":" + term;
+  }
+  const std::string a = random_query(rng, depth + 1);
+  const std::string b = random_query(rng, depth + 1);
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      return "(" + a + " AND " + b + ")";
+    case 1:
+      return "(" + a + " OR " + b + ")";
+    default:
+      return "(" + a + " AND NOT " + b + ")";
+  }
+}
+
+TEST_P(RetrievalFuzz, IndexExecutionMatchesDirectEvaluation) {
+  Rng rng{GetParam().seed};
+  static const std::vector<std::string> words{"alpha", "beta",  "gamma",
+                                              "delta", "omega", "zeta"};
+  docmodel::DataSet data;
+  for (DocumentId id = 1; id <= 60; ++id) {
+    docmodel::Document d;
+    d.id = id;
+    d.metadata.add("title", words[rng.index(words.size())]);
+    if (rng.chance(0.7)) {
+      d.metadata.add("creator", words[rng.index(words.size())]);
+    }
+    const int nterms = static_cast<int>(rng.uniform_int(1, 5));
+    for (int t = 0; t < nterms; ++t) {
+      d.terms.push_back(words[rng.index(words.size())]);
+    }
+    data.add(std::move(d));
+  }
+  retrieval::InvertedIndex index;
+  index.build(data, {"title", "creator"});
+
+  for (int i = 0; i < 150; ++i) {
+    const std::string text = random_query(rng);
+    auto query = retrieval::parse_query(text);
+    ASSERT_TRUE(query.ok()) << text;
+    const retrieval::PostingList via_index = index.execute(*query.value());
+    retrieval::PostingList direct;
+    for (const auto& d : data.docs()) {
+      if (query.value()->matches(d)) direct.push_back(d.id);
+    }
+    EXPECT_EQ(via_index, direct) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetrievalFuzz,
+                         ::testing::Values(FuzzParam{3}, FuzzParam{33},
+                                           FuzzParam{333}, FuzzParam{3333}),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           return "seed_" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace gsalert

@@ -1,0 +1,549 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "docmodel/event.h"
+#include "profiles/event_context.h"
+#include "profiles/index.h"
+#include "profiles/parser.h"
+
+namespace gsalert::profiles {
+namespace {
+
+using docmodel::Document;
+using docmodel::Event;
+using docmodel::EventType;
+
+Event sample_event() {
+  Event e;
+  e.id = {"Hamilton", 1};
+  e.type = EventType::kCollectionRebuilt;
+  e.collection = {"Hamilton", "D"};
+  e.physical_origin = {"London", "E"};
+  Document d1;
+  d1.id = 101;
+  d1.metadata.add("title", "Digital Library Alerting");
+  d1.metadata.add("creator", "Hinze");
+  d1.terms = {"alerting", "digital", "library"};
+  Document d2;
+  d2.id = 102;
+  d2.metadata.add("title", "Music Retrieval");
+  d2.metadata.add("creator", "Smith");
+  d2.terms = {"music", "retrieval"};
+  e.docs = {d1, d2};
+  return e;
+}
+
+bool profile_matches(const std::string& text, const Event& event) {
+  auto p = parse_profile(text);
+  EXPECT_TRUE(p.ok()) << text << ": "
+                      << (p.ok() ? "" : p.error().str());
+  const EventContext ctx = EventContext::from(event);
+  return p.ok() && p.value().matches(ctx);
+}
+
+// ---------- EventContext ---------------------------------------------------
+
+TEST(EventContextTest, MacroAttributesDerived) {
+  const Event e = sample_event();
+  const EventContext ctx = EventContext::from(e);
+  EXPECT_EQ(ctx.macro("host"), "hamilton");
+  EXPECT_EQ(ctx.macro("collection"), "d");
+  EXPECT_EQ(ctx.macro("ref"), "hamilton.d");
+  EXPECT_EQ(ctx.macro("type"), "collection_rebuilt");
+  EXPECT_EQ(ctx.macro("origin_host"), "london");
+  EXPECT_EQ(ctx.macro("origin_ref"), "london.e");
+  EXPECT_EQ(ctx.macro("creator"), "");  // not macro-level
+  EXPECT_EQ(ctx.docs().size(), 2u);
+}
+
+TEST(EventContextTest, MacroAttributeClassification) {
+  EXPECT_TRUE(is_macro_attribute("host"));
+  EXPECT_TRUE(is_macro_attribute("type"));
+  EXPECT_FALSE(is_macro_attribute("creator"));
+  EXPECT_FALSE(is_macro_attribute("doc_id"));
+}
+
+// ---------- parser ------------------------------------------------------------
+
+TEST(ProfileParserTest, SimpleEquality) {
+  auto p = parse_profile("host = Hamilton");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.value().dnf.size(), 1u);
+  ASSERT_EQ(p.value().dnf[0].preds.size(), 1u);
+  const Predicate& pred = p.value().dnf[0].preds[0];
+  EXPECT_EQ(pred.op, Op::kEq);
+  EXPECT_EQ(pred.attribute, "host");
+  EXPECT_EQ(pred.value, "hamilton");  // lowercased
+}
+
+TEST(ProfileParserTest, WildcardDetected) {
+  auto p = parse_profile("collection = new-*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dnf[0].preds[0].op, Op::kWildcard);
+}
+
+TEST(ProfileParserTest, InList) {
+  auto p = parse_profile("doc_id IN [101, 205, 307]");
+  ASSERT_TRUE(p.ok());
+  const Predicate& pred = p.value().dnf[0].preds[0];
+  EXPECT_EQ(pred.op, Op::kIn);
+  EXPECT_EQ(pred.values,
+            (std::vector<std::string>{"101", "205", "307"}));
+}
+
+TEST(ProfileParserTest, QueryPredicate) {
+  auto p = parse_profile("doc ~ \"title:digital AND alerting\"");
+  ASSERT_TRUE(p.ok());
+  const Predicate& pred = p.value().dnf[0].preds[0];
+  EXPECT_EQ(pred.op, Op::kQuery);
+  ASSERT_NE(pred.query, nullptr);
+}
+
+TEST(ProfileParserTest, QuotedValuesKeepSpaces) {
+  auto p = parse_profile("title = \"digital library\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dnf[0].preds[0].value, "digital library");
+}
+
+TEST(ProfileParserTest, DnfOfDisjunction) {
+  auto p = parse_profile("host = a OR host = b OR host = c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dnf.size(), 3u);
+}
+
+TEST(ProfileParserTest, DnfDistributesAndOverOr) {
+  auto p = parse_profile("(host = a OR host = b) AND (type = x OR type = y)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dnf.size(), 4u);
+  for (const auto& conj : p.value().dnf) {
+    EXPECT_EQ(conj.preds.size(), 2u);
+  }
+}
+
+TEST(ProfileParserTest, NegationPushedToPredicates) {
+  auto p = parse_profile("NOT (host = a AND type = x)");
+  ASSERT_TRUE(p.ok());
+  // De Morgan: NOT a OR NOT x -> two conjunctions of one negated pred.
+  ASSERT_EQ(p.value().dnf.size(), 2u);
+  EXPECT_EQ(p.value().dnf[0].preds[0].op, Op::kNeq);
+  EXPECT_EQ(p.value().dnf[1].preds[0].op, Op::kNeq);
+}
+
+TEST(ProfileParserTest, DoubleNegationCancels) {
+  auto p = parse_profile("NOT NOT host = a");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dnf[0].preds[0].op, Op::kEq);
+}
+
+TEST(ProfileParserTest, NegatedInBecomesNotIn) {
+  auto p = parse_profile("NOT collection IN [a, b]");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dnf[0].preds[0].op, Op::kNotIn);
+}
+
+TEST(ProfileParserTest, ComplexityCapEnforced) {
+  // Each AND term multiplies conjunctions by 2: 2^8 = 256 > 128 cap.
+  std::string text = "(a = 1 OR a = 2)";
+  for (int i = 0; i < 7; ++i) text += " AND (a = 1 OR a = 2)";
+  EXPECT_FALSE(parse_profile(text).ok());
+}
+
+TEST(ProfileParserTest, Errors) {
+  EXPECT_FALSE(parse_profile("").ok());
+  EXPECT_FALSE(parse_profile("host").ok());
+  EXPECT_FALSE(parse_profile("host =").ok());
+  EXPECT_FALSE(parse_profile("host = a AND").ok());
+  EXPECT_FALSE(parse_profile("host IN a").ok());
+  EXPECT_FALSE(parse_profile("host IN [a").ok());
+  EXPECT_FALSE(parse_profile("doc ~ unquoted").ok());
+  EXPECT_FALSE(parse_profile("doc ~ \"(broken\"").ok());
+  EXPECT_FALSE(parse_profile("host = \"unterminated").ok());
+  EXPECT_FALSE(parse_profile("host = a extra").ok());
+  EXPECT_FALSE(parse_profile("host & a").ok());
+}
+
+// ---------- predicate evaluation ----------------------------------------------
+
+TEST(PredicateEvalTest, MacroEqualityAndInequality) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("host = Hamilton", e));
+  EXPECT_FALSE(profile_matches("host = London", e));
+  EXPECT_TRUE(profile_matches("host != London", e));
+  EXPECT_FALSE(profile_matches("host != Hamilton", e));
+}
+
+TEST(PredicateEvalTest, MacroWildcard) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("host = Ham*", e));
+  EXPECT_FALSE(profile_matches("host = Lon*", e));
+  EXPECT_TRUE(profile_matches("ref = hamilton.*", e));
+}
+
+TEST(PredicateEvalTest, MacroInList) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("collection IN [c, d, e]", e));
+  EXPECT_FALSE(profile_matches("collection IN [x, y]", e));
+  EXPECT_TRUE(profile_matches("NOT collection IN [x, y]", e));
+}
+
+TEST(PredicateEvalTest, TypePredicate) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("type = collection_rebuilt", e));
+  EXPECT_FALSE(profile_matches("type = collection_deleted", e));
+}
+
+TEST(PredicateEvalTest, OriginAttributesSeeThePhysicalSource) {
+  const Event e = sample_event();
+  // The renamed origin is Hamilton.D but the physical origin London.E
+  // remains addressable — the hybrid routing invariant.
+  EXPECT_TRUE(profile_matches("origin_host = London", e));
+  EXPECT_TRUE(profile_matches("host = Hamilton AND origin_ref = London.E", e));
+}
+
+TEST(PredicateEvalTest, DocIdentityWatchThis) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("doc_id IN [101]", e));
+  EXPECT_TRUE(profile_matches("doc_id = 102", e));
+  EXPECT_FALSE(profile_matches("doc_id IN [999]", e));
+  EXPECT_TRUE(profile_matches("NOT doc_id IN [999]", e));
+  EXPECT_FALSE(profile_matches("NOT doc_id IN [101]", e));
+}
+
+TEST(PredicateEvalTest, DocMetadataPredicates) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("creator = hinze", e));
+  EXPECT_TRUE(profile_matches("creator = Hinze", e));  // case-insensitive
+  EXPECT_FALSE(profile_matches("creator = unknown", e));
+  EXPECT_TRUE(profile_matches("title = \"music retrieval\"", e));
+  EXPECT_TRUE(profile_matches("title = digital*", e));
+}
+
+TEST(PredicateEvalTest, DocTextTerms) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("text = alerting", e));
+  EXPECT_TRUE(profile_matches("text = retriev*", e));
+  EXPECT_FALSE(profile_matches("text = quantum", e));
+}
+
+TEST(PredicateEvalTest, DocQueryPredicate) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches("doc ~ \"creator:hinze AND alerting\"", e));
+  EXPECT_FALSE(profile_matches("doc ~ \"creator:hinze AND music\"", e));
+  EXPECT_TRUE(profile_matches("NOT doc ~ \"creator:nobody\"", e));
+}
+
+TEST(PredicateEvalTest, DocLevelNegationMeansNoDocument) {
+  const Event e = sample_event();
+  // Some doc has creator != hinze (doc 2), but the negative predicate
+  // requires NO doc to match the positive form.
+  EXPECT_FALSE(profile_matches("creator != hinze", e));
+  Event only_smith = e;
+  only_smith.docs.erase(only_smith.docs.begin());
+  EXPECT_TRUE(profile_matches("creator != hinze", only_smith));
+}
+
+TEST(PredicateEvalTest, EmptyDocListFailsPositiveDocPredicates) {
+  Event e = sample_event();
+  e.docs.clear();
+  EXPECT_FALSE(profile_matches("creator = hinze", e));
+  EXPECT_TRUE(profile_matches("NOT creator = hinze", e));
+  EXPECT_TRUE(profile_matches("host = hamilton", e));  // macro unaffected
+}
+
+TEST(PredicateEvalTest, MixedMacroAndMicro) {
+  const Event e = sample_event();
+  EXPECT_TRUE(profile_matches(
+      "host = Hamilton AND creator = hinze AND doc ~ \"digital\"", e));
+  EXPECT_FALSE(profile_matches(
+      "host = Hamilton AND creator = hinze AND doc ~ \"opera\"", e));
+  EXPECT_TRUE(profile_matches(
+      "host = X OR (collection = D AND text = music)", e));
+}
+
+TEST(PredicateEvalTest, EngineBackedQueryAgreesWithDocScan) {
+  // §5 index path: the same query predicate, answered from the collection
+  // index, must agree with the per-document evaluation.
+  const Event e = sample_event();
+  docmodel::Collection coll;
+  coll.config.name = "X";
+  coll.config.host = "Hamilton";
+  coll.config.indexed_attributes = {"title", "creator"};
+  for (const auto& d : e.docs) coll.data.add(d);
+  retrieval::Engine engine;
+  engine.build(coll);
+
+  for (const char* text :
+       {"doc ~ \"creator:hinze AND alerting\"", "doc ~ \"creator:hinze AND music\"",
+        "NOT doc ~ \"creator:nobody\"", "doc ~ \"retriev* OR quantum\"",
+        "doc ~ \"title:music\""}) {
+    auto p = parse_profile(text);
+    ASSERT_TRUE(p.ok()) << text;
+    EventContext scan_ctx = EventContext::from(e);
+    EventContext engine_ctx = EventContext::from(e);
+    engine_ctx.set_engine(&engine);
+    EXPECT_EQ(p.value().matches(scan_ctx), p.value().matches(engine_ctx))
+        << text;
+  }
+}
+
+// ---------- index -----------------------------------------------------------------
+
+TEST(ProfileIndexTest, AddMatchRemove) {
+  ProfileIndex index;
+  auto p1 = parse_profile("host = hamilton");
+  auto p2 = parse_profile("host = london");
+  p1.value().id = 1;
+  p2.value().id = 2;
+  ASSERT_TRUE(index.add(std::move(p1).take()));
+  ASSERT_TRUE(index.add(std::move(p2).take()));
+  EXPECT_EQ(index.profile_count(), 2u);
+
+  const Event e = sample_event();
+  const EventContext ctx = EventContext::from(e);
+  EXPECT_EQ(index.match(ctx), (std::vector<ProfileId>{1}));
+
+  ASSERT_TRUE(index.remove(1));
+  EXPECT_TRUE(index.match(ctx).empty());
+  EXPECT_FALSE(index.remove(1).is_ok());
+  EXPECT_FALSE(index.contains(1));
+  EXPECT_TRUE(index.contains(2));
+}
+
+TEST(ProfileIndexTest, RejectsZeroAndDuplicateIds) {
+  ProfileIndex index;
+  auto p = parse_profile("host = x");
+  p.value().id = 0;
+  EXPECT_FALSE(index.add(p.value()));
+  p.value().id = 5;
+  EXPECT_TRUE(index.add(p.value()));
+  EXPECT_FALSE(index.add(p.value()));
+}
+
+TEST(ProfileIndexTest, MultiConjunctionProfileReportedOnce) {
+  ProfileIndex index;
+  auto p = parse_profile("host = hamilton OR collection = d");
+  p.value().id = 7;
+  ASSERT_TRUE(index.add(std::move(p).take()));
+  const Event e = sample_event();
+  // Both conjunctions match; the profile must be reported exactly once.
+  EXPECT_EQ(index.match(EventContext::from(e)),
+            (std::vector<ProfileId>{7}));
+}
+
+TEST(ProfileIndexTest, ZeroEqConjunctionsAlwaysCandidates) {
+  ProfileIndex index;
+  auto p = parse_profile("host = ham*");  // wildcard: no hashable equality
+  p.value().id = 3;
+  ASSERT_TRUE(index.add(std::move(p).take()));
+  const Event e = sample_event();
+  MatchStats stats;
+  EXPECT_EQ(index.match(EventContext::from(e), &stats),
+            (std::vector<ProfileId>{3}));
+  EXPECT_EQ(stats.eq_probe_hits, 0u);
+  EXPECT_EQ(stats.candidates, 1u);
+}
+
+TEST(ProfileIndexTest, EqualityPruningSkipsResiduals) {
+  ProfileIndex index;
+  // 50 profiles on other hosts with an expensive residual; only one can
+  // become a candidate for our event.
+  for (ProfileId id = 1; id <= 50; ++id) {
+    auto p = parse_profile("host = other" + std::to_string(id) +
+                           " AND doc ~ \"alerting\"");
+    p.value().id = id;
+    ASSERT_TRUE(index.add(std::move(p).take()));
+  }
+  auto target = parse_profile("host = hamilton AND doc ~ \"alerting\"");
+  target.value().id = 99;
+  ASSERT_TRUE(index.add(std::move(target).take()));
+
+  MatchStats stats;
+  const Event e = sample_event();
+  EXPECT_EQ(index.match(EventContext::from(e), &stats),
+            (std::vector<ProfileId>{99}));
+  EXPECT_EQ(stats.candidates, 1u);      // pruning worked
+  EXPECT_EQ(stats.residual_evals, 1u);  // only the query predicate of #99
+}
+
+TEST(ProfileIndexTest, RepeatedEqualityPredicateCountsBoth) {
+  ProfileIndex index;
+  auto p = parse_profile("host = hamilton AND host = hamilton");
+  p.value().id = 4;
+  ASSERT_TRUE(index.add(std::move(p).take()));
+  const Event e = sample_event();
+  EXPECT_EQ(index.match(EventContext::from(e)),
+            (std::vector<ProfileId>{4}));
+}
+
+TEST(ProfileIndexTest, ContradictoryEqualitiesNeverMatch) {
+  ProfileIndex index;
+  auto p = parse_profile("host = hamilton AND host = london");
+  p.value().id = 4;
+  ASSERT_TRUE(index.add(std::move(p).take()));
+  EXPECT_TRUE(index.match(EventContext::from(sample_event())).empty());
+}
+
+TEST(ProfileIndexTest, RemovalUnlinksSharedBuckets) {
+  ProfileIndex index;
+  for (ProfileId id = 1; id <= 3; ++id) {
+    auto p = parse_profile("host = hamilton");
+    p.value().id = id;
+    ASSERT_TRUE(index.add(std::move(p).take()));
+  }
+  ASSERT_TRUE(index.remove(2));
+  EXPECT_EQ(index.match(EventContext::from(sample_event())),
+            (std::vector<ProfileId>{1, 3}));
+  EXPECT_EQ(index.conjunction_count(), 2u);
+}
+
+TEST(ProfileIndexTest, SlotReuseAfterRemoval) {
+  ProfileIndex index;
+  auto p1 = parse_profile("host = hamilton");
+  p1.value().id = 1;
+  ASSERT_TRUE(index.add(std::move(p1).take()));
+  ASSERT_TRUE(index.remove(1));
+  auto p2 = parse_profile("host = london");
+  p2.value().id = 2;
+  ASSERT_TRUE(index.add(std::move(p2).take()));
+  // The reused slot must not leak the old predicate set.
+  EXPECT_TRUE(index.match(EventContext::from(sample_event())).empty());
+}
+
+// ---------- property: index == naive, over random profiles/events --------------
+
+struct FuzzParam {
+  std::uint64_t seed;
+};
+
+class IndexEquivalenceFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+std::string random_profile_text(Rng& rng) {
+  static const std::vector<std::string> hosts{"hamilton", "london", "berlin",
+                                              "waikato"};
+  static const std::vector<std::string> colls{"a", "b", "c", "d", "e"};
+  static const std::vector<std::string> types{
+      "collection_built", "collection_rebuilt", "collection_deleted"};
+  static const std::vector<std::string> creators{"hinze", "buchanan",
+                                                 "smith", "lee"};
+  auto pred = [&rng]() -> std::string {
+    switch (rng.uniform_int(0, 6)) {
+      case 0:
+        return "host = " + hosts[rng.index(hosts.size())];
+      case 1:
+        return "collection = " + colls[rng.index(colls.size())];
+      case 2:
+        return "type = " + types[rng.index(types.size())];
+      case 3:
+        return "creator = " + creators[rng.index(creators.size())];
+      case 4:
+        return "host = " + hosts[rng.index(hosts.size())].substr(0, 3) + "*";
+      case 5:
+        return "collection IN [" + colls[rng.index(colls.size())] + ", " +
+               colls[rng.index(colls.size())] + "]";
+      default:
+        return "doc_id IN [" + std::to_string(rng.uniform_int(100, 110)) +
+               "]";
+    }
+  };
+  std::string text = pred();
+  const int extra = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < extra; ++i) {
+    const char* conn = rng.chance(0.5) ? " AND " : " OR ";
+    std::string next = pred();
+    if (rng.chance(0.2)) next = "NOT " + next;
+    text += conn + next;
+  }
+  return text;
+}
+
+Event random_event(Rng& rng) {
+  static const std::vector<std::string> hosts{"Hamilton", "London", "Berlin",
+                                              "Waikato"};
+  static const std::vector<std::string> colls{"A", "B", "C", "D", "E"};
+  static const std::vector<std::string> creators{"hinze", "buchanan",
+                                                 "smith", "lee"};
+  Event e;
+  e.id = {hosts[rng.index(hosts.size())], 1};
+  e.type = static_cast<EventType>(rng.uniform_int(1, 3));
+  e.collection = {hosts[rng.index(hosts.size())],
+                  colls[rng.index(colls.size())]};
+  e.physical_origin = e.collection;
+  const int ndocs = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < ndocs; ++i) {
+    Document d;
+    d.id = static_cast<DocumentId>(rng.uniform_int(100, 110));
+    d.metadata.add("creator", creators[rng.index(creators.size())]);
+    d.terms = {"alerting"};
+    e.docs.push_back(d);
+  }
+  return e;
+}
+
+TEST_P(IndexEquivalenceFuzz, IndexAgreesWithNaiveEvaluation) {
+  Rng rng{GetParam().seed};
+  std::vector<Profile> profiles;
+  ProfileIndex index;
+  for (ProfileId id = 1; id <= 200; ++id) {
+    auto parsed = parse_profile(random_profile_text(rng));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    parsed.value().id = id;
+    profiles.push_back(parsed.value());
+    ASSERT_TRUE(index.add(std::move(parsed).take()));
+  }
+  for (int round = 0; round < 50; ++round) {
+    const Event e = random_event(rng);
+    const EventContext ctx = EventContext::from(e);
+    std::vector<ProfileId> naive;
+    for (const Profile& p : profiles) {
+      if (p.matches(ctx)) naive.push_back(p.id);
+    }
+    EXPECT_EQ(index.match(ctx), naive) << "seed=" << GetParam().seed
+                                       << " round=" << round;
+  }
+}
+
+TEST_P(IndexEquivalenceFuzz, EquivalenceHoldsUnderChurn) {
+  Rng rng{GetParam().seed ^ 0xABCDEF};
+  std::vector<Profile> profiles;
+  ProfileIndex index;
+  ProfileId next_id = 1;
+  for (int round = 0; round < 30; ++round) {
+    // Add a few profiles.
+    for (int i = 0; i < 10; ++i) {
+      auto parsed = parse_profile(random_profile_text(rng));
+      ASSERT_TRUE(parsed.ok());
+      parsed.value().id = next_id++;
+      profiles.push_back(parsed.value());
+      ASSERT_TRUE(index.add(std::move(parsed).take()));
+    }
+    // Remove a random subset.
+    for (int i = 0; i < 4 && !profiles.empty(); ++i) {
+      const std::size_t victim = rng.index(profiles.size());
+      ASSERT_TRUE(index.remove(profiles[victim].id));
+      profiles.erase(profiles.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+    }
+    const Event e = random_event(rng);
+    const EventContext ctx = EventContext::from(e);
+    std::vector<ProfileId> naive;
+    for (const Profile& p : profiles) {
+      if (p.matches(ctx)) naive.push_back(p.id);
+    }
+    EXPECT_EQ(index.match(ctx), naive) << "round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, IndexEquivalenceFuzz,
+    ::testing::Values(FuzzParam{1}, FuzzParam{2}, FuzzParam{3}, FuzzParam{17},
+                      FuzzParam{42}, FuzzParam{1337}, FuzzParam{9999},
+                      FuzzParam{123456}),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return "seed_" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace gsalert::profiles

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "docmodel/collection.h"
+#include "docmodel/document.h"
+#include "retrieval/classifier.h"
+#include "retrieval/engine.h"
+#include "retrieval/inverted_index.h"
+#include "retrieval/query_parser.h"
+#include "retrieval/stemmer.h"
+
+namespace gsalert::retrieval {
+namespace {
+
+using docmodel::Collection;
+using docmodel::DataSet;
+using docmodel::Document;
+
+Document doc(DocumentId id, std::string title, std::string creator,
+             std::vector<std::string> terms) {
+  Document d;
+  d.id = id;
+  d.metadata.add("title", std::move(title));
+  d.metadata.add("creator", std::move(creator));
+  d.terms = std::move(terms);
+  return d;
+}
+
+DataSet corpus() {
+  DataSet ds;
+  ds.add(doc(1, "Digital Libraries", "hinze", {"alerting", "digital"}));
+  ds.add(doc(2, "Networking", "buchanan", {"routing", "networks"}));
+  ds.add(doc(3, "Alert Routing", "hinze", {"alerting", "routing"}));
+  ds.add(doc(4, "Music Retrieval", "smith", {"music", "retrieval"}));
+  return ds;
+}
+
+InvertedIndex build_index() {
+  InvertedIndex idx;
+  idx.build(corpus(), {"title", "creator"});
+  return idx;
+}
+
+// ---------- Query AST -------------------------------------------------------
+
+TEST(QueryTest, TermMatchesText) {
+  const auto q = Query::term("text", "alerting");
+  EXPECT_TRUE(q->matches(doc(1, "t", "c", {"alerting"})));
+  EXPECT_FALSE(q->matches(doc(1, "t", "c", {"routing"})));
+}
+
+TEST(QueryTest, TermMatchesMetadataCaseInsensitive) {
+  const auto q = Query::term("creator", "HINZE");
+  EXPECT_TRUE(q->matches(doc(1, "t", "hinze", {})));
+  EXPECT_FALSE(q->matches(doc(1, "t", "smith", {})));
+}
+
+TEST(QueryTest, WildcardOnMetadata) {
+  const auto q = Query::wildcard("title", "digital*");
+  EXPECT_TRUE(q->matches(doc(1, "Digital Libraries", "x", {})));
+  EXPECT_FALSE(q->matches(doc(1, "Libraries", "x", {})));
+}
+
+TEST(QueryTest, BooleanCombinators) {
+  const auto q = Query::conj(
+      {Query::term("creator", "hinze"),
+       Query::negate(Query::term("text", "digital"))});
+  EXPECT_FALSE(q->matches(doc(1, "t", "hinze", {"digital"})));
+  EXPECT_TRUE(q->matches(doc(1, "t", "hinze", {"routing"})));
+}
+
+TEST(QueryTest, SingleChildConjCollapses) {
+  const auto child = Query::term("text", "x");
+  EXPECT_EQ(Query::conj({child}), child);
+  EXPECT_EQ(Query::disj({child}), child);
+}
+
+TEST(QueryTest, StrRendering) {
+  auto q = parse_query("title:dl AND (text:alert* OR creator:hinze)");
+  ASSERT_TRUE(q.ok());
+  // Render and reparse: must be accepted and equivalent in structure.
+  auto q2 = parse_query(q.value()->str());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q.value()->str(), q2.value()->str());
+}
+
+// ---------- Parser -----------------------------------------------------------
+
+TEST(ParserTest, DefaultAttributeIsText) {
+  auto q = parse_query("alerting");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->kind(), QueryKind::kTerm);
+  EXPECT_EQ(q.value()->attribute(), "text");
+}
+
+TEST(ParserTest, AttributePrefix) {
+  auto q = parse_query("creator:hinze");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->attribute(), "creator");
+  EXPECT_EQ(q.value()->value(), "hinze");
+}
+
+TEST(ParserTest, JuxtapositionIsAnd) {
+  auto q = parse_query("digital library");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->kind(), QueryKind::kAnd);
+  EXPECT_EQ(q.value()->children().size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceOrLowerThanAnd) {
+  auto q = parse_query("a b OR c");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->kind(), QueryKind::kOr);
+  EXPECT_EQ(q.value()->children()[0]->kind(), QueryKind::kAnd);
+}
+
+TEST(ParserTest, ParensOverridePrecedence) {
+  auto q = parse_query("a AND (b OR c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->kind(), QueryKind::kAnd);
+  EXPECT_EQ(q.value()->children()[1]->kind(), QueryKind::kOr);
+}
+
+TEST(ParserTest, NotPrefix) {
+  auto q = parse_query("NOT music");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->kind(), QueryKind::kNot);
+}
+
+TEST(ParserTest, WildcardDetected) {
+  auto q = parse_query("title:net*");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->kind(), QueryKind::kWildcard);
+}
+
+TEST(ParserTest, Lowercasing) {
+  auto q = parse_query("creator:HINZE");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->value(), "hinze");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("   ").ok());
+  EXPECT_FALSE(parse_query("(a OR b").ok());
+  EXPECT_FALSE(parse_query("a )").ok());
+  EXPECT_FALSE(parse_query("creator:").ok());
+  EXPECT_FALSE(parse_query("AND").ok());
+  EXPECT_FALSE(parse_query("a & b").ok());
+}
+
+// ---------- Inverted index -----------------------------------------------------
+
+TEST(IndexTest, TermLookup) {
+  const auto idx = build_index();
+  auto q = parse_query("text:alerting");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(idx.execute(*q.value()), (PostingList{1, 3}));
+}
+
+TEST(IndexTest, MetadataLookupIsCaseInsensitive) {
+  const auto idx = build_index();
+  auto q = parse_query("title:networking");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(idx.execute(*q.value()), (PostingList{2}));
+}
+
+TEST(IndexTest, UnindexedAttributeFindsNothing) {
+  const auto idx = build_index();
+  auto q = parse_query("subject:anything");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(idx.execute(*q.value()).empty());
+}
+
+TEST(IndexTest, AndOrNot) {
+  const auto idx = build_index();
+  auto and_q = parse_query("creator:hinze AND text:routing");
+  ASSERT_TRUE(and_q.ok());
+  EXPECT_EQ(idx.execute(*and_q.value()), (PostingList{3}));
+
+  auto or_q = parse_query("text:music OR text:digital");
+  ASSERT_TRUE(or_q.ok());
+  EXPECT_EQ(idx.execute(*or_q.value()), (PostingList{1, 4}));
+
+  auto not_q = parse_query("NOT creator:hinze");
+  ASSERT_TRUE(not_q.ok());
+  EXPECT_EQ(idx.execute(*not_q.value()), (PostingList{2, 4}));
+}
+
+TEST(IndexTest, WildcardScansLexicon) {
+  const auto idx = build_index();
+  auto q = parse_query("text:rout*");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(idx.execute(*q.value()), (PostingList{2, 3}));
+}
+
+TEST(IndexTest, IncrementalAdd) {
+  auto idx = build_index();
+  idx.add_document(doc(9, "Digital Alerts", "lee", {"digital"}),
+                   {"title", "creator"});
+  auto q = parse_query("text:digital");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(idx.execute(*q.value()), (PostingList{1, 9}));
+  EXPECT_EQ(idx.doc_count(), 5u);
+}
+
+TEST(IndexTest, RebuildReplacesContents) {
+  auto idx = build_index();
+  DataSet tiny;
+  tiny.add(doc(7, "Only", "x", {"only"}));
+  idx.build(tiny, {});
+  EXPECT_EQ(idx.doc_count(), 1u);
+  auto q = parse_query("text:alerting");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(idx.execute(*q.value()).empty());
+}
+
+TEST(PostingAlgebraTest, SetOperations) {
+  const PostingList a{1, 3, 5}, b{3, 4, 5};
+  EXPECT_EQ(intersect(a, b), (PostingList{3, 5}));
+  EXPECT_EQ(unite(a, b), (PostingList{1, 3, 4, 5}));
+  EXPECT_EQ(subtract(a, b), (PostingList{1}));
+  EXPECT_TRUE(intersect({}, b).empty());
+  EXPECT_EQ(unite({}, b), b);
+}
+
+// ---------- Classifier ----------------------------------------------------------
+
+TEST(ClassifierTest, GroupsByAttribute) {
+  Classifier c{"creator"};
+  c.build(corpus());
+  EXPECT_EQ(c.values(),
+            (std::vector<std::string>{"buchanan", "hinze", "smith"}));
+  EXPECT_EQ(c.docs("hinze"), (std::vector<DocumentId>{1, 3}));
+  EXPECT_TRUE(c.docs("nobody").empty());
+  EXPECT_EQ(c.bucket_count(), 3u);
+}
+
+// ---------- Stemmer ---------------------------------------------------------------
+
+TEST(StemmerTest, Plurals) {
+  EXPECT_EQ(stem("libraries"), "librari");
+  EXPECT_EQ(stem("library"), "librari");  // y->i collapses with the plural
+  EXPECT_EQ(stem("collections"), "collection");
+  EXPECT_EQ(stem("classes"), "class");
+  EXPECT_EQ(stem("pass"), "pass");
+  EXPECT_EQ(stem("corpus"), "corpus");  // -us is not a plural
+  EXPECT_EQ(stem("thesis"), "thesis");  // -is is not a plural
+}
+
+TEST(StemmerTest, EdAndIng) {
+  EXPECT_EQ(stem("indexing"), "index");
+  EXPECT_EQ(stem("indexed"), "index");
+  EXPECT_EQ(stem("stopped"), "stop");
+  EXPECT_EQ(stem("creating"), "create");
+  EXPECT_EQ(stem("alerting"), "alert");
+  EXPECT_EQ(stem("sing"), "sing");  // stem would lose its vowel
+  EXPECT_EQ(stem("falling"), "fall");  // final l is not undoubled
+}
+
+TEST(StemmerTest, DerivationalSuffixes) {
+  EXPECT_EQ(stem("normalization"), "normalize");
+  EXPECT_EQ(stem("notification"), "notificate");  // simplified Porter
+  EXPECT_EQ(stem("darkness"), "dark");
+  EXPECT_EQ(stem("management"), "manage" /* manage- */);
+  EXPECT_EQ(stem("useful"), "use");
+}
+
+TEST(StemmerTest, ShortWordsUntouched) {
+  EXPECT_EQ(stem("is"), "is");
+  EXPECT_EQ(stem("a"), "a");
+  EXPECT_EQ(stem(""), "");
+}
+
+TEST(StemmerTest, StemsAreIdempotentOnCommonVocabulary) {
+  // (Not every word: like real Porter, repeated application can strip
+  // further for a few forms — e.g. "browsing" -> "brows" -> "brow".)
+  for (const char* w :
+       {"alerting", "libraries", "collections", "indexed", "stopped",
+        "notifications", "searching", "documents"}) {
+    const std::string once = stem(w);
+    EXPECT_EQ(stem(once), once) << w;
+  }
+}
+
+TEST(StemmerTest, TokenizeStemmed) {
+  const auto terms = tokenize_stemmed("Indexing the Libraries' documents");
+  const std::vector<std::string> expected{"index", "the", "librari",
+                                          "document"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(StemmerTest, StemmedIngestionUnifiesWordFamiliesInTheIndex) {
+  // Ingest with stemming and query with stemming: all forms of a word
+  // family land on the same posting list.
+  DataSet data;
+  Document d1;
+  d1.id = 1;
+  d1.terms = tokenize_stemmed("alerting services for libraries");
+  Document d2;
+  d2.id = 2;
+  d2.terms = tokenize_stemmed("a library alert");
+  data.add(d1);
+  data.add(d2);
+  InvertedIndex idx;
+  idx.build(data, {});
+  auto q = parse_query("text:" + stem("alerts") + " AND text:" +
+                       stem("library"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(idx.execute(*q.value()), (PostingList{1, 2}));
+}
+
+// ---------- Engine ---------------------------------------------------------------
+
+TEST(EngineTest, BuildAndSearch) {
+  Collection coll;
+  coll.config.name = "A";
+  coll.config.host = "Hamilton";
+  coll.config.indexed_attributes = {"title", "creator"};
+  coll.config.classifier_attributes = {"creator"};
+  coll.data = corpus();
+
+  Engine engine;
+  engine.build(coll);
+  auto hits = engine.search("creator:hinze AND alerting");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value(), (PostingList{1, 3}));
+
+  ASSERT_NE(engine.classifier("creator"), nullptr);
+  EXPECT_EQ(engine.classifier("creator")->docs("smith"),
+            (std::vector<DocumentId>{4}));
+  EXPECT_EQ(engine.classifier("title"), nullptr);
+}
+
+TEST(EngineTest, SearchParseErrorPropagates) {
+  Engine engine;
+  EXPECT_FALSE(engine.search("(broken").ok());
+}
+
+}  // namespace
+}  // namespace gsalert::retrieval

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "wire/codec.h"
+#include "wire/envelope.h"
+#include "wire/message_types.h"
+
+namespace gsalert::wire {
+namespace {
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xFE);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.u8(), 0xFE);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, ExtremeValues) {
+  Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(-0.0);
+  w.str("");
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, TruncatedInputFailsLatched) {
+  Writer w;
+  w.u32(7);
+  Reader r{std::span<const std::byte>(w.buffer().data(), 2)};
+  (void)r.u32();
+  EXPECT_FALSE(r.ok());
+  // Latch: all subsequent reads fail without UB and return zero values.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.done());
+}
+
+TEST(CodecTest, StringWithBogusLengthFails) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, BytesRoundTrip) {
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  Writer w;
+  w.bytes(payload);
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, SeqRoundTrip) {
+  std::vector<std::string> names{"Hamilton", "London", ""};
+  Writer w;
+  w.seq(names, [](Writer& w2, const std::string& s) { w2.str(s); });
+  Reader r{w.buffer()};
+  const auto out = r.seq<std::string>([](Reader& r2) { return r2.str(); });
+  EXPECT_EQ(out, names);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, SeqWithAbsurdLengthFailsFast) {
+  Writer w;
+  w.u32(0xFFFFFFFF);
+  Reader r{w.buffer()};
+  const auto out = r.seq<std::string>([](Reader& r2) { return r2.str(); });
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, DoneDetectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r{w.buffer()};
+  r.u8();
+  EXPECT_FALSE(r.done());
+  r.u8();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(EnvelopeTest, RoundTrip) {
+  Writer body;
+  body.str("payload");
+  Envelope env = make_envelope(MessageType::kGdsBroadcast, "Hamilton",
+                               "London", 99, std::move(body));
+  env.ttl = 12;
+  const sim::Packet packet = env.pack();
+
+  auto decoded = unpack(packet);
+  ASSERT_TRUE(decoded.ok());
+  const Envelope& out = decoded.value();
+  EXPECT_EQ(out.type, MessageType::kGdsBroadcast);
+  EXPECT_EQ(out.src, "Hamilton");
+  EXPECT_EQ(out.dst, "London");
+  EXPECT_EQ(out.msg_id, 99u);
+  EXPECT_EQ(out.ttl, 12);
+  Reader r{out.body};
+  EXPECT_EQ(r.str(), "payload");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(EnvelopeTest, EmptyDstMeansHopLocal) {
+  Envelope env = make_envelope(MessageType::kGdsHeartbeat, "gds-2", "", 1,
+                               Writer{});
+  auto decoded = unpack(env.pack());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().dst.empty());
+  EXPECT_TRUE(decoded.value().body.empty());
+}
+
+TEST(EnvelopeTest, GarbageFailsToDecode) {
+  sim::Packet junk{std::vector<std::byte>{std::byte{0x01}}};
+  auto decoded = unpack(junk);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kDecodeFailure);
+}
+
+TEST(EnvelopeTest, TrailingGarbageRejected) {
+  Envelope env =
+      make_envelope(MessageType::kGdsRegister, "s", "", 1, Writer{});
+  sim::Packet packet = env.pack();
+  packet.bytes.push_back(std::byte{0xFF});
+  EXPECT_FALSE(unpack(packet).ok());
+}
+
+}  // namespace
+}  // namespace gsalert::wire

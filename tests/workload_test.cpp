@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "profiles/parser.h"
+#include "workload/generators.h"
+#include "workload/scenario.h"
+
+namespace gsalert::workload {
+namespace {
+
+// ---------- generators ---------------------------------------------------
+
+TEST(MetadataSchemaTest, DeterministicPerHostAndSeed) {
+  const auto a1 = MetadataSchema::for_host("Hamilton", 7);
+  const auto a2 = MetadataSchema::for_host("Hamilton", 7);
+  EXPECT_EQ(a1.attributes, a2.attributes);
+  const auto b = MetadataSchema::for_host("London", 7);
+  // Core attributes always present.
+  EXPECT_EQ(a1.attributes[0], "title");
+  EXPECT_EQ(b.attributes[0], "title");
+  EXPECT_GE(a1.attributes.size(), 3u);
+  EXPECT_EQ(a1.values.size(), a1.attributes.size());
+}
+
+TEST(CollectionGenTest, DocumentsFollowSchema) {
+  Rng rng{5};
+  auto schema = MetadataSchema::for_host("H", 5);
+  CollectionGen gen{rng, schema, CollectionGenConfig{.terms_per_doc = 8}};
+  const auto doc = gen.make_document(42);
+  EXPECT_EQ(doc.id, 42u);
+  EXPECT_EQ(doc.terms.size(), 8u);
+  for (const auto& attr : schema.attributes) {
+    EXPECT_TRUE(doc.metadata.has(attr));
+  }
+}
+
+TEST(CollectionGenTest, DataSetIdsSequential) {
+  Rng rng{5};
+  CollectionGen gen{rng, MetadataSchema::for_host("H", 5), {}};
+  const auto ds = gen.make_data_set(100, 5);
+  ASSERT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.docs().front().id, 100u);
+  EXPECT_EQ(ds.docs().back().id, 104u);
+}
+
+TEST(ProfileGenTest, GeneratedProfilesAllParse) {
+  Rng rng{11};
+  ProfileGen gen{rng};
+  const std::vector<std::string> hosts{"Host0", "Host1"};
+  const std::vector<CollectionRef> colls{{"Host0", "C0"}, {"Host1", "C0"}};
+  const std::vector<MetadataSchema> schemas{
+      MetadataSchema::for_host("Host0", 11),
+      MetadataSchema::for_host("Host1", 11)};
+  std::set<std::string> distinct;
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = gen.make_profile(hosts, colls, schemas);
+    auto parsed = profiles::parse_profile(text);
+    ASSERT_TRUE(parsed.ok()) << text << " -> " << parsed.error().str();
+    distinct.insert(text);
+  }
+  EXPECT_GT(distinct.size(), 20u);  // generator actually varies output
+}
+
+TEST(TopologyGenTest, SolitaryFractionRoughlyRespected) {
+  Rng rng{13};
+  const auto topo =
+      make_topology(rng, 100, TopologyGenConfig{.solitary_fraction = 0.6});
+  std::set<int> linked;
+  for (const auto& [a, b] : topo.links) {
+    linked.insert(a);
+    linked.insert(b);
+  }
+  EXPECT_LE(linked.size(), 45u);
+  EXPECT_GE(linked.size(), 20u);
+}
+
+TEST(TopologyGenTest, ComponentsPartitionTheServers) {
+  Rng rng{13};
+  const auto topo = make_topology(rng, 50, {});
+  const auto comps = topo.components();
+  std::size_t total = 0;
+  for (const auto& c : comps) total += c.size();
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(TopologyGenTest, FullyConnectedOption) {
+  Rng rng{13};
+  const auto topo = make_topology(
+      rng, 12, TopologyGenConfig{.solitary_fraction = 0.0,
+                                 .island_size = 12,
+                                 .cycle_probability = 0.0});
+  // One big component possible only if islands merged; at minimum, far
+  // fewer components than servers.
+  EXPECT_LT(topo.components().size(), 7u);
+}
+
+// ---------- scenario: end-to-end, per strategy ---------------------------------
+
+struct StrategyParam {
+  Strategy strategy;
+};
+
+class ScenarioStrategyTest
+    : public ::testing::TestWithParam<StrategyParam> {};
+
+TEST_P(ScenarioStrategyTest, DeliversAllExpectedOnHealthyNetwork) {
+  ScenarioConfig config;
+  config.strategy = GetParam().strategy;
+  config.n_servers = 6;
+  config.clients_per_server = 1;
+  config.collections_per_server = 2;
+  config.seed = 77;
+  // Healthy, fully connected overlay for the flooding strategies.
+  config.topology = TopologyGenConfig{.solitary_fraction = 0.0,
+                                      .island_size = 100,
+                                      .cycle_probability = 0.0};
+  Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(2));
+  for (int i = 0; i < 10; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(300));
+  }
+  scenario.settle(SimTime::seconds(5));
+  const Outcome out = scenario.outcome();
+  EXPECT_EQ(out.events_published, 10u);
+  EXPECT_EQ(out.false_negatives, 0u)
+      << "strategy=" << strategy_name(GetParam().strategy);
+  EXPECT_EQ(out.false_positives, 0u);
+  EXPECT_EQ(out.delivered_matching, out.expected_notifications);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ScenarioStrategyTest,
+    ::testing::Values(StrategyParam{Strategy::kGsAlert},
+                      StrategyParam{Strategy::kCentralized},
+                      StrategyParam{Strategy::kProfileFlooding},
+                      StrategyParam{Strategy::kRendezvous},
+                      StrategyParam{Strategy::kGsFlooding}),
+    [](const ::testing::TestParamInfo<StrategyParam>& info) {
+      std::string name = strategy_name(info.param.strategy);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ScenarioTest, GsAlertSurvivesFragmentedTopologyButGsFloodDoesNot) {
+  // The paper's headline argument: on the real (fragmented) Greenstone
+  // topology, flooding over GS links misses islands; the GDS reaches all.
+  auto run = [](Strategy strategy) {
+    ScenarioConfig config;
+    config.strategy = strategy;
+    config.n_servers = 10;
+    config.seed = 99;
+    config.topology = TopologyGenConfig{.solitary_fraction = 0.7,
+                                        .island_size = 3};
+    Scenario scenario{config};
+    scenario.setup_collections();
+    scenario.subscribe_all(2);
+    scenario.settle(SimTime::seconds(2));
+    for (int i = 0; i < 12; ++i) {
+      scenario.publish_random_rebuild(2);
+      scenario.settle(SimTime::millis(200));
+    }
+    scenario.settle(SimTime::seconds(5));
+    return scenario.outcome();
+  };
+  const Outcome gsalert = run(Strategy::kGsAlert);
+  const Outcome gsflood = run(Strategy::kGsFlooding);
+  EXPECT_EQ(gsalert.false_negatives, 0u);
+  EXPECT_GT(gsflood.false_negatives, 0u);
+}
+
+TEST(ScenarioTest, CancelledProfilesStopMatching) {
+  ScenarioConfig config;
+  config.strategy = Strategy::kGsAlert;
+  config.n_servers = 4;
+  config.seed = 3;
+  Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(3);
+  scenario.settle(SimTime::seconds(2));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(scenario.cancel_random());
+  }
+  scenario.settle(SimTime::seconds(1));
+  for (int i = 0; i < 8; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(200));
+  }
+  scenario.settle(SimTime::seconds(5));
+  const Outcome out = scenario.outcome();
+  EXPECT_EQ(out.false_positives, 0u);
+  EXPECT_EQ(out.false_negatives, 0u);
+}
+
+TEST(ScenarioTest, LatencyRecorded) {
+  ScenarioConfig config;
+  config.n_servers = 4;
+  config.seed = 5;
+  Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(3);
+  scenario.settle(SimTime::seconds(2));
+  for (int i = 0; i < 10; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(300));
+  }
+  scenario.settle(SimTime::seconds(3));
+  const Outcome out = scenario.outcome();
+  if (out.expected_notifications > 0) {
+    ASSERT_FALSE(out.notification_latency_ms.empty());
+    EXPECT_GE(out.notification_latency_ms.min(), 0.0);
+    // A few GDS hops at 10ms each: latency must be bounded.
+    EXPECT_LT(out.notification_latency_ms.max(), 500.0);
+  }
+}
+
+}  // namespace
+}  // namespace gsalert::workload
