@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_build_overhead"
+  "../bench/bench_build_overhead.pdb"
+  "CMakeFiles/bench_build_overhead.dir/bench_build_overhead.cpp.o"
+  "CMakeFiles/bench_build_overhead.dir/bench_build_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

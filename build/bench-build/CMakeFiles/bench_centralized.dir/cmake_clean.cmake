@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_centralized"
+  "../bench/bench_centralized.pdb"
+  "CMakeFiles/bench_centralized.dir/bench_centralized.cpp.o"
+  "CMakeFiles/bench_centralized.dir/bench_centralized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dangling_profiles.cpp" "bench-build/CMakeFiles/bench_dangling_profiles.dir/bench_dangling_profiles.cpp.o" "gcc" "bench-build/CMakeFiles/bench_dangling_profiles.dir/bench_dangling_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/gsalert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gsalert_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/alerting/CMakeFiles/gsalert_alerting.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsnet/CMakeFiles/gsalert_gsnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiles/CMakeFiles/gsalert_profiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/gsalert_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/docmodel/CMakeFiles/gsalert_docmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gds/CMakeFiles/gsalert_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gsalert_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gsalert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsalert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

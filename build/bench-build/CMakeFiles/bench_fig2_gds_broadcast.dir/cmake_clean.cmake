@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_gds_broadcast"
+  "../bench/bench_fig2_gds_broadcast.pdb"
+  "CMakeFiles/bench_fig2_gds_broadcast.dir/bench_fig2_gds_broadcast.cpp.o"
+  "CMakeFiles/bench_fig2_gds_broadcast.dir/bench_fig2_gds_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gds_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

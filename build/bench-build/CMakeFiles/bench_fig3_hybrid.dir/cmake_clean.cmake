@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_hybrid"
+  "../bench/bench_fig3_hybrid.pdb"
+  "CMakeFiles/bench_fig3_hybrid.dir/bench_fig3_hybrid.cpp.o"
+  "CMakeFiles/bench_fig3_hybrid.dir/bench_fig3_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

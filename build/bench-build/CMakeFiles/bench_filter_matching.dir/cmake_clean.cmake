@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_filter_matching"
+  "../bench/bench_filter_matching.pdb"
+  "CMakeFiles/bench_filter_matching.dir/bench_filter_matching.cpp.o"
+  "CMakeFiles/bench_filter_matching.dir/bench_filter_matching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

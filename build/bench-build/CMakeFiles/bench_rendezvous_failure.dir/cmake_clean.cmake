@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rendezvous_failure"
+  "../bench/bench_rendezvous_failure.pdb"
+  "CMakeFiles/bench_rendezvous_failure.dir/bench_rendezvous_failure.cpp.o"
+  "CMakeFiles/bench_rendezvous_failure.dir/bench_rendezvous_failure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rendezvous_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

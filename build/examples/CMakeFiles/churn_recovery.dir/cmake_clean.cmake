@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_recovery.dir/churn_recovery.cpp.o"
+  "CMakeFiles/churn_recovery.dir/churn_recovery.cpp.o.d"
+  "churn_recovery"
+  "churn_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

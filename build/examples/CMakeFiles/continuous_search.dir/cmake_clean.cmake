@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_search.dir/continuous_search.cpp.o"
+  "CMakeFiles/continuous_search.dir/continuous_search.cpp.o.d"
+  "continuous_search"
+  "continuous_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_collection.dir/distributed_collection.cpp.o"
+  "CMakeFiles/distributed_collection.dir/distributed_collection.cpp.o.d"
+  "distributed_collection"
+  "distributed_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_library.dir/federated_library.cpp.o"
+  "CMakeFiles/federated_library.dir/federated_library.cpp.o.d"
+  "federated_library"
+  "federated_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

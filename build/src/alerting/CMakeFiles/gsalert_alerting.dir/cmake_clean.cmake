@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_alerting.dir/alerting_service.cpp.o"
+  "CMakeFiles/gsalert_alerting.dir/alerting_service.cpp.o.d"
+  "CMakeFiles/gsalert_alerting.dir/client.cpp.o"
+  "CMakeFiles/gsalert_alerting.dir/client.cpp.o.d"
+  "CMakeFiles/gsalert_alerting.dir/continuous.cpp.o"
+  "CMakeFiles/gsalert_alerting.dir/continuous.cpp.o.d"
+  "CMakeFiles/gsalert_alerting.dir/messages.cpp.o"
+  "CMakeFiles/gsalert_alerting.dir/messages.cpp.o.d"
+  "libgsalert_alerting.a"
+  "libgsalert_alerting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_alerting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_baselines.dir/centralized.cpp.o"
+  "CMakeFiles/gsalert_baselines.dir/centralized.cpp.o.d"
+  "CMakeFiles/gsalert_baselines.dir/gs_flooding.cpp.o"
+  "CMakeFiles/gsalert_baselines.dir/gs_flooding.cpp.o.d"
+  "CMakeFiles/gsalert_baselines.dir/messages.cpp.o"
+  "CMakeFiles/gsalert_baselines.dir/messages.cpp.o.d"
+  "CMakeFiles/gsalert_baselines.dir/profile_flooding.cpp.o"
+  "CMakeFiles/gsalert_baselines.dir/profile_flooding.cpp.o.d"
+  "CMakeFiles/gsalert_baselines.dir/rendezvous.cpp.o"
+  "CMakeFiles/gsalert_baselines.dir/rendezvous.cpp.o.d"
+  "CMakeFiles/gsalert_baselines.dir/subscription_base.cpp.o"
+  "CMakeFiles/gsalert_baselines.dir/subscription_base.cpp.o.d"
+  "libgsalert_baselines.a"
+  "libgsalert_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_common.dir/error.cpp.o"
+  "CMakeFiles/gsalert_common.dir/error.cpp.o.d"
+  "CMakeFiles/gsalert_common.dir/histogram.cpp.o"
+  "CMakeFiles/gsalert_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/gsalert_common.dir/log.cpp.o"
+  "CMakeFiles/gsalert_common.dir/log.cpp.o.d"
+  "CMakeFiles/gsalert_common.dir/rng.cpp.o"
+  "CMakeFiles/gsalert_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gsalert_common.dir/strings.cpp.o"
+  "CMakeFiles/gsalert_common.dir/strings.cpp.o.d"
+  "libgsalert_common.a"
+  "libgsalert_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

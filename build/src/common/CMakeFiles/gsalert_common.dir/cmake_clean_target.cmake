@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsalert_common.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/docmodel/collection.cpp" "src/docmodel/CMakeFiles/gsalert_docmodel.dir/collection.cpp.o" "gcc" "src/docmodel/CMakeFiles/gsalert_docmodel.dir/collection.cpp.o.d"
+  "/root/repo/src/docmodel/document.cpp" "src/docmodel/CMakeFiles/gsalert_docmodel.dir/document.cpp.o" "gcc" "src/docmodel/CMakeFiles/gsalert_docmodel.dir/document.cpp.o.d"
+  "/root/repo/src/docmodel/event.cpp" "src/docmodel/CMakeFiles/gsalert_docmodel.dir/event.cpp.o" "gcc" "src/docmodel/CMakeFiles/gsalert_docmodel.dir/event.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsalert_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gsalert_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gsalert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_docmodel.dir/collection.cpp.o"
+  "CMakeFiles/gsalert_docmodel.dir/collection.cpp.o.d"
+  "CMakeFiles/gsalert_docmodel.dir/document.cpp.o"
+  "CMakeFiles/gsalert_docmodel.dir/document.cpp.o.d"
+  "CMakeFiles/gsalert_docmodel.dir/event.cpp.o"
+  "CMakeFiles/gsalert_docmodel.dir/event.cpp.o.d"
+  "libgsalert_docmodel.a"
+  "libgsalert_docmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_docmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

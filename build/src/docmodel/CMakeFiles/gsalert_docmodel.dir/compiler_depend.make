@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gsalert_docmodel.
+# This may be replaced when dependencies are built.

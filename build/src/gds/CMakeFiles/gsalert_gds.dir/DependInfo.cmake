@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gds/gds_client.cpp" "src/gds/CMakeFiles/gsalert_gds.dir/gds_client.cpp.o" "gcc" "src/gds/CMakeFiles/gsalert_gds.dir/gds_client.cpp.o.d"
+  "/root/repo/src/gds/gds_server.cpp" "src/gds/CMakeFiles/gsalert_gds.dir/gds_server.cpp.o" "gcc" "src/gds/CMakeFiles/gsalert_gds.dir/gds_server.cpp.o.d"
+  "/root/repo/src/gds/messages.cpp" "src/gds/CMakeFiles/gsalert_gds.dir/messages.cpp.o" "gcc" "src/gds/CMakeFiles/gsalert_gds.dir/messages.cpp.o.d"
+  "/root/repo/src/gds/tree_builder.cpp" "src/gds/CMakeFiles/gsalert_gds.dir/tree_builder.cpp.o" "gcc" "src/gds/CMakeFiles/gsalert_gds.dir/tree_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/gsalert_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gsalert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsalert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_gds.dir/gds_client.cpp.o"
+  "CMakeFiles/gsalert_gds.dir/gds_client.cpp.o.d"
+  "CMakeFiles/gsalert_gds.dir/gds_server.cpp.o"
+  "CMakeFiles/gsalert_gds.dir/gds_server.cpp.o.d"
+  "CMakeFiles/gsalert_gds.dir/messages.cpp.o"
+  "CMakeFiles/gsalert_gds.dir/messages.cpp.o.d"
+  "CMakeFiles/gsalert_gds.dir/tree_builder.cpp.o"
+  "CMakeFiles/gsalert_gds.dir/tree_builder.cpp.o.d"
+  "libgsalert_gds.a"
+  "libgsalert_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_gsnet.dir/greenstone_server.cpp.o"
+  "CMakeFiles/gsalert_gsnet.dir/greenstone_server.cpp.o.d"
+  "CMakeFiles/gsalert_gsnet.dir/messages.cpp.o"
+  "CMakeFiles/gsalert_gsnet.dir/messages.cpp.o.d"
+  "CMakeFiles/gsalert_gsnet.dir/receptionist.cpp.o"
+  "CMakeFiles/gsalert_gsnet.dir/receptionist.cpp.o.d"
+  "libgsalert_gsnet.a"
+  "libgsalert_gsnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_gsnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

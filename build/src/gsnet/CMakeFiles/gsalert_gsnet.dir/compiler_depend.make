@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gsalert_gsnet.
+# This may be replaced when dependencies are built.

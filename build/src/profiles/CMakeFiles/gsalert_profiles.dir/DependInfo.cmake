@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiles/event_context.cpp" "src/profiles/CMakeFiles/gsalert_profiles.dir/event_context.cpp.o" "gcc" "src/profiles/CMakeFiles/gsalert_profiles.dir/event_context.cpp.o.d"
+  "/root/repo/src/profiles/index.cpp" "src/profiles/CMakeFiles/gsalert_profiles.dir/index.cpp.o" "gcc" "src/profiles/CMakeFiles/gsalert_profiles.dir/index.cpp.o.d"
+  "/root/repo/src/profiles/parser.cpp" "src/profiles/CMakeFiles/gsalert_profiles.dir/parser.cpp.o" "gcc" "src/profiles/CMakeFiles/gsalert_profiles.dir/parser.cpp.o.d"
+  "/root/repo/src/profiles/predicate.cpp" "src/profiles/CMakeFiles/gsalert_profiles.dir/predicate.cpp.o" "gcc" "src/profiles/CMakeFiles/gsalert_profiles.dir/predicate.cpp.o.d"
+  "/root/repo/src/profiles/profile.cpp" "src/profiles/CMakeFiles/gsalert_profiles.dir/profile.cpp.o" "gcc" "src/profiles/CMakeFiles/gsalert_profiles.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/docmodel/CMakeFiles/gsalert_docmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/gsalert_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gsalert_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gsalert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsalert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_profiles.dir/event_context.cpp.o"
+  "CMakeFiles/gsalert_profiles.dir/event_context.cpp.o.d"
+  "CMakeFiles/gsalert_profiles.dir/index.cpp.o"
+  "CMakeFiles/gsalert_profiles.dir/index.cpp.o.d"
+  "CMakeFiles/gsalert_profiles.dir/parser.cpp.o"
+  "CMakeFiles/gsalert_profiles.dir/parser.cpp.o.d"
+  "CMakeFiles/gsalert_profiles.dir/predicate.cpp.o"
+  "CMakeFiles/gsalert_profiles.dir/predicate.cpp.o.d"
+  "CMakeFiles/gsalert_profiles.dir/profile.cpp.o"
+  "CMakeFiles/gsalert_profiles.dir/profile.cpp.o.d"
+  "libgsalert_profiles.a"
+  "libgsalert_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

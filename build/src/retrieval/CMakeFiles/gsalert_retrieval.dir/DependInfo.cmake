@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/classifier.cpp" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/classifier.cpp.o" "gcc" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/classifier.cpp.o.d"
+  "/root/repo/src/retrieval/engine.cpp" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/engine.cpp.o" "gcc" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/engine.cpp.o.d"
+  "/root/repo/src/retrieval/inverted_index.cpp" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/inverted_index.cpp.o" "gcc" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/retrieval/query.cpp" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/query.cpp.o" "gcc" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/query.cpp.o.d"
+  "/root/repo/src/retrieval/query_parser.cpp" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/query_parser.cpp.o" "gcc" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/query_parser.cpp.o.d"
+  "/root/repo/src/retrieval/stemmer.cpp" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/stemmer.cpp.o" "gcc" "src/retrieval/CMakeFiles/gsalert_retrieval.dir/stemmer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/docmodel/CMakeFiles/gsalert_docmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gsalert_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gsalert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsalert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

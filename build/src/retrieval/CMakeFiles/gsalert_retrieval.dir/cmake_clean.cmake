@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_retrieval.dir/classifier.cpp.o"
+  "CMakeFiles/gsalert_retrieval.dir/classifier.cpp.o.d"
+  "CMakeFiles/gsalert_retrieval.dir/engine.cpp.o"
+  "CMakeFiles/gsalert_retrieval.dir/engine.cpp.o.d"
+  "CMakeFiles/gsalert_retrieval.dir/inverted_index.cpp.o"
+  "CMakeFiles/gsalert_retrieval.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/gsalert_retrieval.dir/query.cpp.o"
+  "CMakeFiles/gsalert_retrieval.dir/query.cpp.o.d"
+  "CMakeFiles/gsalert_retrieval.dir/query_parser.cpp.o"
+  "CMakeFiles/gsalert_retrieval.dir/query_parser.cpp.o.d"
+  "CMakeFiles/gsalert_retrieval.dir/stemmer.cpp.o"
+  "CMakeFiles/gsalert_retrieval.dir/stemmer.cpp.o.d"
+  "libgsalert_retrieval.a"
+  "libgsalert_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_sim.dir/network.cpp.o"
+  "CMakeFiles/gsalert_sim.dir/network.cpp.o.d"
+  "CMakeFiles/gsalert_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/gsalert_sim.dir/scheduler.cpp.o.d"
+  "libgsalert_sim.a"
+  "libgsalert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_wire.dir/codec.cpp.o"
+  "CMakeFiles/gsalert_wire.dir/codec.cpp.o.d"
+  "CMakeFiles/gsalert_wire.dir/envelope.cpp.o"
+  "CMakeFiles/gsalert_wire.dir/envelope.cpp.o.d"
+  "libgsalert_wire.a"
+  "libgsalert_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

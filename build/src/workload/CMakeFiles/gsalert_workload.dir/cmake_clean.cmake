@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsalert_workload.dir/generators.cpp.o"
+  "CMakeFiles/gsalert_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/gsalert_workload.dir/metrics.cpp.o"
+  "CMakeFiles/gsalert_workload.dir/metrics.cpp.o.d"
+  "CMakeFiles/gsalert_workload.dir/scenario.cpp.o"
+  "CMakeFiles/gsalert_workload.dir/scenario.cpp.o.d"
+  "libgsalert_workload.a"
+  "libgsalert_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsalert_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerting_test.dir/alerting_test.cpp.o"
+  "CMakeFiles/alerting_test.dir/alerting_test.cpp.o.d"
+  "alerting_test"
+  "alerting_test.pdb"
+  "alerting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docmodel_test.dir/docmodel_test.cpp.o"
+  "CMakeFiles/docmodel_test.dir/docmodel_test.cpp.o.d"
+  "docmodel_test"
+  "docmodel_test.pdb"
+  "docmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_test.dir/gds_test.cpp.o"
+  "CMakeFiles/gds_test.dir/gds_test.cpp.o.d"
+  "gds_test"
+  "gds_test.pdb"
+  "gds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsnet_test.dir/gsnet_test.cpp.o"
+  "CMakeFiles/gsnet_test.dir/gsnet_test.cpp.o.d"
+  "gsnet_test"
+  "gsnet_test.pdb"
+  "gsnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

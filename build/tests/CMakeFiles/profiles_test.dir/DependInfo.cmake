@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/profiles_test.cpp" "tests/CMakeFiles/profiles_test.dir/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/profiles_test.dir/profiles_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiles/CMakeFiles/gsalert_profiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/gsalert_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/docmodel/CMakeFiles/gsalert_docmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gsalert_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gsalert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsalert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/docmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/retrieval_test[1]_include.cmake")
+include("/root/repo/build/tests/gds_test[1]_include.cmake")
+include("/root/repo/build/tests/gsnet_test[1]_include.cmake")
+include("/root/repo/build/tests/profiles_test[1]_include.cmake")
+include("/root/repo/build/tests/alerting_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/continuous_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
