@@ -7,11 +7,20 @@
 // profiles on brokers the cancellation never reached — they keep matching
 // and emit spurious notifications. GSAlert keeps each profile only at its
 // owner's server, so cancellation is always complete.
+// With --chaos-seed=N the same protocol additionally runs under a
+// seeded fault schedule (crashes, blocks, loss, duplication, reorder)
+// with the invariant checkers armed — full registry for GSAlert, wire
+// conservation for the baseline — and the bench exits non-zero on any
+// violation.
 #include <cstdio>
+#include <optional>
 
+#include "workload/chaos_runner.h"
 #include "workload/scenario.h"
 
 using namespace gsalert;
+using workload::ChaosHarness;
+using workload::ChaosHarnessOptions;
 using workload::Scenario;
 using workload::ScenarioConfig;
 using workload::Strategy;
@@ -22,10 +31,11 @@ struct RunResult {
   workload::Outcome outcome;
   std::uint64_t orphan_notifications = 0;
   std::uint64_t orphan_profiles_left = 0;
+  std::vector<sim::Violation> violations;
 };
 
-RunResult run(Strategy strategy, std::uint64_t seed,
-              bool covering = false) {
+RunResult run(Strategy strategy, std::uint64_t seed, bool covering = false,
+              std::optional<std::uint64_t> chaos_seed = {}) {
   ScenarioConfig config;
   config.strategy = strategy;
   config.b2_covering = covering;
@@ -37,6 +47,14 @@ RunResult run(Strategy strategy, std::uint64_t seed,
   config.topology = workload::TopologyGenConfig{
       .solitary_fraction = 0.0, .island_size = 100, .cycle_probability = 0.0};
   Scenario scenario{config};
+  // The harness attaches observer hooks at construction, so it must
+  // exist before any notifications flow.
+  std::optional<ChaosHarness> harness;
+  if (chaos_seed.has_value()) {
+    harness.emplace(scenario,
+                    ChaosHarnessOptions{
+                        .full_checks = strategy == Strategy::kGsAlert});
+  }
   scenario.setup_collections();
   scenario.subscribe_all(2);
   scenario.settle(SimTime::seconds(3));
@@ -62,6 +80,17 @@ RunResult run(Strategy strategy, std::uint64_t seed,
   scenario.net().clear_partition();
   scenario.settle(SimTime::seconds(3));
 
+  // Chaos mode: a seeded fault window opens over the publish phase. The
+  // bench's own partition is already healed and all cancels are done, so
+  // the schedule cannot silently eat a cancellation (cf. the quiet-window
+  // rule in the chaos_test run protocol).
+  if (harness.has_value()) {
+    sim::ChaosConfig chaos;
+    chaos.duration = SimTime::seconds(4);
+    chaos.partitions = 0;  // the bench owns the partition story above
+    harness->inject(*chaos_seed, chaos);
+  }
+
   // Publish events at every server.
   for (int round = 0; round < 3; ++round) {
     for (std::size_t s = 0; s < scenario.servers().size(); ++s) {
@@ -71,8 +100,27 @@ RunResult run(Strategy strategy, std::uint64_t seed,
   }
   scenario.settle(SimTime::seconds(10));
 
+  if (harness.has_value()) {
+    // Heal, let the directory re-converge, then demand full delivery of
+    // one more publish round ("delayed, not lost").
+    const SimTime heal_at = harness->injected_at() +
+                            harness->schedule().last_end() +
+                            SimTime::millis(200);
+    if (scenario.net().now() < heal_at) {
+      scenario.settle(heal_at - scenario.net().now());
+    }
+    scenario.settle(SimTime::seconds(8));
+    harness->mark_healed();
+    for (std::size_t s = 0; s < scenario.servers().size(); ++s) {
+      scenario.publish_rebuild(s, "C0", 2);
+      scenario.settle(SimTime::millis(100));
+    }
+    scenario.settle(SimTime::seconds(10));
+  }
+
   RunResult result;
   result.outcome = scenario.outcome();
+  if (harness.has_value()) result.violations = harness->check();
   for (auto* ext : scenario.profile_flood()) {
     result.orphan_notifications += ext->flood_stats().orphan_notifications;
   }
@@ -93,7 +141,10 @@ RunResult run(Strategy strategy, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::optional<std::uint64_t> chaos_seed =
+      workload::chaos_seed_arg(argc, argv);
+  std::size_t chaos_violations = 0;
   workload::print_table_header(
       "E5 — dangling profiles under churn (partition during cancel)",
       "strategy       false_neg false_pos orphan_notifs orphan_profiles "
@@ -102,12 +153,23 @@ int main() {
        {Strategy::kGsAlert, Strategy::kProfileFlooding}) {
     RunResult total;
     for (std::uint64_t seed : {1u, 2u, 3u}) {
-      RunResult r = run(strategy, seed);
+      // Each (strategy, seed) run gets its own derived fault schedule.
+      RunResult r = run(strategy, seed, /*covering=*/false,
+                        chaos_seed.has_value()
+                            ? std::optional<std::uint64_t>{*chaos_seed + seed}
+                            : std::nullopt);
       total.outcome.false_negatives += r.outcome.false_negatives;
       total.outcome.false_positives += r.outcome.false_positives;
       total.outcome.messages_sent += r.outcome.messages_sent;
       total.orphan_notifications += r.orphan_notifications;
       total.orphan_profiles_left += r.orphan_profiles_left;
+      if (!r.violations.empty()) {
+        chaos_violations += r.violations.size();
+        std::printf("chaos violation(s) [%s seed %llu]:\n%s",
+                    workload::strategy_name(strategy),
+                    static_cast<unsigned long long>(seed),
+                    sim::format_violations(r.violations).c_str());
+      }
     }
     char row[200];
     std::snprintf(row, sizeof(row),
@@ -170,5 +232,10 @@ int main() {
   std::printf(
       "\nshape check: covering shrinks flooded state/traffic by the "
       "duplication factor of the profile population.\n");
-  return 0;
+  if (chaos_seed.has_value()) {
+    std::printf("\nchaos mode (seed %llu): %zu invariant violation(s)\n",
+                static_cast<unsigned long long>(*chaos_seed),
+                chaos_violations);
+  }
+  return chaos_violations == 0 ? 0 : 1;
 }

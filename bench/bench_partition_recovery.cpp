@@ -4,12 +4,20 @@
 // the Hamilton.D notification is DELAYED by roughly the partition length
 // (plus one retry interval), never LOST; and a cancellation issued during
 // the partition is applied on heal with no user-visible false positive.
+// With --chaos-seed=N each measurement world additionally runs under a
+// seeded schedule of latency spikes, duplication and reordering windows
+// (loss and crashes are excluded: the bench's claim is about the
+// partition itself) with wire conservation checked; delivery must still
+// never be lost, and the bench exits non-zero on a violation.
 #include <cstdio>
+#include <optional>
 
 #include "alerting/alerting_service.h"
 #include "alerting/client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "sim/chaos.h"
+#include "sim/invariants.h"
 #include "sim/network.h"
 #include "workload/metrics.h"
 
@@ -59,6 +67,22 @@ struct World {
     net.run_until(net.now() + SimTime::millis(300));
   }
 
+  /// Overlay a seeded schedule of delivery perturbations (latency,
+  /// duplication, reordering — nothing that loses packets) spanning the
+  /// partition window plus the recovery tail.
+  void inject_chaos(std::uint64_t seed, SimTime partition) {
+    sim::ChaosConfig config;
+    config.duration = partition + SimTime::seconds(10);
+    config.crashes = 0;
+    config.blocks = 0;
+    config.partitions = 0;
+    config.loss_bursts = 0;
+    config.latency_spikes = 2;
+    config.duplication_windows = 2;
+    config.reorder_windows = 2;
+    sim::ChaosSchedule::generate(config, seed).apply(net);
+  }
+
   /// Rebuild E with one new doc while the link is down for `partition`
   /// seconds; return the delay from rebuild to the user's notification.
   double measure_delay(SimTime partition) {
@@ -79,16 +103,31 @@ struct World {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::optional<std::uint64_t> chaos_seed =
+      workload::chaos_seed_arg(argc, argv);
+  std::size_t chaos_violations = 0;
   workload::print_table_header(
       "E11 — partition recovery for the auxiliary-profile path",
       "partition_s notified delay_s  (delay ≈ partition + retry ≤ 1s + hops)");
   bool all_delivered = true;
   for (const int seconds : {0, 1, 5, 20, 60}) {
     World world;
+    sim::WireConservationChecker wire{world.net};
+    if (chaos_seed.has_value()) {
+      world.inject_chaos(*chaos_seed + static_cast<std::uint64_t>(seconds),
+                         SimTime::seconds(seconds));
+    }
     const double delay =
         world.measure_delay(SimTime::seconds(seconds));
     all_delivered = all_delivered && delay >= 0;
+    std::vector<sim::Violation> violations;
+    wire.check(violations);
+    if (!violations.empty()) {
+      chaos_violations += violations.size();
+      std::printf("chaos violation(s) [partition %ds]:\n%s", seconds,
+                  sim::format_violations(violations).c_str());
+    }
     char row[160];
     std::snprintf(row, sizeof(row), "%11d %8s %7.2f", seconds,
                   delay >= 0 ? "yes" : "LOST", delay);
@@ -115,5 +154,13 @@ int main() {
   std::printf(
       "shape check: delivery is delayed by ~the partition duration, never "
       "lost; §7's three dangling cases resolve on reconnect.\n");
-  return all_delivered && world.user->notifications().empty() ? 0 : 1;
+  if (chaos_seed.has_value()) {
+    std::printf("\nchaos mode (seed %llu): %zu invariant violation(s)\n",
+                static_cast<unsigned long long>(*chaos_seed),
+                chaos_violations);
+  }
+  return all_delivered && world.user->notifications().empty() &&
+                 chaos_violations == 0
+             ? 0
+             : 1;
 }

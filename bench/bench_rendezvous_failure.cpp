@@ -8,11 +8,20 @@
 // node) and keep publishing. Rendezvous loses every event whose topic
 // hashes to the dead broker (false negatives, forever); the GDS
 // re-parents around the dead node and recovers.
+// With --chaos-seed=N phase A additionally runs under a seeded fault
+// schedule with the invariant checkers armed (full registry for GSAlert,
+// wire conservation for rendezvous); the post-failure publishes of phase
+// B must then satisfy post-heal delivery, and the bench exits non-zero
+// on any violation.
 #include <cstdio>
+#include <optional>
 
+#include "workload/chaos_runner.h"
 #include "workload/scenario.h"
 
 using namespace gsalert;
+using workload::ChaosHarness;
+using workload::ChaosHarnessOptions;
 using workload::Scenario;
 using workload::ScenarioConfig;
 using workload::Strategy;
@@ -23,9 +32,11 @@ struct Phases {
   workload::Outcome healthy;
   workload::Outcome after_failure;
   double hotspot = 0;
+  std::vector<sim::Violation> violations;
 };
 
-Phases run(Strategy strategy, std::uint64_t seed) {
+Phases run(Strategy strategy, std::uint64_t seed,
+           std::optional<std::uint64_t> chaos_seed = {}) {
   ScenarioConfig config;
   config.strategy = strategy;
   config.n_servers = 12;
@@ -40,9 +51,24 @@ Phases run(Strategy strategy, std::uint64_t seed) {
   // Collection-watch heavy profile mix => rendezvous topics exist.
   config.profile.kind_weights = {0.5, 5, 0.5, 1, 1, 0.5};
   Scenario scenario{config};
+  // Observer hooks must attach before any notifications flow.
+  std::optional<ChaosHarness> harness;
+  if (chaos_seed.has_value()) {
+    harness.emplace(scenario,
+                    ChaosHarnessOptions{
+                        .full_checks = strategy == Strategy::kGsAlert});
+  }
   scenario.setup_collections();
   scenario.subscribe_all(2);
   scenario.settle(SimTime::seconds(3));
+
+  // Chaos mode: the fault window overlays phase A, and must be fully
+  // healed before the bench's own permanent node failure below.
+  if (harness.has_value()) {
+    sim::ChaosConfig chaos;
+    chaos.duration = SimTime::seconds(3);
+    harness->inject(*chaos_seed, chaos);
+  }
 
   Phases phases;
   for (int i = 0; i < 20; ++i) {
@@ -50,6 +76,14 @@ Phases run(Strategy strategy, std::uint64_t seed) {
     scenario.settle(SimTime::millis(150));
   }
   scenario.settle(SimTime::seconds(5));
+  if (harness.has_value()) {
+    const SimTime heal_at = harness->injected_at() +
+                            harness->schedule().last_end() +
+                            SimTime::millis(200);
+    if (scenario.net().now() < heal_at) {
+      scenario.settle(heal_at - scenario.net().now());
+    }
+  }
   phases.healthy = scenario.outcome();
   phases.hotspot = phases.healthy.max_over_mean_node_load;
 
@@ -61,25 +95,39 @@ Phases run(Strategy strategy, std::uint64_t seed) {
     scenario.net().crash(scenario.gds_tree().nodes[1]->id());
   }
   scenario.settle(SimTime::seconds(5));  // heartbeats detect, re-parent
+  // The injected faults have healed and re-parenting is done: phase B
+  // publishes are post-heal expectations — "delayed, not lost" must hold
+  // for GSAlert even though the failed node never comes back.
+  if (harness.has_value()) harness->mark_healed();
   for (int i = 0; i < 20; ++i) {
     scenario.publish_random_rebuild(2);
     scenario.settle(SimTime::millis(150));
   }
   scenario.settle(SimTime::seconds(10));
   phases.after_failure = scenario.outcome();
+  if (harness.has_value()) phases.violations = harness->check();
   return phases;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::optional<std::uint64_t> chaos_seed =
+      workload::chaos_seed_arg(argc, argv);
+  std::size_t chaos_violations = 0;
   workload::print_table_header(
       "E6 — rendezvous failure vs GDS re-parenting",
       "strategy       phase          expected delivered false_neg "
       "hotspot(max/mean)");
   for (const Strategy strategy :
        {Strategy::kGsAlert, Strategy::kRendezvous}) {
-    const Phases phases = run(strategy, 11);
+    const Phases phases = run(strategy, 11, chaos_seed);
+    if (!phases.violations.empty()) {
+      chaos_violations += phases.violations.size();
+      std::printf("chaos violation(s) [%s]:\n%s",
+                  workload::strategy_name(strategy),
+                  sim::format_violations(phases.violations).c_str());
+    }
     char row[200];
     std::snprintf(row, sizeof(row), "%-14s %-14s %8llu %9llu %9llu %10.1f",
                   workload::strategy_name(strategy), "healthy",
@@ -111,5 +159,10 @@ int main() {
       "(only events in flight during the ~1.5s detection window can "
       "drop). Rendezvous also concentrates more load on its hottest "
       "node.\n");
-  return 0;
+  if (chaos_seed.has_value()) {
+    std::printf("\nchaos mode (seed %llu): %zu invariant violation(s)\n",
+                static_cast<unsigned long long>(*chaos_seed),
+                chaos_violations);
+  }
+  return chaos_violations == 0 ? 0 : 1;
 }

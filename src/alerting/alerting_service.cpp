@@ -78,6 +78,9 @@ void AlertingService::filter_and_notify(const docmodel::Event& event) {
   for (profiles::ProfileId id : hits) {
     const auto it = subs_.find(id);
     if (it == subs_.end()) continue;
+    if (notification_observer_) {
+      notification_observer_(it->second.client, id, event);
+    }
     NotificationBody body;
     body.subscription_id = id;
     body.event = event;
@@ -268,13 +271,21 @@ void AlertingService::handle_subscribe(NodeId from,
   auto body = SubscribeBody::decode(env.body);
   SubscribeAckBody ack;
   ack.request_id = env.msg_id;
-  if (!body.ok()) {
+  const auto request = std::make_pair(from.value(), env.msg_id);
+  if (const auto seen = sub_requests_.find(request);
+      seen != sub_requests_.end()) {
+    // Wire-level duplicate of a request we already served (chaos
+    // duplication window or a client retry): re-ack, don't re-subscribe.
+    ack.ok = true;
+    ack.subscription_id = seen->second;
+  } else if (!body.ok()) {
     ack.error = body.error().str();
   } else {
     auto sub = subscribe_local(from, body.value().profile_text);
     if (sub.ok()) {
       ack.ok = true;
       ack.subscription_id = sub.value();
+      sub_requests_[request] = sub.value();
     } else {
       ack.error = sub.error().str();
     }

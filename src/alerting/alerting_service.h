@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "alerting/messages.h"
@@ -68,6 +70,15 @@ class AlertingService : public gsnet::ServerExtension {
   /// (sub name -> supers). Exposed for tests/benches.
   std::vector<CollectionRef> aux_profiles_for(const std::string& sub) const;
   std::size_t outbox_size() const { return unacked_.size(); }
+
+  /// Observer invoked for every notification this service sends to a
+  /// client (invariant checkers correlate them with cancellations and
+  /// ground-truth expectations).
+  using NotificationObserver = std::function<void(
+      NodeId client, SubscriptionId sub, const docmodel::Event& event)>;
+  void set_notification_observer(NotificationObserver observer) {
+    notification_observer_ = std::move(observer);
+  }
 
   // --- durability / migration -------------------------------------------------
   /// Serialize the profile database (subscriptions + auxiliary-profile
@@ -152,7 +163,12 @@ class AlertingService : public gsnet::ServerExtension {
   // (event id, super) pairs already renamed here — quenches duplicate
   // EventForward retransmissions.
   std::unordered_set<std::string> processed_forwards_;
+  // (client, request msg_id) -> subscription already created, so a
+  // duplicated Subscribe packet re-acks instead of double-subscribing.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SubscriptionId>
+      sub_requests_;
   AlertingStats stats_;
+  NotificationObserver notification_observer_;
 };
 
 }  // namespace gsalert::alerting

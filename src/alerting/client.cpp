@@ -27,7 +27,7 @@ void Client::cancel(SubscriptionId sub_id) {
   std::erase(subscription_ids_, sub_id);
 }
 
-void Client::on_packet(NodeId /*from*/, const sim::Packet& packet) {
+void Client::on_packet(NodeId from, const sim::Packet& packet) {
   auto decoded = wire::unpack(packet);
   if (!decoded.ok()) return;
   const wire::Envelope& env = decoded.value();
@@ -52,6 +52,15 @@ void Client::on_packet(NodeId /*from*/, const sim::Packet& packet) {
   if (env.type == wire::MessageType::kNotification) {
     auto body = NotificationBody::decode(env.body);
     if (!body.ok()) return;
+    // Idempotency per sending server: a chaos-duplicated or retried
+    // notification arrives again from the same node and is dropped, while
+    // a migrated profile registration (snapshot restored at a second
+    // server) legitimately notifies the same subscription id for the same
+    // event from a different node.
+    const std::string key = std::to_string(from.value()) + "#" +
+                            std::to_string(body.value().subscription_id) +
+                            "#" + body.value().event.id.str();
+    if (!seen_notifications_.insert(key).second) return;
     notifications_.push_back(ReceivedNotification{
         body.value().subscription_id, std::move(body.value().event),
         network().now()});

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "alerting/messages.h"
@@ -54,6 +55,9 @@ class Client : public sim::Node {
   std::unordered_map<std::uint64_t, SubscribeCallback> pending_;
   std::vector<SubscriptionId> subscription_ids_;
   std::vector<ReceivedNotification> notifications_;
+  // The server sends one notification per (subscription, event); a second
+  // arrival is a wire-level duplicate and is not recorded.
+  std::unordered_set<std::string> seen_notifications_;
 };
 
 }  // namespace gsalert::alerting

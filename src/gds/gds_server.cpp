@@ -50,6 +50,7 @@ void GdsServer::on_restart() {
   resolve_backpaths_.clear();
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
+  heartbeats_since_hello_ = 0;
   ancestor_index_ = 0;
   parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
   on_start();
@@ -117,6 +118,13 @@ void GdsServer::on_timer(std::uint64_t token) {
         wire::Writer{});
     send_envelope(parent_, hb);
     heartbeat_outstanding_ = true;
+    // Soft-state refresh: a parent that restarted forgets its children and
+    // their routes, yet still acks heartbeats, so the loss is invisible
+    // from below. Periodically re-assert the edge and the subtree names.
+    if (++heartbeats_since_hello_ >= config_.hello_refresh_every) {
+      heartbeats_since_hello_ = 0;
+      send_child_hello(/*full=*/true, subtree_names(), {});
+    }
   }
   prune_dead_children();
   network().set_timer(id(), config_.heartbeat_interval, kHeartbeatTimer);
@@ -196,8 +204,11 @@ void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
 }
 
 void GdsServer::handle_heartbeat(NodeId from, const wire::Envelope& env) {
-  const auto it = children_.find(from);
-  if (it != children_.end()) it->second = network().now();
+  // A heartbeat only ever comes from a node that has us as its parent, so
+  // it doubles as child liveness — including children we forgot across a
+  // restart (their routes return with the next periodic full hello). A
+  // stale entry from a child that re-parented away ages out in the prune.
+  children_[from] = network().now();
   wire::Envelope ack = wire::make_envelope(
       wire::MessageType::kGdsHeartbeatAck, name(), env.src, env.msg_id,
       wire::Writer{});
@@ -310,6 +321,9 @@ void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
   // Deliver to locally registered servers (never echo back to the origin).
   for (const auto& [server_name, node] : local_servers_) {
     if (server_name == body.origin_server) continue;
+    if (delivery_observer_) {
+      delivery_observer_(server_name, body.origin_server, body.seq);
+    }
     deliver(node, body);
   }
   // Forward upwards and downwards, skipping the edge it arrived on.

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +36,12 @@ struct GdsConfig {
   SimTime heartbeat_interval = SimTime::millis(500);
   /// Consecutive unanswered heartbeats before re-parenting.
   int heartbeat_miss_limit = 3;
+  /// Send a full child-hello (subtree name refresh) every N heartbeats.
+  /// The tree is soft state: a restarted parent acks heartbeats but has
+  /// forgotten its children, so without a periodic refresh downward
+  /// broadcast flooding would stay severed. (Found by the chaos sweep:
+  /// `chaos_test --seed=9009` before this existed.)
+  int hello_refresh_every = 4;
   /// Duplicate suppression for broadcasts (ablation switch for bench E7).
   bool dedup_enabled = true;
 };
@@ -70,6 +77,16 @@ class GdsServer : public sim::Node {
   void on_restart() override;
   void on_packet(NodeId from, const sim::Packet& packet) override;
   void on_timer(std::uint64_t token) override;
+
+  /// Observer invoked for every broadcast delivery to a locally registered
+  /// server (not relays or multicasts). Invariant checkers use it to
+  /// assert exactly-once delivery per (destination, origin, seq).
+  using DeliveryObserver = std::function<void(
+      const std::string& dst_server, const std::string& origin_server,
+      std::uint64_t seq)>;
+  void set_delivery_observer(DeliveryObserver observer) {
+    delivery_observer_ = std::move(observer);
+  }
 
   std::uint16_t stratum() const { return config_.stratum; }
   NodeId parent() const { return parent_; }
@@ -114,6 +131,7 @@ class GdsServer : public sim::Node {
   std::size_t ancestor_index_ = 0;
   int heartbeat_misses_ = 0;
   bool heartbeat_outstanding_ = false;
+  int heartbeats_since_hello_ = 0;
 
   std::unordered_map<std::string, NodeId> local_servers_;
   std::unordered_map<std::string, Route> name_routes_;
@@ -127,6 +145,7 @@ class GdsServer : public sim::Node {
 
   std::uint64_t next_msg_id_ = 1;
   GdsNodeStats stats_;
+  DeliveryObserver delivery_observer_;
 };
 
 }  // namespace gsalert::gds

@@ -1,0 +1,277 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace gsalert::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kBlockPair:
+      return "block";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLossBurst:
+      return "loss-burst";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+    case FaultKind::kDuplication:
+      return "duplication";
+    case FaultKind::kReorder:
+      return "reorder";
+  }
+  return "?";
+}
+
+namespace {
+
+void sort_faults(std::vector<Fault>& faults) {
+  std::stable_sort(faults.begin(), faults.end(),
+                   [](const Fault& x, const Fault& y) {
+                     return x.start < y.start;
+                   });
+}
+
+bool overlaps(const Fault& f, SimTime start, SimTime end) {
+  return f.start < end && start < f.end;
+}
+
+/// Conflict rules keeping begin/end actions composable: same node never
+/// crashes twice concurrently, same pair is not blocked twice, only one
+/// partition at a time, and global knob windows of one kind don't stack.
+bool conflicts(const std::vector<Fault>& accepted, const Fault& cand) {
+  for (const Fault& f : accepted) {
+    if (!overlaps(f, cand.start, cand.end)) continue;
+    if (f.kind != cand.kind) continue;
+    switch (cand.kind) {
+      case FaultKind::kCrash:
+        if (f.node == cand.node) return true;
+        break;
+      case FaultKind::kBlockPair:
+        if ((f.a == cand.a && f.b == cand.b) ||
+            (f.a == cand.b && f.b == cand.a)) {
+          return true;
+        }
+        break;
+      default:
+        return true;  // partition / global knobs: one window at a time
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(std::vector<Fault> faults)
+    : faults_(std::move(faults)) {
+  sort_faults(faults_);
+}
+
+ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Fault> faults;
+
+  auto draw_window = [&](Fault& f) {
+    const std::int64_t span = std::max<std::int64_t>(
+        1, (config.duration - config.min_fault).as_micros());
+    f.start = SimTime::micros(rng.uniform_int(0, span));
+    const SimTime len = SimTime::micros(rng.uniform_int(
+        config.min_fault.as_micros(), config.max_fault.as_micros()));
+    f.end = std::min(f.start + len, config.duration);
+  };
+  auto admit = [&](Fault f) {
+    if (f.end <= f.start) return;
+    if (conflicts(faults, f)) return;  // deterministic skip, not a retry
+    faults.push_back(std::move(f));
+  };
+
+  for (int i = 0; i < config.crashes && !config.crash_targets.empty(); ++i) {
+    Fault f{.kind = FaultKind::kCrash};
+    draw_window(f);
+    f.node = config.crash_targets[rng.index(config.crash_targets.size())];
+    admit(std::move(f));
+  }
+  for (int i = 0; i < config.blocks && !config.block_candidates.empty();
+       ++i) {
+    Fault f{.kind = FaultKind::kBlockPair};
+    draw_window(f);
+    const auto& pair =
+        config.block_candidates[rng.index(config.block_candidates.size())];
+    f.a = pair.first;
+    f.b = pair.second;
+    admit(std::move(f));
+  }
+  for (int i = 0;
+       i < config.partitions && config.partition_units.size() >= 2; ++i) {
+    Fault f{.kind = FaultKind::kPartition};
+    draw_window(f);
+    // Split the units into two camps; every unit travels as a whole so a
+    // client is never cut off from its home server by the partition.
+    f.groups.resize(2);
+    bool both = false;
+    for (std::size_t u = 0; u < config.partition_units.size(); ++u) {
+      const std::size_t side = rng.chance(0.5) ? 1 : 0;
+      both = both || (side == 1);
+      auto& group = f.groups[side];
+      const auto& unit = config.partition_units[u];
+      group.insert(group.end(), unit.begin(), unit.end());
+    }
+    if (!both || f.groups[0].empty()) continue;  // degenerate split
+    admit(std::move(f));
+  }
+  auto knob_windows = [&](FaultKind kind, int count, double prob,
+                          SimTime latency) {
+    for (int i = 0; i < count; ++i) {
+      Fault f{.kind = kind};
+      draw_window(f);
+      f.prob = prob;
+      f.latency = latency;
+      admit(std::move(f));
+    }
+  };
+  knob_windows(FaultKind::kLossBurst, config.loss_bursts, config.burst_loss,
+               SimTime::zero());
+  knob_windows(FaultKind::kLatencySpike, config.latency_spikes, 0.0,
+               config.spike_latency);
+  knob_windows(FaultKind::kDuplication, config.duplication_windows,
+               config.duplication_prob, SimTime::zero());
+  knob_windows(FaultKind::kReorder, config.reorder_windows,
+               config.reorder_prob, config.reorder_span);
+
+  sort_faults(faults);
+  return ChaosSchedule{std::move(faults)};
+}
+
+void ChaosSchedule::apply(Network& net) const {
+  Scheduler& sched = net.scheduler();
+  for (const Fault& fault : faults_) {
+    switch (fault.kind) {
+      case FaultKind::kCrash:
+        sched.schedule_after(fault.start,
+                             [&net, node = fault.node] { net.crash(node); });
+        sched.schedule_after(fault.end, [&net, node = fault.node] {
+          net.restart(node);
+        });
+        break;
+      case FaultKind::kBlockPair:
+        sched.schedule_after(fault.start, [&net, a = fault.a, b = fault.b] {
+          net.block_pair(a, b);
+        });
+        sched.schedule_after(fault.end, [&net, a = fault.a, b = fault.b] {
+          net.unblock_pair(a, b);
+        });
+        break;
+      case FaultKind::kPartition:
+        sched.schedule_after(fault.start, [&net, groups = fault.groups] {
+          net.set_partition(groups);
+        });
+        sched.schedule_after(fault.end, [&net] { net.clear_partition(); });
+        break;
+      case FaultKind::kLossBurst:
+        sched.schedule_after(fault.start, [&net, p = fault.prob] {
+          net.chaos().extra_loss = p;
+        });
+        sched.schedule_after(fault.end,
+                             [&net] { net.chaos().extra_loss = 0.0; });
+        break;
+      case FaultKind::kLatencySpike:
+        sched.schedule_after(fault.start, [&net, d = fault.latency] {
+          net.chaos().extra_latency = d;
+        });
+        sched.schedule_after(fault.end, [&net] {
+          net.chaos().extra_latency = SimTime::zero();
+        });
+        break;
+      case FaultKind::kDuplication:
+        sched.schedule_after(fault.start, [&net, p = fault.prob] {
+          net.chaos().duplication = p;
+        });
+        sched.schedule_after(fault.end,
+                             [&net] { net.chaos().duplication = 0.0; });
+        break;
+      case FaultKind::kReorder:
+        sched.schedule_after(fault.start,
+                             [&net, p = fault.prob, s = fault.latency] {
+                               net.chaos().reorder = p;
+                               net.chaos().reorder_span = s;
+                             });
+        sched.schedule_after(fault.end, [&net] {
+          net.chaos().reorder = 0.0;
+          net.chaos().reorder_span = SimTime::zero();
+        });
+        break;
+    }
+  }
+}
+
+SimTime ChaosSchedule::last_end() const {
+  SimTime latest = SimTime::zero();
+  for (const Fault& f : faults_) latest = std::max(latest, f.end);
+  return latest;
+}
+
+bool ChaosSchedule::quiet(SimTime from, SimTime to) const {
+  for (const Fault& f : faults_) {
+    if (overlaps(f, from, to)) return false;
+  }
+  return true;
+}
+
+ChaosSchedule ChaosSchedule::without(std::size_t index) const {
+  std::vector<Fault> rest;
+  rest.reserve(faults_.size() - 1);
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (i != index) rest.push_back(faults_[i]);
+  }
+  return ChaosSchedule{std::move(rest)};
+}
+
+std::string ChaosSchedule::describe(const Network& net) const {
+  auto node_name = [&net](NodeId id) -> std::string {
+    const Node* node = net.node(id);
+    return node != nullptr ? node->name()
+                           : "node" + std::to_string(id.value());
+  };
+  std::ostringstream out;
+  for (const Fault& f : faults_) {
+    out << "  [" << f.start.as_millis() << "ms.." << f.end.as_millis()
+        << "ms] " << fault_kind_name(f.kind);
+    switch (f.kind) {
+      case FaultKind::kCrash:
+        out << " " << node_name(f.node);
+        break;
+      case FaultKind::kBlockPair:
+        out << " " << node_name(f.a) << "<->" << node_name(f.b);
+        break;
+      case FaultKind::kPartition:
+        for (const auto& group : f.groups) {
+          out << " {";
+          for (std::size_t i = 0; i < group.size(); ++i) {
+            out << (i > 0 ? "," : "") << node_name(group[i]);
+          }
+          out << "}";
+        }
+        break;
+      case FaultKind::kLossBurst:
+      case FaultKind::kDuplication:
+        out << " p=" << f.prob;
+        break;
+      case FaultKind::kLatencySpike:
+        out << " +" << f.latency.as_millis() << "ms";
+        break;
+      case FaultKind::kReorder:
+        out << " p=" << f.prob << " span=" << f.latency.as_millis() << "ms";
+        break;
+    }
+    out << "\n";
+  }
+  if (faults_.empty()) out << "  (no faults)\n";
+  return out.str();
+}
+
+}  // namespace gsalert::sim

@@ -1,0 +1,119 @@
+// Deterministic fault injection ("chaos") for the simulated network.
+//
+// A ChaosSchedule is a list of timed faults — crashes, blocked pairs,
+// partitions, loss bursts, latency spikes, duplication and reordering
+// windows — expressed in time offsets relative to an injection point. A
+// schedule can be written out declaratively (tests pin exact fault lists)
+// or generated from a single uint64 seed; either way, applying the same
+// schedule to the same world reproduces the same run byte for byte,
+// because all randomness flows through the seeded Rng streams.
+//
+// Every fault carries both its start and its end: chaos here is always
+// transient, so invariants about post-heal behaviour ("delayed, not
+// lost") are meaningful at quiescence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace gsalert::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,         // node down for [start, end), restarted at end
+  kBlockPair,     // unordered pair blocked for the window
+  kPartition,     // network split into groups for the window
+  kLossBurst,     // extra global packet loss
+  kLatencySpike,  // extra global one-way latency
+  kDuplication,   // packets may be delivered twice
+  kReorder,       // packets may take an extra random delay
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One fault window. Times are offsets from the schedule's injection
+/// point (the virtual time at which apply() is called), so a schedule is
+/// position-independent and replays identically wherever it is injected.
+struct Fault {
+  FaultKind kind;
+  SimTime start;
+  SimTime end;
+  NodeId node;                              // kCrash
+  NodeId a, b;                              // kBlockPair
+  std::vector<std::vector<NodeId>> groups;  // kPartition
+  double prob = 0.0;        // loss / duplication / reorder probability
+  SimTime latency{};        // spike extra latency, or reorder span
+};
+
+/// Tuning for seed-driven schedule generation. Targets are provided by
+/// the caller (which nodes may crash, which groups partition together)
+/// so the generator stays layer-agnostic.
+struct ChaosConfig {
+  SimTime duration = SimTime::seconds(10);   // window the faults fall in
+  SimTime min_fault = SimTime::millis(400);  // per-fault window bounds
+  SimTime max_fault = SimTime::seconds(3);
+
+  std::vector<NodeId> crash_targets;
+  std::vector<std::pair<NodeId, NodeId>> block_candidates;
+  /// Units that stay together when a partition forms (e.g. a server and
+  /// its clients). A partition fault splits the units into two camps.
+  std::vector<std::vector<NodeId>> partition_units;
+
+  int crashes = 2;
+  int blocks = 2;
+  int partitions = 1;
+  int loss_bursts = 1;
+  int latency_spikes = 1;
+  int duplication_windows = 1;
+  int reorder_windows = 1;
+
+  double burst_loss = 0.25;
+  SimTime spike_latency = SimTime::millis(150);
+  double duplication_prob = 0.25;
+  double reorder_prob = 0.5;
+  SimTime reorder_span = SimTime::millis(40);
+};
+
+class ChaosSchedule {
+ public:
+  ChaosSchedule() = default;
+  explicit ChaosSchedule(std::vector<Fault> faults);
+
+  /// Draw a schedule from `seed`. Same (config, seed) -> same schedule.
+  /// Windows of the same kind on the same target never overlap, and at
+  /// most one partition is active at a time, so begin/end actions compose.
+  static ChaosSchedule generate(const ChaosConfig& config,
+                                std::uint64_t seed);
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+
+  /// Install every fault's begin and end actions on the network's
+  /// scheduler, offset from the current virtual time.
+  void apply(Network& net) const;
+
+  /// Latest fault end (zero when empty) — everything is healed after
+  /// injection time + last_end().
+  SimTime last_end() const;
+
+  /// True when no fault window of any kind intersects [from, to]
+  /// (offsets relative to the injection point). Used to place actions
+  /// whose messages must not be lost (e.g. cancellations).
+  bool quiet(SimTime from, SimTime to) const;
+
+  /// Copy with fault `index` removed (schedule minimization).
+  ChaosSchedule without(std::size_t index) const;
+
+  /// Deterministic human-readable trace of the schedule, one line per
+  /// fault in chronological order. Node names resolve via `net`.
+  std::string describe(const Network& net) const;
+
+ private:
+  std::vector<Fault> faults_;  // sorted by (start, insertion order)
+};
+
+}  // namespace gsalert::sim

@@ -1,0 +1,55 @@
+#include "sim/invariants.h"
+
+#include <sstream>
+
+namespace gsalert::sim {
+
+std::vector<Violation> InvariantRegistry::check_all() const {
+  std::vector<Violation> out;
+  for (const auto& checker : checkers_) checker->check(out);
+  return out;
+}
+
+std::string InvariantRegistry::report() const {
+  std::ostringstream out;
+  for (const auto& checker : checkers_) {
+    std::vector<Violation> violations;
+    checker->check(violations);
+    if (violations.empty()) {
+      out << "  " << checker->name() << ": ok\n";
+    } else {
+      out << "  " << checker->name() << ": " << violations.size()
+          << " violation(s)\n";
+      for (const Violation& v : violations) {
+        out << "    " << v.detail << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string format_violations(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << "  [" << v.invariant << "] " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+void WireConservationChecker::check(std::vector<Violation>& out) {
+  const NetStats& s = net_.stats();
+  const std::uint64_t accounted = s.delivered + s.dropped_loss +
+                                  s.dropped_down + s.dropped_blocked +
+                                  net_.packets_in_flight();
+  if (s.sent + s.duplicated != accounted) {
+    std::ostringstream detail;
+    detail << "sent=" << s.sent << " +dup=" << s.duplicated
+           << " != delivered=" << s.delivered
+           << " +loss=" << s.dropped_loss << " +down=" << s.dropped_down
+           << " +blocked=" << s.dropped_blocked
+           << " +in_flight=" << net_.packets_in_flight();
+    out.push_back(Violation{name(), detail.str()});
+  }
+}
+
+}  // namespace gsalert::sim

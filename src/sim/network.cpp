@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -118,20 +119,43 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
     return false;
   }
   const PathConfig& path = path_for(from, to);
-  if (path.loss > 0.0 && rng_.chance(path.loss)) {
+  const double loss = path.loss + chaos_.extra_loss;
+  if (loss > 0.0 && rng_.chance(loss)) {
     stats_.dropped_loss += 1;
     return false;
   }
-  SimTime delay = path.latency;
+  SimTime delay = path.latency + chaos_.extra_latency;
   if (path.jitter > SimTime::zero()) {
     delay += SimTime::micros(
         rng_.uniform_int(0, path.jitter.as_micros()));
   }
+  if (chaos_.reorder > 0.0 && chaos_.reorder_span > SimTime::zero() &&
+      rng_.chance(chaos_.reorder)) {
+    delay += SimTime::micros(
+        rng_.uniform_int(0, chaos_.reorder_span.as_micros()));
+  }
+  if (chaos_.duplication > 0.0 && rng_.chance(chaos_.duplication)) {
+    // The copy trails the original by up to one base latency, so the two
+    // arrivals interleave with unrelated traffic.
+    stats_.duplicated += 1;
+    schedule_delivery(from, to, packet,
+                      delay + SimTime::micros(rng_.uniform_int(
+                                  1, std::max<std::int64_t>(
+                                         1, path.latency.as_micros()))));
+  }
+  schedule_delivery(from, to, std::move(packet), delay);
+  return true;
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, Packet packet,
+                                SimTime delay) {
+  in_flight_ += 1;
   scheduler_.schedule_after(
       delay, [this, from, to, p = std::move(packet)]() mutable {
+        in_flight_ -= 1;
         // Re-check state at arrival: the destination may have crashed or a
         // partition formed while the packet was in flight.
-        if (!is_up(to) ) {
+        if (!is_up(to)) {
           stats_.dropped_down += 1;
           return;
         }
@@ -145,7 +169,6 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
         receiver.bytes_received += p.size();
         nodes_[to.value() - 1]->on_packet(from, p);
       });
-  return true;
 }
 
 void Network::set_timer(NodeId node, SimTime delay, std::uint64_t token) {

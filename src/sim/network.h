@@ -27,14 +27,28 @@ struct PathConfig {
   double loss = 0.0;                      // drop probability per packet
 };
 
-/// Aggregate counters over the whole network.
+/// Aggregate counters over the whole network. At any instant the wire
+/// conserves packets: sent + duplicated ==
+/// delivered + dropped_loss + dropped_down + dropped_blocked + in-flight.
 struct NetStats {
   std::uint64_t sent = 0;            // send() calls that found a live sender
   std::uint64_t delivered = 0;       // packets handed to on_packet
   std::uint64_t dropped_loss = 0;    // random loss
   std::uint64_t dropped_down = 0;    // destination crashed (at send or arrival)
   std::uint64_t dropped_blocked = 0; // blocked pair / partition
+  std::uint64_t duplicated = 0;      // extra copies injected by chaos
   std::uint64_t bytes_sent = 0;
+};
+
+/// Network-wide degradation knobs driven by chaos schedules. They stack on
+/// top of per-path configuration, so a fault window can be applied and
+/// removed without touching path overrides.
+struct NetChaosKnobs {
+  double extra_loss = 0.0;       // added to every path's drop probability
+  SimTime extra_latency{};       // added to every delivery
+  double duplication = 0.0;      // probability a packet is delivered twice
+  double reorder = 0.0;          // probability of an extra random delay
+  SimTime reorder_span{};        // extra delay bound for reordered packets
 };
 
 /// Per-node counters (index by NodeId).
@@ -97,6 +111,14 @@ class Network {
   void set_partition(const std::vector<std::vector<NodeId>>& groups);
   void clear_partition();
 
+  /// Global degradation knobs (loss bursts, latency spikes, duplication,
+  /// reordering). Mutable access so chaos faults can adjust single fields.
+  NetChaosKnobs& chaos() { return chaos_; }
+  const NetChaosKnobs& chaos() const { return chaos_; }
+
+  /// Packets scheduled for delivery but not yet arrived (or dropped).
+  std::uint64_t packets_in_flight() const { return in_flight_; }
+
   /// --- Messaging ----------------------------------------------------------
   /// Send a packet; returns false if it was dropped at send time (sender or
   /// destination down, pair blocked/partitioned) — callers treat the result
@@ -128,6 +150,8 @@ class Network {
   void register_node(std::string name, std::unique_ptr<Node> node);
   const PathConfig& path_for(NodeId a, NodeId b) const;
   static std::uint64_t pair_key(NodeId a, NodeId b);
+  void schedule_delivery(NodeId from, NodeId to, Packet packet,
+                         SimTime delay);
 
   Scheduler scheduler_;
   Rng rng_;
@@ -140,6 +164,8 @@ class Network {
   std::unordered_map<std::uint32_t, int> partition_group_;  // id -> group
   bool partition_active_ = false;
   PathConfig default_path_;
+  NetChaosKnobs chaos_;
+  std::uint64_t in_flight_ = 0;
   NetStats stats_;
 };
 

@@ -1,8 +1,20 @@
 #include "workload/metrics.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace gsalert::workload {
+
+std::optional<std::uint64_t> chaos_seed_arg(int argc, char** argv) {
+  constexpr const char* kFlag = "--chaos-seed=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return std::strtoull(argv[i] + std::strlen(kFlag), nullptr, 10);
+    }
+  }
+  return std::nullopt;
+}
 
 void print_table_header(const std::string& title,
                         const std::string& columns) {

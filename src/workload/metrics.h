@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/histogram.h"
@@ -27,5 +28,10 @@ struct Outcome {
 void print_table_header(const std::string& title,
                         const std::string& columns);
 void print_row(const std::string& row);
+
+/// Parse `--chaos-seed=N` from a bench's argv. When present, the bench
+/// runs with a seeded fault schedule injected and the invariant
+/// checkers armed, and exits non-zero on any violation.
+std::optional<std::uint64_t> chaos_seed_arg(int argc, char** argv);
 
 }  // namespace gsalert::workload

@@ -25,9 +25,17 @@ const char* strategy_name(Strategy s) {
 }
 
 namespace {
-std::string expect_key(std::size_t client, const std::string& ref,
-                       std::uint64_t version) {
-  return std::to_string(client) + "#" + ref + "#" + std::to_string(version);
+// Uniquely identifies a logical announcement as one client should see it:
+// the attribution ref plus the via chain plus the physical rebuild behind
+// it. Without the via/physical parts, a renamed event can collide with a
+// direct rebuild of the super (or with a rename from a different sub)
+// that happens to share the same (ref, build_version) pair.
+std::string expect_key(std::size_t client, const docmodel::Event& event) {
+  std::string via;
+  for (const std::string& hop : event.via) via += hop + ">";
+  return std::to_string(client) + "#" + event.collection.str() + "#" + via +
+         "#" + event.physical_origin.str() + "#" +
+         std::to_string(event.build_version);
 }
 std::string event_key(const std::string& ref, std::uint64_t version) {
   return ref + "#" + std::to_string(version);
@@ -168,6 +176,34 @@ void Scenario::setup_collections() {
   settle(SimTime::seconds(1));
 }
 
+void Scenario::setup_distributed(int links) {
+  assert(config_.strategy == Strategy::kGsAlert);
+  if (servers_.size() < 2) return;
+  for (int attempt = 0; links > 0 && attempt < links * 8; ++attempt) {
+    // Super on a lower-indexed server than the sub keeps the include
+    // graph acyclic even across chained links.
+    const std::size_t sub_server =
+        1 + rng_.index(servers_.size() - 1);
+    const std::size_t super_server = rng_.index(sub_server);
+    const CollectionRef super{
+        servers_[super_server]->name(),
+        collections_[super_server]
+            [rng_.index(collections_[super_server].size())].name};
+    const CollectionRef sub{
+        servers_[sub_server]->name(),
+        collections_[sub_server][rng_.index(collections_[sub_server].size())]
+            .name};
+    const Status st = servers_[super_server]->add_sub_collection(super.name,
+                                                                 sub);
+    if (!st.is_ok()) continue;  // duplicate link drawn; redraw
+    dist_links_.emplace_back(super, sub);
+    --links;
+  }
+  // Let the auxiliary profiles install (reliable, so one retry interval
+  // is plenty in the healthy setup phase).
+  settle(SimTime::seconds(3));
+}
+
 void Scenario::subscribe(std::size_t client_index, const std::string& text) {
   auto parsed = profiles::parse_profile(text);
   assert(parsed.ok());
@@ -214,6 +250,7 @@ bool Scenario::cancel_random() {
   TrackedSub& sub = subs_[active[rng_.index(active.size())]];
   clients_[sub.client_index]->cancel(sub.id);
   sub.active = false;
+  sub.cancelled_at = net_.now();
   return true;
 }
 
@@ -246,16 +283,42 @@ void Scenario::publish_rebuild(std::size_t server_index,
   expected_event.physical_origin = expected_event.collection;
   expected_event.build_version = version;
   expected_event.docs = fresh;
-  const profiles::EventContext ctx =
-      profiles::EventContext::from(expected_event);
-  const std::string ref = expected_event.collection.str();
-  for (const TrackedSub& sub : subs_) {
-    if (!sub.active || sub.id == 0) continue;
-    if (sub.parsed.matches(ctx)) {
-      expected_[expect_key(sub.client_index, ref, version)] += 1;
+
+  auto record_expectations = [&](const docmodel::Event& event) {
+    const profiles::EventContext ctx = profiles::EventContext::from(event);
+    for (const TrackedSub& sub : subs_) {
+      if (!sub.active || sub.id == 0) continue;
+      if (sub.parsed.matches(ctx)) {
+        expected_[expect_key(sub.client_index, event)] += 1;
+      }
+    }
+    publish_time_.try_emplace(event_key(event.collection.str(), version),
+                              net_.now());
+  };
+  record_expectations(expected_event);
+
+  // Rename cascade (paper §4.2): every transitive super-collection of the
+  // rebuilt collection re-announces the event attributed to itself. The
+  // include graph is acyclic by construction (setup_distributed), and the
+  // service's via-chain guard mirrors the cut conditions here.
+  std::vector<docmodel::Event> frontier{expected_event};
+  while (!frontier.empty()) {
+    const docmodel::Event current = std::move(frontier.back());
+    frontier.pop_back();
+    for (const auto& [super, sub] : dist_links_) {
+      if (sub != current.collection) continue;
+      if (super == current.collection ||
+          std::find(current.via.begin(), current.via.end(), super.str()) !=
+              current.via.end()) {
+        continue;
+      }
+      docmodel::Event renamed = current;
+      renamed.collection = super;
+      renamed.via.push_back(current.collection.str());
+      record_expectations(renamed);
+      frontier.push_back(std::move(renamed));
     }
   }
-  publish_time_[event_key(ref, version)] = net_.now();
   events_published_ += 1;
 }
 
@@ -269,16 +332,82 @@ void Scenario::settle(SimTime duration) {
   net_.run_until(net_.now() + duration);
 }
 
+std::vector<Scenario::SubRecord> Scenario::sub_records() const {
+  std::vector<SubRecord> out;
+  out.reserve(subs_.size());
+  for (const TrackedSub& sub : subs_) {
+    out.push_back(SubRecord{sub.client_index, sub.id, sub.active,
+                            sub.cancelled_at});
+  }
+  return out;
+}
+
+std::optional<SimTime> Scenario::publish_time(const std::string& ref,
+                                              std::uint64_t version) const {
+  const auto it = publish_time_.find(event_key(ref, version));
+  if (it == publish_time_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t Scenario::false_negatives_beyond(
+    const std::unordered_map<std::string, std::uint64_t>& snapshot) const {
+  std::unordered_map<std::string, std::uint64_t> delivered;
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    for (const auto& note : clients_[c]->notifications()) {
+      delivered[expect_key(c, note.event)] += 1;
+    }
+  }
+  std::uint64_t missing = 0;
+  for (const auto& [key, expected_count] : expected_) {
+    const auto prior = snapshot.find(key);
+    const std::uint64_t prior_count =
+        prior == snapshot.end() ? 0 : prior->second;
+    if (expected_count <= prior_count) continue;
+    const auto got = delivered.find(key);
+    const std::uint64_t got_count =
+        got == delivered.end() ? 0 : got->second;
+    // Deliveries first satisfy the pre-snapshot portion; only the
+    // shortfall attributable to post-snapshot expectations counts.
+    missing += expected_count - std::min(
+        expected_count, std::max(got_count, prior_count));
+  }
+  return missing;
+}
+
+std::vector<std::string> Scenario::missing_keys_beyond(
+    const std::unordered_map<std::string, std::uint64_t>& snapshot) const {
+  std::unordered_map<std::string, std::uint64_t> delivered;
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    for (const auto& note : clients_[c]->notifications()) {
+      delivered[expect_key(c, note.event)] += 1;
+    }
+  }
+  std::vector<std::string> keys;
+  for (const auto& [key, expected_count] : expected_) {
+    const auto prior = snapshot.find(key);
+    const std::uint64_t prior_count =
+        prior == snapshot.end() ? 0 : prior->second;
+    if (expected_count <= prior_count) continue;
+    const auto got = delivered.find(key);
+    const std::uint64_t got_count =
+        got == delivered.end() ? 0 : got->second;
+    if (std::max(got_count, prior_count) >= expected_count) continue;
+    keys.push_back(key + " (want " + std::to_string(expected_count) +
+                   ", got " + std::to_string(got_count) + ")");
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 Outcome Scenario::outcome() const {
   Outcome out;
   out.events_published = events_published_;
   std::unordered_map<std::string, std::uint64_t> delivered;
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     for (const auto& note : clients_[c]->notifications()) {
-      const std::string ref = note.event.collection.str();
-      delivered[expect_key(c, ref, note.event.build_version)] += 1;
-      const auto pub = publish_time_.find(
-          event_key(ref, note.event.build_version));
+      delivered[expect_key(c, note.event)] += 1;
+      const auto pub = publish_time_.find(event_key(
+          note.event.collection.str(), note.event.build_version));
       if (pub != publish_time_.end()) {
         out.notification_latency_ms.record(
             (note.at - pub->second).as_millis());

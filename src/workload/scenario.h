@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "alerting/alerting_service.h"
@@ -89,6 +90,18 @@ class Scenario {
   /// subscriptions so the setup burst is not part of the measurement).
   void setup_collections();
 
+  /// Turn up to `links` collections into distributed collections by
+  /// adding a remote sub-collection link (super on a lower-indexed server
+  /// than the sub, so the include graph is acyclic). Ground-truth
+  /// accounting then follows the paper's rename cascade: a rebuild of a
+  /// sub-collection is also expected — renamed — at every transitive
+  /// super. kGsAlert only (baselines don't implement aux profiles).
+  void setup_distributed(int links);
+  const std::vector<std::pair<CollectionRef, CollectionRef>>&
+  distributed_links() const {
+    return dist_links_;
+  }
+
   /// Every client subscribes `n` generated profiles; call settle()
   /// afterwards so acks land.
   void subscribe_all(int n);
@@ -111,6 +124,38 @@ class Scenario {
 
   std::uint64_t events_published() const { return events_published_; }
 
+  /// --- invariant-checker surface -----------------------------------------
+  /// Tracked subscription state, for checkers that correlate client
+  /// notification logs with subscription lifecycles.
+  struct SubRecord {
+    std::size_t client_index;
+    SubscriptionId id;     // 0 if the subscribe ack never arrived
+    bool active;
+    SimTime cancelled_at;  // meaningful when !active
+  };
+  std::vector<SubRecord> sub_records() const;
+
+  /// When the rebuild that produced (ref, version) was published (nullopt
+  /// for events the scenario never recorded).
+  std::optional<SimTime> publish_time(const std::string& ref,
+                                      std::uint64_t version) const;
+
+  /// Snapshot of the ground-truth expectation table, so a checker can
+  /// scope "every expectation must be met" to work created after a point
+  /// in time (e.g. after all faults healed).
+  std::unordered_map<std::string, std::uint64_t> expectation_snapshot()
+      const {
+    return expected_;
+  }
+  /// False negatives counting only the expectations added beyond
+  /// `snapshot` (per-key count deltas).
+  std::uint64_t false_negatives_beyond(
+      const std::unordered_map<std::string, std::uint64_t>& snapshot) const;
+  /// The offending expectation keys behind false_negatives_beyond(),
+  /// sorted, as "client#ref#version (want N, got M)" diagnostics.
+  std::vector<std::string> missing_keys_beyond(
+      const std::unordered_map<std::string, std::uint64_t>& snapshot) const;
+
  private:
   struct TrackedSub {
     std::size_t client_index;
@@ -118,6 +163,7 @@ class Scenario {
     profiles::Profile parsed;
     SubscriptionId id = 0;  // 0 until acked
     bool active = true;
+    SimTime cancelled_at;
   };
   struct CollState {
     std::string name;
@@ -148,6 +194,8 @@ class Scenario {
   std::vector<TrackedSub> subs_;
   std::vector<std::string> hosts_;
   std::vector<CollectionRef> all_collections_;
+  // (super, sub) include links created by setup_distributed.
+  std::vector<std::pair<CollectionRef, CollectionRef>> dist_links_;
 
   // Ground truth: expectation key "client#ref#version" -> count; and the
   // publish time for latency.

@@ -150,6 +150,210 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
                            return "seed_" + std::to_string(info.param.seed);
                          });
 
+// ---------- codec round-trips: encode -> decode -> encode, byte-equal --------
+
+std::string random_name(Rng& rng, const char* prefix) {
+  return std::string(prefix) + std::to_string(rng.uniform_int(0, 999));
+}
+
+std::vector<std::string> random_names(Rng& rng, const char* prefix,
+                                      std::int64_t max) {
+  std::vector<std::string> out(
+      static_cast<std::size_t>(rng.uniform_int(0, max)));
+  for (auto& s : out) s = random_name(rng, prefix);
+  return out;
+}
+
+CollectionRef random_ref(Rng& rng) {
+  return CollectionRef{random_name(rng, "Host"), random_name(rng, "C")};
+}
+
+/// encode -> decode -> encode must reproduce the exact bytes: the codec
+/// has one canonical form per value, so nothing is silently dropped,
+/// defaulted or re-ordered on the way through.
+template <typename Body>
+void expect_roundtrip(const Body& body) {
+  wire::Writer w1;
+  body.encode(w1);
+  const std::vector<std::byte> first = std::move(w1).take();
+  auto decoded = Body::decode(first);
+  ASSERT_TRUE(decoded.ok());
+  wire::Writer w2;
+  decoded.value().encode(w2);
+  EXPECT_EQ(first, std::move(w2).take());
+}
+
+/// If a (possibly mutated) buffer decodes at all, re-encoding the result
+/// must yield a stable canonical form: decode(encode(decode(bytes)))
+/// succeeds and re-encodes to the same bytes.
+template <typename Body>
+void expect_canonical_or_error(const std::vector<std::byte>& bytes) {
+  auto decoded = Body::decode(bytes);
+  if (!decoded.ok()) return;
+  wire::Writer w1;
+  decoded.value().encode(w1);
+  const std::vector<std::byte> canon = std::move(w1).take();
+  auto again = Body::decode(canon);
+  ASSERT_TRUE(again.ok());
+  wire::Writer w2;
+  again.value().encode(w2);
+  EXPECT_EQ(canon, std::move(w2).take());
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(CodecRoundTrip, EveryMessageTypeIsByteExact) {
+  Rng rng{GetParam().seed ^ 0xC0DEC};
+  for (int i = 0; i < 100; ++i) {
+    // gds/messages.h
+    expect_roundtrip(gds::RegisterBody{random_name(rng, "srv")});
+    expect_roundtrip(gds::BroadcastBody{
+        random_name(rng, "srv"),
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF)),
+        random_bytes(rng, 32)});
+    expect_roundtrip(gds::RelayBody{
+        random_name(rng, "srv"), random_name(rng, "dst"),
+        static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF)),
+        random_bytes(rng, 32)});
+    expect_roundtrip(gds::MulticastBody{
+        random_name(rng, "srv"),
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        random_names(rng, "t", 5),
+        static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF)),
+        random_bytes(rng, 32)});
+    expect_roundtrip(gds::ResolveBody{
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        random_name(rng, "srv")});
+    expect_roundtrip(gds::ResolveReplyBody{
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        random_name(rng, "srv"), rng.chance(0.5),
+        random_name(rng, "gds")});
+    expect_roundtrip(gds::ChildHelloBody{
+        static_cast<std::uint16_t>(rng.uniform_int(0, 64)), rng.chance(0.5),
+        random_names(rng, "a", 4), random_names(rng, "r", 4)});
+
+    // gsnet/messages.h
+    expect_roundtrip(gsnet::CollRequestBody{
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        random_name(rng, "C"), rng.chance(0.5),
+        random_names(rng, "chain", 4)});
+    {
+      gsnet::CollResponseBody body;
+      body.request_id = static_cast<std::uint64_t>(rng.uniform_int(0, 99));
+      body.ok = rng.chance(0.5);
+      body.error = body.ok ? "" : random_name(rng, "err");
+      body.docs = random_event(rng).docs;
+      body.hops = static_cast<std::uint32_t>(rng.uniform_int(0, 9));
+      body.servers_contacted =
+          static_cast<std::uint32_t>(rng.uniform_int(0, 9));
+      expect_roundtrip(body);
+    }
+    expect_roundtrip(gsnet::SearchRequestBody{
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        random_name(rng, "C"), "title:" + random_name(rng, "w"),
+        rng.chance(0.5), random_names(rng, "chain", 4)});
+    {
+      gsnet::SearchResponseBody body;
+      body.request_id = static_cast<std::uint64_t>(rng.uniform_int(0, 99));
+      body.ok = rng.chance(0.5);
+      body.error = body.ok ? "" : random_name(rng, "err");
+      const int nhits = static_cast<int>(rng.uniform_int(0, 6));
+      for (int h = 0; h < nhits; ++h) {
+        body.hits.push_back(
+            static_cast<DocumentId>(rng.uniform_int(1, 1000)));
+      }
+      body.hops = static_cast<std::uint32_t>(rng.uniform_int(0, 9));
+      body.servers_contacted =
+          static_cast<std::uint32_t>(rng.uniform_int(0, 9));
+      expect_roundtrip(body);
+    }
+
+    // alerting/messages.h
+    expect_roundtrip(alerting::SubscribeBody{"title:" +
+                                             random_name(rng, "w")});
+    expect_roundtrip(alerting::SubscribeAckBody{
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        rng.chance(0.5),
+        static_cast<SubscriptionId>(rng.uniform_int(0, 1 << 20)),
+        random_name(rng, "err")});
+    expect_roundtrip(alerting::CancelBody{
+        static_cast<SubscriptionId>(rng.uniform_int(0, 1 << 20))});
+    expect_roundtrip(alerting::NotificationBody{
+        static_cast<SubscriptionId>(rng.uniform_int(0, 1 << 20)),
+        random_event(rng)});
+    expect_roundtrip(alerting::AuxProfileBody{random_ref(rng),
+                                              random_ref(rng)});
+    expect_roundtrip(alerting::EventForwardBody{random_ref(rng),
+                                                random_event(rng)});
+    expect_roundtrip(baselines::RemoteProfileBody{
+        random_name(rng, "srv"),
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        "title:" + random_name(rng, "w"), rng.chance(0.5),
+        static_cast<std::uint64_t>(rng.uniform_int(0, 9))});
+  }
+}
+
+TEST_P(CodecRoundTrip, EventAnnouncementIsByteExact) {
+  Rng rng{GetParam().seed ^ 0xE4E47};
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<std::byte> first =
+        alerting::encode_event(random_event(rng));
+    auto decoded = alerting::decode_event(first);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(first, alerting::encode_event(decoded.value()));
+  }
+}
+
+TEST_P(CodecRoundTrip, EnvelopePackUnpackIsByteExact) {
+  Rng rng{GetParam().seed ^ 0xE57};
+  for (int i = 0; i < 100; ++i) {
+    wire::Writer w;
+    random_event(rng).encode(w);
+    wire::Envelope env = wire::make_envelope(
+        wire::MessageType::kEventAnnounce, random_name(rng, "src"),
+        random_name(rng, "dst"),
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+        std::move(w));
+    env.ttl = static_cast<std::uint16_t>(rng.uniform_int(0, 64));
+    const sim::Packet packed = env.pack();
+    auto unpacked = wire::unpack(packed);
+    ASSERT_TRUE(unpacked.ok());
+    EXPECT_EQ(packed.bytes, unpacked.value().pack().bytes);
+  }
+}
+
+TEST_P(CodecRoundTrip, MutatedBytesDecodeCanonicallyOrError) {
+  Rng rng{GetParam().seed ^ 0x3417A7E};
+  for (int i = 0; i < 150; ++i) {
+    // Start from a valid encoded notification (the deepest payload
+    // nesting: subscription + event + docs + metadata), then mutate.
+    wire::Writer w;
+    alerting::NotificationBody{
+        static_cast<SubscriptionId>(rng.uniform_int(0, 1 << 20)),
+        random_event(rng)}
+        .encode(w);
+    std::vector<std::byte> bytes = std::move(w).take();
+    for (int f = 0; f < 3 && !bytes.empty(); ++f) {
+      bytes[rng.index(bytes.size())] ^=
+          static_cast<std::byte>(1 << rng.uniform_int(0, 7));
+    }
+    if (rng.chance(0.3)) bytes.resize(rng.index(bytes.size() + 1));
+    expect_canonical_or_error<alerting::NotificationBody>(bytes);
+    expect_canonical_or_error<gds::BroadcastBody>(bytes);
+    expect_canonical_or_error<gds::MulticastBody>(bytes);
+    expect_canonical_or_error<gsnet::CollResponseBody>(bytes);
+    expect_canonical_or_error<alerting::EventForwardBody>(bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(FuzzParam{5}, FuzzParam{55},
+                                           FuzzParam{555}, FuzzParam{5555}),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           return "seed_" + std::to_string(info.param.seed);
+                         });
+
 // ---------- retrieval: index == direct evaluation -----------------------------
 
 class RetrievalFuzz : public ::testing::TestWithParam<FuzzParam> {};

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -428,8 +429,10 @@ std::string random_profile_text(Rng& rng) {
       "collection_built", "collection_rebuilt", "collection_deleted"};
   static const std::vector<std::string> creators{"hinze", "buchanan",
                                                  "smith", "lee"};
+  static const std::vector<std::string> terms{"alerting", "retrieval",
+                                              "music", "library"};
   auto pred = [&rng]() -> std::string {
-    switch (rng.uniform_int(0, 6)) {
+    switch (rng.uniform_int(0, 9)) {
       case 0:
         return "host = " + hosts[rng.index(hosts.size())];
       case 1:
@@ -443,6 +446,19 @@ std::string random_profile_text(Rng& rng) {
       case 5:
         return "collection IN [" + colls[rng.index(colls.size())] + ", " +
                colls[rng.index(colls.size())] + "]";
+      case 6:
+        // Micro-level filter query against event documents, reusing the
+        // retrieval language (§5) — exercises the residual query path.
+        return "doc ~ \"creator:" + creators[rng.index(creators.size())] +
+               (rng.chance(0.4)
+                    ? " OR text:" + terms[rng.index(terms.size())]
+                    : "") +
+               "\"";
+      case 7:
+        return "term = " + terms[rng.index(terms.size())];
+      case 8:
+        return "title = " + terms[rng.index(terms.size())].substr(0, 3) +
+               "*";
       default:
         return "doc_id IN [" + std::to_string(rng.uniform_int(100, 110)) +
                "]";
@@ -454,6 +470,10 @@ std::string random_profile_text(Rng& rng) {
     const char* conn = rng.chance(0.5) ? " AND " : " OR ";
     std::string next = pred();
     if (rng.chance(0.2)) next = "NOT " + next;
+    if (rng.chance(0.25)) {
+      next = "(" + next + (rng.chance(0.5) ? " OR " : " AND ") + pred() +
+             ")";
+    }
     text += conn + next;
   }
   return text;
@@ -471,12 +491,18 @@ Event random_event(Rng& rng) {
   e.collection = {hosts[rng.index(hosts.size())],
                   colls[rng.index(colls.size())]};
   e.physical_origin = e.collection;
+  static const std::vector<std::string> terms{"alerting", "retrieval",
+                                              "music", "library"};
   const int ndocs = static_cast<int>(rng.uniform_int(0, 3));
   for (int i = 0; i < ndocs; ++i) {
     Document d;
     d.id = static_cast<DocumentId>(rng.uniform_int(100, 110));
     d.metadata.add("creator", creators[rng.index(creators.size())]);
-    d.terms = {"alerting"};
+    d.metadata.add("title", terms[rng.index(terms.size())]);
+    const int nterms = static_cast<int>(rng.uniform_int(1, 3));
+    for (int t = 0; t < nterms; ++t) {
+      d.terms.push_back(terms[rng.index(terms.size())]);
+    }
     e.docs.push_back(d);
   }
   return e;
@@ -544,6 +570,53 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<FuzzParam>& info) {
       return "seed_" + std::to_string(info.param.seed);
     });
+
+// Replay hook: GSALERT_PROFILES_SEED=<n> re-runs the oracle with the seed
+// a failing run printed, so any mismatch is a one-env-var repro. Also
+// asserts the generator itself is deterministic (same seed -> same
+// profiles and events).
+TEST(IndexEquivalenceReplay, EnvSeedReplaysDeterministically) {
+  std::uint64_t seed = 7;
+  if (const char* env = std::getenv("GSALERT_PROFILES_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::vector<std::string> first_texts;
+  std::vector<std::vector<ProfileId>> first_matches;
+  for (int pass = 0; pass < 2; ++pass) {
+    Rng rng{seed};
+    std::vector<Profile> profiles;
+    ProfileIndex index;
+    std::vector<std::string> texts;
+    std::vector<std::vector<ProfileId>> matches;
+    for (ProfileId id = 1; id <= 120; ++id) {
+      texts.push_back(random_profile_text(rng));
+      auto parsed = parse_profile(texts.back());
+      ASSERT_TRUE(parsed.ok()) << texts.back();
+      parsed.value().id = id;
+      profiles.push_back(parsed.value());
+      ASSERT_TRUE(index.add(std::move(parsed).take()));
+    }
+    for (int round = 0; round < 30; ++round) {
+      const Event e = random_event(rng);
+      const EventContext ctx = EventContext::from(e);
+      std::vector<ProfileId> naive;
+      for (const Profile& p : profiles) {
+        if (p.matches(ctx)) naive.push_back(p.id);
+      }
+      EXPECT_EQ(index.match(ctx), naive)
+          << "seed=" << seed << " round=" << round
+          << " (replay: GSALERT_PROFILES_SEED=" << seed << ")";
+      matches.push_back(std::move(naive));
+    }
+    if (pass == 0) {
+      first_texts = std::move(texts);
+      first_matches = std::move(matches);
+    } else {
+      EXPECT_EQ(first_texts, texts);
+      EXPECT_EQ(first_matches, matches);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace gsalert::profiles

@@ -1,19 +1,23 @@
-// Randomized churn soak: random worlds, random interleavings of
-// publishes, cancellations, partitions and server crashes. Asserts the
-// service's correctness envelope:
+// Randomized churn soak, now driven through the chaos harness: bigger
+// worlds and longer fault windows than the chaos_test sweep, with the
+// full invariant registry armed for the whole run:
 //
-//   I1  no false positives, ever (profiles live only at their owner's
-//       server, so cancellation is atomic with filtering there);
-//   I2  events published while the network is healthy are delivered
-//       exactly to their expected subscribers;
-//   I3  failures only affect events published while they are active:
-//       after every fault heals, new events are again delivered in full.
+//   gds-exactly-once     broadcast dedup holds under crashes and rings
+//   gds-tree-well-formed directory tree reconnects after failures
+//   dangling-profile     cancelled profiles never notify (I1)
+//   post-heal-delivery   post-heal events delivered in full (I2/I3)
+//   wire-conservation    every packet accounted for
+//
+// Each parameter set is one seed-replayable world; on failure the trace
+// (schedule + verdicts) is printed, and `chaos_test --seed=N` replays
+// sweep-shaped repros. CI-capped: a handful of worlds, ~10s of virtual
+// time each.
 #include <gtest/gtest.h>
 
 #include <string>
-#include <vector>
 
-#include "workload/scenario.h"
+#include "sim/invariants.h"
+#include "workload/chaos_runner.h"
 
 namespace gsalert::workload {
 namespace {
@@ -22,90 +26,52 @@ struct SoakParam {
   std::uint64_t seed;
   int n_servers;
   int gds_fanout;
+  int links;      // distributed super/sub collection links
+  int crashes;
+  int partitions;
 };
 
 class ChurnSoak : public ::testing::TestWithParam<SoakParam> {};
 
-TEST_P(ChurnSoak, InvariantsHoldAcrossFaultInterleavings) {
+TEST_P(ChurnSoak, InvariantsHoldUnderChurn) {
   const SoakParam param = GetParam();
-  ScenarioConfig config;
-  config.strategy = Strategy::kGsAlert;
+  ChaosRunConfig config;
+  config.seed = param.seed;
   config.n_servers = param.n_servers;
   config.gds_fanout = param.gds_fanout;
   config.clients_per_server = 2;
-  config.seed = param.seed;
-  Scenario scenario{config};
-  Rng rng{param.seed ^ 0x50AC};
-  scenario.setup_collections();
-  scenario.subscribe_all(2);
-  scenario.settle(SimTime::seconds(3));
+  config.profiles_per_client = 3;
+  config.distributed_links = param.links;
+  config.warmup_publishes = 6;
+  config.chaos_steps = 14;
+  config.final_publishes = 6;
+  config.chaos.duration = SimTime::seconds(14);
+  config.chaos.crashes = param.crashes;
+  config.chaos.blocks = 2;
+  config.chaos.partitions = param.partitions;
+  config.chaos.loss_bursts = 1;
+  config.chaos.latency_spikes = 1;
+  config.chaos.duplication_windows = 1;
+  config.chaos.reorder_windows = 1;
 
-  // Phase A — healthy traffic.
-  for (int i = 0; i < 8; ++i) {
-    scenario.publish_random_rebuild(2);
-    scenario.settle(SimTime::millis(200));
-  }
-  scenario.settle(SimTime::seconds(3));
-  const Outcome after_a = scenario.outcome();
-  EXPECT_EQ(after_a.false_positives, 0u) << "I1 (phase A)";
-  EXPECT_EQ(after_a.false_negatives, 0u) << "I2 (phase A)";
-
-  // Phase B — chaos: random cancels, a partition, random server crashes,
-  // publishes throughout.
-  // Users sit at their servers, so clients partition WITH their home
-  // server (the paper's co-location model).
-  std::vector<NodeId> island;
-  for (std::size_t s = 0; s < scenario.servers().size() / 2; ++s) {
-    island.push_back(scenario.servers()[s]->id());
-    for (auto* client : scenario.clients()) {
-      if (client->home() == scenario.servers()[s]->id()) {
-        island.push_back(client->id());
-      }
-    }
-  }
-  scenario.net().set_partition({island});
-  std::vector<std::size_t> crashed;
-  for (int i = 0; i < 10; ++i) {
-    const double dice = rng.uniform();
-    if (dice < 0.3) {
-      scenario.cancel_random();
-    } else if (dice < 0.45 && crashed.size() < 2) {
-      const std::size_t victim = rng.index(scenario.servers().size());
-      scenario.net().crash(scenario.servers()[victim]->id());
-      crashed.push_back(victim);
-    } else {
-      scenario.publish_random_rebuild(1);
-    }
-    scenario.settle(SimTime::millis(300));
-  }
-  // Heal everything.
-  scenario.net().clear_partition();
-  for (std::size_t victim : crashed) {
-    scenario.net().restart(scenario.servers()[victim]->id());
-  }
-  scenario.settle(SimTime::seconds(8));  // re-register, drain retries
-  const Outcome after_b = scenario.outcome();
-  EXPECT_EQ(after_b.false_positives, 0u) << "I1 (phase B)";
-
-  // Phase C — healthy again: no NEW false negatives may appear.
-  for (int i = 0; i < 8; ++i) {
-    scenario.publish_random_rebuild(2);
-    scenario.settle(SimTime::millis(200));
-  }
-  scenario.settle(SimTime::seconds(5));
-  const Outcome after_c = scenario.outcome();
-  EXPECT_EQ(after_c.false_positives, 0u) << "I1 (phase C)";
-  EXPECT_EQ(after_c.false_negatives, after_b.false_negatives)
-      << "I3: events after the heal must be delivered in full";
-  EXPECT_GT(after_c.expected_notifications, after_b.expected_notifications)
-      << "phase C actually produced expectations (sanity)";
+  const ChaosReport report = run_chaos(config);
+  EXPECT_TRUE(report.ok()) << sim::format_violations(report.violations)
+                           << report.trace;
+  // The run must have exercised the service, not idled through the
+  // faults.
+  EXPECT_GT(report.outcome.expected_notifications, 0u);
+  EXPECT_EQ(report.outcome.false_positives, 0u)
+      << "I1: no false positives, ever";
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Seeds, ChurnSoak,
-    ::testing::Values(SoakParam{101, 8, 2}, SoakParam{202, 8, 3},
-                      SoakParam{303, 12, 3}, SoakParam{404, 12, 2},
-                      SoakParam{505, 16, 4}, SoakParam{606, 6, 2}),
+    ::testing::Values(SoakParam{101, 8, 2, 2, 2, 1},
+                      SoakParam{202, 8, 3, 0, 3, 1},
+                      SoakParam{303, 12, 3, 3, 2, 1},
+                      SoakParam{404, 12, 2, 2, 4, 0},
+                      SoakParam{505, 16, 4, 4, 3, 1},
+                      SoakParam{606, 6, 2, 1, 2, 1}),
     [](const ::testing::TestParamInfo<SoakParam>& info) {
       return "seed_" + std::to_string(info.param.seed) + "_n" +
              std::to_string(info.param.n_servers) + "_f" +
