@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "alerting/alerting_service.h"
@@ -159,4 +160,28 @@ BENCHMARK(BM_RebuildWithAlerting)
     ->Args({500, 1000});
 BENCHMARK(BM_RebuildAllProfilesMatch)->Args({20, 100})->Args({20, 1000});
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_build_overhead.json so the bench leaves a machine-readable
+// artifact next to its console table. An explicit --benchmark_out on
+// the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_build_overhead.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,9 @@
 //     central service goes dark for every event afterwards, while the GDS
 //     re-parents around its failed node and recovers.
 #include <cstdio>
+#include <string>
 
+#include "workload/metrics.h"
 #include "workload/scenario.h"
 
 using namespace gsalert;
@@ -79,9 +81,17 @@ int main() {
       "E10 — centralized (B1) vs distributed GSAlert",
       "strategy       infra_node_share  phase        expected delivered "
       "false_neg");
+  obs::MetricsRegistry reg;
   for (const Strategy strategy :
        {Strategy::kGsAlert, Strategy::kCentralized}) {
     const RunResult r = run(strategy);
+    const std::string name = workload::strategy_name(strategy);
+    workload::record_outcome(reg, r.healthy,
+                             {{"strategy", name}, {"phase", "healthy"}});
+    workload::record_outcome(reg, r.degraded,
+                             {{"strategy", name}, {"phase", "matcher-down"}});
+    reg.gauge("bench.infra_node_share_pct", {{"strategy", name}}) =
+        r.central_share;
     char row[220];
     std::snprintf(row, sizeof(row), "%-14s %15.1f%%  %-12s %8llu %9llu %9llu",
                   workload::strategy_name(strategy), r.central_share,
@@ -108,5 +118,6 @@ int main() {
       "to zero. GSAlert's busiest GDS node carries a small share, and the "
       "tree re-parents around a dead root (only the detection window is "
       "lossy).\n");
+  workload::write_bench_json("centralized", reg);
   return 0;
 }

@@ -10,6 +10,7 @@
 // cost.
 #include <cstdio>
 
+#include "workload/metrics.h"
 #include "workload/scenario.h"
 
 using namespace gsalert;
@@ -71,7 +72,12 @@ RingResult run(Strategy strategy, bool dedup, double solitary,
   return r;
 }
 
-void report(const char* label, const RingResult& r) {
+void report(obs::MetricsRegistry& reg, const char* label,
+            const RingResult& r) {
+  const obs::Labels labels{{"config", label}};
+  workload::record_outcome(reg, r.outcome, labels);
+  reg.counter("bench.duplicates", labels) = r.duplicates;
+  reg.gauge("bench.msgs_per_event", labels) = r.msgs_per_event;
   char row[200];
   std::snprintf(row, sizeof(row), "%-26s %9.1f %10llu %9llu %9llu", label,
                 r.msgs_per_event,
@@ -87,20 +93,25 @@ int main() {
   workload::print_table_header(
       "E7 — cyclic GS network: flooding vs GDS (dedup ablation)",
       "configuration              msgs/event duplicates false_neg false_pos");
-  report("gs-flood ring, dedup ON",
+  obs::MetricsRegistry reg;
+  report(reg, "gs-flood ring, dedup ON",
          run(Strategy::kGsFlooding, true, 0.0, 5));
-  report("gs-flood ring, dedup OFF",
+  report(reg, "gs-flood ring, dedup OFF",
          run(Strategy::kGsFlooding, false, 0.0, 5));
-  report("gsalert tree, dedup ON", run(Strategy::kGsAlert, true, 0.0, 5));
-  report("gsalert tree, dedup OFF", run(Strategy::kGsAlert, false, 0.0, 5));
+  report(reg, "gsalert tree, dedup ON",
+         run(Strategy::kGsAlert, true, 0.0, 5));
+  report(reg, "gsalert tree, dedup OFF",
+         run(Strategy::kGsAlert, false, 0.0, 5));
   std::printf("\nwith 60%% solitary servers (the realistic GS population):\n");
-  report("gs-flood frag, dedup ON",
+  report(reg, "gs-flood frag, dedup ON",
          run(Strategy::kGsFlooding, true, 0.6, 6));
-  report("gsalert frag, dedup ON", run(Strategy::kGsAlert, true, 0.6, 6));
+  report(reg, "gsalert frag, dedup ON",
+         run(Strategy::kGsAlert, true, 0.6, 6));
   std::printf(
       "\nshape check: the ring without dedup multiplies messages (TTL-"
       "bounded livelock); GDS numbers are dedup-invariant; on the "
       "fragmented population only the GDS reaches the solitary servers "
       "(gs-flood accumulates false negatives).\n");
+  workload::write_bench_json("cycles", reg);
   return 0;
 }

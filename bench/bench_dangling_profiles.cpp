@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
   const std::optional<std::uint64_t> chaos_seed =
       workload::chaos_seed_arg(argc, argv);
   std::size_t chaos_violations = 0;
+  obs::MetricsRegistry reg;
   workload::print_table_header(
       "E5 — dangling profiles under churn (partition during cancel)",
       "strategy       false_neg false_pos orphan_notifs orphan_profiles "
@@ -171,6 +172,12 @@ int main(int argc, char** argv) {
                     sim::format_violations(r.violations).c_str());
       }
     }
+    const obs::Labels labels{{"strategy", workload::strategy_name(strategy)}};
+    workload::record_outcome(reg, total.outcome, labels);
+    reg.counter("bench.orphan_notifications", labels) =
+        total.orphan_notifications;
+    reg.counter("bench.orphan_profiles_left", labels) =
+        total.orphan_profiles_left;
     char row[200];
     std::snprintf(row, sizeof(row),
                   "%-14s %9llu %9llu %13llu %15llu %llu",
@@ -221,6 +228,10 @@ int main(int argc, char** argv) {
         orphans += ext->flood_stats().orphan_notifications;
       }
     }
+    const obs::Labels labels{{"covering", covering ? "on" : "off"}};
+    reg.counter("bench.b2_stored_remote_profiles", labels) = stored;
+    reg.counter("bench.b2_flood_msgs", labels) = floods;
+    reg.counter("bench.b2_orphan_notifications", labels) = orphans;
     char row[200];
     std::snprintf(row, sizeof(row), "%-20s %22llu %10llu %13llu",
                   covering ? "covering ON" : "covering OFF",
@@ -237,5 +248,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(*chaos_seed),
                 chaos_violations);
   }
+  reg.counter("bench.chaos_violations") = chaos_violations;
+  workload::write_bench_json("dangling_profiles", reg);
   return chaos_violations == 0 ? 0 : 1;
 }

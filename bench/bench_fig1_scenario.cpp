@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <optional>
 
+#include "common/histogram.h"
 #include "docmodel/collection.h"
 #include "gsnet/greenstone_server.h"
 #include "gsnet/receptionist.h"
+#include "obs/metrics_registry.h"
 #include "sim/network.h"
 #include "workload/metrics.h"
 
@@ -65,6 +67,8 @@ int main() {
       "E1 / Figure 1 — collection access semantics",
       "access            kind                 docs hops servers bytes    "
       "latency_ms result");
+  obs::MetricsRegistry reg;
+  Histogram access_latency;
   auto probe = [&](gsnet::Receptionist* r, const CollectionRef& ref,
                    const char* kind) {
     net.reset_stats();
@@ -77,7 +81,12 @@ int main() {
     });
     net.run_until(net.now() + SimTime::seconds(20));
     char row[256];
+    const obs::Labels labels{{"access", ref.str()}};
+    reg.counter("bench.probe_ok", labels) = result->ok ? 1 : 0;
+    reg.counter("bench.bytes", labels) = net.stats().bytes_sent;
     if (result->ok) {
+      reg.counter("bench.hops", labels) = result->hops;
+      access_latency.record((*done_at - start).as_millis());
       std::snprintf(row, sizeof(row),
                     "%-17s %-20s %4zu %4u %7u %-8llu %10.1f %s", ref.str().c_str(),
                     kind, result->docs.size(), result->hops,
@@ -102,5 +111,8 @@ int main() {
   std::printf(
       "\nshape check: distributed D costs 1 extra hop / 1 extra server; "
       "virtual C serves sub data only; G denied directly, served via F.\n");
+  reg.histogram("bench.access_latency_ms") = access_latency;
+  net.collect_metrics(reg);
+  workload::write_bench_json("fig1_scenario", reg);
   return 0;
 }

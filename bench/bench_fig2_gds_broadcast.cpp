@@ -10,6 +10,7 @@
 #include "common/histogram.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/metrics_registry.h"
 #include "sim/network.h"
 #include "workload/metrics.h"
 
@@ -91,5 +92,11 @@ int main() {
       latency.min(), latency.p50(), latency.max(), hop.as_millis());
   std::printf("total messages on the wire during broadcast: %llu\n",
               static_cast<unsigned long long>(net.stats().sent));
+  obs::MetricsRegistry reg;
+  net.collect_metrics(reg);
+  for (auto* n : tree.nodes) n->collect_metrics(reg);
+  reg.counter("bench.servers_notified") = static_cast<std::uint64_t>(notified);
+  reg.histogram("bench.notify_latency_ms") = latency;
+  workload::write_bench_json("fig2_gds_broadcast", reg);
   return notified == 6 ? 0 : 1;
 }

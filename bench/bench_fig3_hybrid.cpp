@@ -10,6 +10,7 @@
 #include "alerting/client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/metrics_registry.h"
 #include "sim/network.h"
 #include "workload/metrics.h"
 
@@ -110,5 +111,13 @@ int main() {
   std::printf(
       "\nshape check: the super-collection notification pays the extra GS "
       "forward + rename, so it lands later than the sub's direct flood.\n");
+  obs::MetricsRegistry reg;
+  net.collect_metrics(reg);
+  for (auto* n : tree.nodes) n->collect_metrics(reg);
+  ham_stats->collect_metrics(reg);
+  lon_stats->collect_metrics(reg);
+  reg.counter("bench.subscribers_correct") =
+      (ok1 ? 1u : 0u) + (ok2 ? 1u : 0u);
+  workload::write_bench_json("fig3_hybrid", reg);
   return ok1 && ok2 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // on/off" from DESIGN.md §3.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -110,4 +111,28 @@ void BM_NaiveMatch(benchmark::State& state) {
 BENCHMARK(BM_IndexMatch)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_NaiveMatch)->Arg(1000)->Arg(10000)->Arg(100000);
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_filter_matching.json so the bench leaves a machine-readable
+// artifact next to its console table. An explicit --benchmark_out on
+// the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_filter_matching.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

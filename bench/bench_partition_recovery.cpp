@@ -16,6 +16,7 @@
 #include "alerting/client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/metrics_registry.h"
 #include "sim/chaos.h"
 #include "sim/invariants.h"
 #include "sim/network.h"
@@ -111,6 +112,7 @@ int main(int argc, char** argv) {
       "E11 — partition recovery for the auxiliary-profile path",
       "partition_s notified delay_s  (delay ≈ partition + retry ≤ 1s + hops)");
   bool all_delivered = true;
+  obs::MetricsRegistry reg;
   for (const int seconds : {0, 1, 5, 20, 60}) {
     World world;
     sim::WireConservationChecker wire{world.net};
@@ -128,6 +130,9 @@ int main(int argc, char** argv) {
       std::printf("chaos violation(s) [partition %ds]:\n%s", seconds,
                   sim::format_violations(violations).c_str());
     }
+    const obs::Labels labels{{"partition_s", std::to_string(seconds)}};
+    reg.counter("bench.delivered", labels) = delay >= 0 ? 1 : 0;
+    reg.gauge("bench.delay_s", labels) = delay;
     char row[160];
     std::snprintf(row, sizeof(row), "%11d %8s %7.2f", seconds,
                   delay >= 0 ? "yes" : "LOST", delay);
@@ -159,6 +164,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(*chaos_seed),
                 chaos_violations);
   }
+  reg.counter("bench.spurious_after_cancel") =
+      world.user->notifications().size();
+  reg.counter("bench.chaos_violations") = chaos_violations;
+  world.net.collect_metrics(reg);
+  workload::write_bench_json("partition_recovery", reg);
   return all_delivered && world.user->notifications().empty() &&
                  chaos_violations == 0
              ? 0

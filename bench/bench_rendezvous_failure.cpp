@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
   const std::optional<std::uint64_t> chaos_seed =
       workload::chaos_seed_arg(argc, argv);
   std::size_t chaos_violations = 0;
+  obs::MetricsRegistry reg;
   workload::print_table_header(
       "E6 — rendezvous failure vs GDS re-parenting",
       "strategy       phase          expected delivered false_neg "
@@ -122,6 +123,13 @@ int main(int argc, char** argv) {
   for (const Strategy strategy :
        {Strategy::kGsAlert, Strategy::kRendezvous}) {
     const Phases phases = run(strategy, 11, chaos_seed);
+    const std::string name = workload::strategy_name(strategy);
+    workload::record_outcome(reg, phases.healthy,
+                             {{"strategy", name}, {"phase", "healthy"}});
+    workload::record_outcome(reg, phases.after_failure,
+                             {{"strategy", name}, {"phase", "node-failure"}});
+    reg.gauge("bench.hotspot_max_over_mean", {{"strategy", name}}) =
+        phases.hotspot;
     if (!phases.violations.empty()) {
       chaos_violations += phases.violations.size();
       std::printf("chaos violation(s) [%s]:\n%s",
@@ -164,5 +172,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(*chaos_seed),
                 chaos_violations);
   }
+  reg.counter("bench.chaos_violations") = chaos_violations;
+  workload::write_bench_json("rendezvous_failure", reg);
   return chaos_violations == 0 ? 0 : 1;
 }

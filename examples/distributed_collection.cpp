@@ -7,13 +7,23 @@
 // Hamilton.D, and is re-broadcast through the GDS — so a user watching
 // Hamilton.D hears about a change they could never have observed directly.
 //
-//   ./distributed_collection
+//   ./distributed_collection [--trace-out=trace.json]
+//
+// With --trace-out= every packet of the walkthrough is recorded as a
+// span; the file is Chrome trace_event JSON (load in chrome://tracing
+// or Perfetto) and the causal tree is printed to stdout — publish at
+// London, GDS flood, aux-profile match, rename at Hamilton, re-broadcast.
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
 
 #include "alerting/alerting_service.h"
 #include "alerting/client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/trace.h"
+#include "obs/tracer.h"
 #include "sim/network.h"
 
 using namespace gsalert;
@@ -28,7 +38,24 @@ docmodel::Document make_doc(DocumentId id, const char* title) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::optional<std::string> trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      std::fprintf(stderr,
+                   "usage: distributed_collection [--trace-out=FILE]\n");
+      return 2;
+    }
+  }
+  obs::Tracer tracer;
+  std::optional<obs::ScopedSink> tracing;
+  if (trace_out.has_value()) {
+    obs::reset_ids();
+    tracing.emplace(&tracer);
+  }
+
   sim::Network net{3};
   net.set_default_path({.latency = SimTime::millis(20)});
   gds::GdsTree tree = gds::build_figure2_tree(net);
@@ -102,5 +129,13 @@ int main() {
       static_cast<unsigned long long>(lon_stats->stats().aux_forwards),
       static_cast<unsigned long long>(ham_stats->stats().renames),
       static_cast<unsigned long long>(ham_stats->stats().events_published));
+  if (trace_out.has_value()) {
+    if (!tracer.write_chrome_trace(*trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu spans); causal tree:\n%s", trace_out->c_str(),
+                tracer.spans().size(), tracer.causal_tree().c_str());
+  }
   return user->notifications().size() == 1 ? 0 : 1;
 }

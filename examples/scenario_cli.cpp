@@ -4,12 +4,21 @@
 //
 //   ./scenario_cli --strategy=gsalert --servers=20 --events=30
 //                  --profiles=2 --seed=7 [--partition] [--covering]
+//                  [--trace-out=FILE]
 //
 // Strategies: gsalert | centralized | profile-flood | rendezvous | gs-flood
+//
+// --trace-out=FILE records every packet of the run as a causal span and
+// writes Chrome trace_event JSON (chrome://tracing / Perfetto). The
+// per-trace causal trees can get large; inspect the JSON for the full
+// picture.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "obs/trace.h"
+#include "obs/tracer.h"
 #include "workload/scenario.h"
 
 using namespace gsalert;
@@ -33,7 +42,7 @@ int usage() {
       stderr,
       "usage: scenario_cli [--strategy=S] [--servers=N] [--events=N]\n"
       "                    [--profiles=N] [--seed=N] [--partition]\n"
-      "                    [--covering]\n"
+      "                    [--covering] [--trace-out=FILE]\n"
       "strategies: gsalert centralized profile-flood rendezvous gs-flood\n");
   return 2;
 }
@@ -47,6 +56,7 @@ int main(int argc, char** argv) {
   int events = 20;
   int profiles_per_client = 2;
   bool partition_mid_run = false;
+  std::optional<std::string> trace_out;
   // Healthy overlay by default so every strategy can play.
   config.topology = workload::TopologyGenConfig{
       .solitary_fraction = 0.0, .island_size = 100, .cycle_probability = 0.0};
@@ -75,6 +85,8 @@ int main(int argc, char** argv) {
       profiles_per_client = std::stoi(value);
     } else if (parse_flag(argv[i], "--seed", value)) {
       config.seed = std::stoull(value);
+    } else if (parse_flag(argv[i], "--trace-out", value)) {
+      trace_out = value;
     } else if (std::strcmp(argv[i], "--partition") == 0) {
       partition_mid_run = true;
     } else if (std::strcmp(argv[i], "--covering") == 0) {
@@ -82,6 +94,13 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+
+  obs::Tracer tracer;
+  std::optional<obs::ScopedSink> tracing;
+  if (trace_out.has_value()) {
+    obs::reset_ids();
+    tracing.emplace(&tracer);
   }
 
   Scenario scenario{config};
@@ -136,5 +155,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(out.messages_sent),
               static_cast<unsigned long long>(out.bytes_sent));
   std::printf("hotspot max/mean    %.1f\n", out.max_over_mean_node_load);
+  if (trace_out.has_value()) {
+    if (!tracer.write_chrome_trace(*trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
+      return 1;
+    }
+    std::printf("trace               %s (%zu spans, %zu traces)\n",
+                trace_out->c_str(), tracer.spans().size(),
+                tracer.trace_ids().size());
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "profiles/event_context.h"
 
 namespace gsalert::alerting {
@@ -13,6 +15,15 @@ constexpr std::uint64_t kRetryTimer = 0xA1E27;
 std::string forward_key(const docmodel::EventId& id,
                         const CollectionRef& super) {
   return id.str() + "->" + super.str();
+}
+
+std::string join_via(const std::vector<std::string>& via) {
+  std::string out;
+  for (const std::string& hop : via) {
+    if (!out.empty()) out += ">";
+    out += hop;
+  }
+  return out;
 }
 }  // namespace
 
@@ -81,6 +92,13 @@ void AlertingService::filter_and_notify(const docmodel::Event& event) {
     if (notification_observer_) {
       notification_observer_(it->second.client, id, event);
     }
+    const obs::TraceScope notify_scope{
+        obs::active()
+            ? obs::emit_span(
+                  "notify", server_->name(), server_->net().now(),
+                  {{"sub", std::to_string(id)},
+                   {"client", std::to_string(it->second.client.value())}})
+            : obs::current_context()};
     NotificationBody body;
     body.subscription_id = id;
     body.event = event;
@@ -108,8 +126,21 @@ void AlertingService::forward_to_supers(const docmodel::Event& event) {
         std::find(event.via.begin(), event.via.end(), super.str()) !=
             event.via.end()) {
       stats_.rename_loops_cut += 1;
+      if (obs::active()) {
+        obs::emit_span("rename-loop-cut", server_->name(),
+                       server_->net().now(),
+                       {{"super", super.str()},
+                        {"via", join_via(event.via)}});
+      }
       continue;
     }
+    const obs::TraceScope forward_scope{
+        obs::active()
+            ? obs::emit_span("aux-forward", server_->name(),
+                             server_->net().now(),
+                             {{"super", super.str()},
+                              {"event", event.id.str()}})
+            : obs::current_context()};
     EventForwardBody body;
     body.super = super;
     body.event = event;
@@ -135,9 +166,28 @@ void AlertingService::process_event(const docmodel::Event& event,
                                     bool broadcast) {
   if (!seen_events_.insert(event.id).second) {
     stats_.duplicate_events += 1;
+    if (obs::active()) {
+      obs::emit_span("event-dup-drop", server_->name(),
+                     server_->net().now(), {{"event", event.id.str()}});
+    }
     return;
   }
   stats_.events_received += 1;
+  // Root of the event's trace for local builds; for renamed events the
+  // rename span is already active and this nests beneath it.
+  obs::SpanArgs publish_args;
+  if (obs::active()) {
+    publish_args = {{"event", event.id.str()},
+                    {"collection", event.collection.str()}};
+    if (!event.via.empty()) {
+      publish_args.emplace_back("via", join_via(event.via));
+    }
+  }
+  const obs::TraceScope event_scope{
+      obs::active() ? obs::emit_span("publish", server_->name(),
+                                     server_->net().now(),
+                                     std::move(publish_args))
+                    : obs::current_context()};
   filter_and_notify(event);
   forward_to_supers(event);
   if (broadcast) publish(event);
@@ -160,6 +210,10 @@ void AlertingService::on_gds_message(const std::string& /*origin_server*/,
     case wire::MessageType::kEventForwardAck: {
       auto env = wire::unpack(sim::Packet{payload});
       if (env.ok()) {
+        // The relayed envelope carries the original sender's trace
+        // context; handle it under that, not the outer deliver's.
+        const obs::TraceScope inner_scope{obs::TraceContext{
+            env.value().trace_id, env.value().span_id, env.value().hop}};
         (void)handle_envelope(NodeId::invalid(), env.value());
       }
       return;
@@ -175,6 +229,11 @@ void AlertingService::on_gds_message(const std::string& /*origin_server*/,
   // and re-broadcast happened at (or via) the event's own host.
   if (!seen_events_.insert(event.value().id).second) {
     stats_.duplicate_events += 1;
+    if (obs::active()) {
+      obs::emit_span("event-dup-drop", server_->name(),
+                     server_->net().now(),
+                     {{"event", event.value().id.str()}});
+    }
     return;
   }
   stats_.events_received += 1;
@@ -346,12 +405,23 @@ void AlertingService::handle_event_forward(NodeId from,
 
   if (!processed_forwards_.insert(forward_key(body.event.id, body.super))
            .second) {
+    if (obs::active()) {
+      obs::emit_span("forward-dup-drop", server_->name(),
+                     server_->net().now(),
+                     {{"event", body.event.id.str()}});
+    }
     return;  // duplicate retransmission
   }
   if (body.super.host != server_->name() ||
       server_->collection(body.super.name) == nullptr) {
     // Stale aux profile: the super-collection moved or vanished. Per §7
     // this conflicts with GS collection management; drop defensively.
+    if (obs::active()) {
+      obs::emit_span("stale-aux-drop", server_->name(),
+                     server_->net().now(),
+                     {{"super", body.super.str()},
+                      {"event", body.event.id.str()}});
+    }
     return;
   }
   // Rename: attribute the event to the super-collection (paper §4.2 —
@@ -369,6 +439,15 @@ void AlertingService::handle_event_forward(NodeId from,
   renamed.via.push_back(body.event.collection.str());
   renamed.docs = body.event.docs;
   stats_.renames += 1;
+  const obs::TraceScope rename_scope{
+      obs::active()
+          ? obs::emit_span("rename", server_->name(), server_->net().now(),
+                           {{"from", body.event.collection.str()},
+                            {"to", body.super.str()},
+                            {"event", body.event.id.str()},
+                            {"renamed-event", renamed.id.str()},
+                            {"via", join_via(renamed.via)}})
+          : obs::current_context()};
   process_event(renamed, /*broadcast=*/true);
 }
 
@@ -488,10 +567,42 @@ void AlertingService::on_timer_token(std::uint64_t token) {
   retry_armed_ = false;
   if (unacked_.empty()) return;
   for (const auto& [msg_id, pending] : unacked_) {
+    // The stored envelope keeps its original trace stamps, so the retry
+    // span hangs off the span that first sent it, not the timer tick.
+    if (obs::active()) {
+      obs::emit_span_under(
+          obs::TraceContext{pending.env.trace_id, pending.env.span_id,
+                            pending.env.hop},
+          "retry", server_->name(), server_->net().now(),
+          {{"host", pending.host}, {"msg_id", std::to_string(msg_id)}});
+    }
     attempt_delivery(pending.host, pending.env);
     stats_.retries += 1;
   }
   arm_retry_timer();
+}
+
+void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"server", server_->name()}};
+  registry.counter("alerting.events_published", labels) =
+      stats_.events_published;
+  registry.counter("alerting.events_received", labels) =
+      stats_.events_received;
+  registry.counter("alerting.duplicate_events", labels) =
+      stats_.duplicate_events;
+  registry.counter("alerting.notifications_sent", labels) =
+      stats_.notifications_sent;
+  registry.counter("alerting.filter_matches", labels) =
+      stats_.filter_matches;
+  registry.counter("alerting.aux_forwards", labels) = stats_.aux_forwards;
+  registry.counter("alerting.renames", labels) = stats_.renames;
+  registry.counter("alerting.rename_loops_cut", labels) =
+      stats_.rename_loops_cut;
+  registry.counter("alerting.retries", labels) = stats_.retries;
+  registry.gauge("alerting.subscriptions", labels) =
+      static_cast<double>(subs_.size());
+  registry.gauge("alerting.outbox", labels) =
+      static_cast<double>(unacked_.size());
 }
 
 }  // namespace gsalert::alerting

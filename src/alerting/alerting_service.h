@@ -65,6 +65,9 @@ class AlertingService : public gsnet::ServerExtension {
   std::size_t subscription_count() const { return subs_.size(); }
   const AlertingStats& stats() const { return stats_; }
   const profiles::ProfileIndex& index() const { return index_; }
+  /// Export stats under `alerting.*{server=<name>}` plus gauges for the
+  /// live subscription/outbox sizes (see docs/OBSERVABILITY.md).
+  void collect_metrics(obs::MetricsRegistry& registry) const;
 
   /// Auxiliary profiles registered here by remote super-collection hosts
   /// (sub name -> supers). Exposed for tests/benches.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <numeric>
 
 namespace gsalert {
@@ -19,27 +21,37 @@ void Histogram::ensure_sorted() const {
   sorted_valid_ = true;
 }
 
+namespace {
+// Reading a statistic off an empty histogram is a caller bug (assert in
+// debug), but must not be UB in release — NaN poisons the result
+// visibly instead of reading sorted_.front() of an empty vector.
+double empty_stat() {
+  assert(!"Histogram statistic requested on empty histogram");
+  return std::numeric_limits<double>::quiet_NaN();
+}
+}  // namespace
+
 double Histogram::min() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return empty_stat();
   ensure_sorted();
   return sorted_.front();
 }
 
 double Histogram::max() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return empty_stat();
   ensure_sorted();
   return sorted_.back();
 }
 
 double Histogram::mean() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return empty_stat();
   const double total =
       std::accumulate(samples_.begin(), samples_.end(), 0.0);
   return total / static_cast<double>(samples_.size());
 }
 
 double Histogram::quantile(double q) const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return empty_stat();
   assert(q >= 0.0 && q <= 1.0);
   ensure_sorted();
   const auto rank = static_cast<std::size_t>(
@@ -52,6 +64,15 @@ void Histogram::clear() {
   samples_.clear();
   sorted_.clear();
   sorted_valid_ = false;
+}
+
+std::string Histogram::summary() const {
+  if (samples_.empty()) return "count=0";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "count=%zu min=%.6g mean=%.6g p50=%.6g p99=%.6g max=%.6g",
+                count(), min(), mean(), p50(), p99(), max());
+  return buf;
 }
 
 }  // namespace gsalert

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace gsalert {
@@ -15,13 +16,21 @@ class Histogram {
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
+  /// min/max/mean/quantile return quiet NaN on an empty histogram (and
+  /// assert in debug builds) — callers that can see empty inputs must
+  /// check empty() or accept NaN, never read indeterminate memory.
   double min() const;
   double max() const;
   double mean() const;
-  /// Exact quantile by nearest-rank; q in [0, 1]. Requires non-empty.
+  /// Exact quantile by nearest-rank; q in [0, 1].
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }
+
+  /// One-line digest for metrics export, e.g.
+  /// "count=120 min=0.2 mean=3.1 p50=2.8 p99=9.6 max=12.0" ("count=0"
+  /// when empty).
+  std::string summary() const;
 
   void clear();
 

@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
 
 namespace gsalert {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::map<std::string, LogLevel> g_component_levels;
+std::FILE* g_json_file = nullptr;
+LogObserver g_observer;
+std::once_flag g_env_once;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,16 +33,134 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::optional<LogLevel> parse_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void ensure_env_applied() {
+  std::call_once(g_env_once, [] {
+    if (const char* spec = std::getenv("GSALERT_LOG")) {
+      apply_log_spec(spec);
+    }
+  });
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+
+LogLevel log_level() {
+  ensure_env_applied();
+  return g_level.load();
+}
+
+void set_component_level(const std::string& component, LogLevel level) {
+  g_component_levels[component] = level;
+}
+
+void clear_component_levels() { g_component_levels.clear(); }
+
+bool log_enabled(LogLevel level, const std::string& component) {
+  ensure_env_applied();
+  if (!g_component_levels.empty()) {
+    const auto it = g_component_levels.find(component);
+    if (it != g_component_levels.end()) return level >= it->second;
+  }
+  return level >= g_level.load();
+}
+
+void apply_log_spec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string part = spec.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      if (const auto level = parse_level(part)) g_level.store(*level);
+    } else {
+      const std::string component = part.substr(0, eq);
+      if (const auto level = parse_level(part.substr(eq + 1))) {
+        if (!component.empty()) g_component_levels[component] = *level;
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+bool open_json_log(const std::string& path) {
+  close_json_log();
+  g_json_file = std::fopen(path.c_str(), "w");
+  return g_json_file != nullptr;
+}
+
+void close_json_log() {
+  if (g_json_file != nullptr) {
+    std::fclose(g_json_file);
+    g_json_file = nullptr;
+  }
+}
+
+void set_log_observer(LogObserver observer) {
+  g_observer = std::move(observer);
+}
 
 void log_line(LogLevel level, SimTime now, const std::string& component,
               const std::string& message) {
-  if (level < g_level.load()) return;
+  if (!log_enabled(level, component)) return;
   std::fprintf(stderr, "[%s] [t=%.3fms] %s: %s\n", level_name(level),
                now.as_millis(), component.c_str(), message.c_str());
+  if (g_json_file != nullptr) {
+    std::fprintf(g_json_file,
+                 "{\"t_ms\":%.3f,\"level\":\"%s\",\"component\":\"%s\","
+                 "\"msg\":\"%s\"}\n",
+                 now.as_millis(), level_name(level),
+                 json_escape(component).c_str(),
+                 json_escape(message).c_str());
+  }
+  if (g_observer) g_observer(level, now, component, message);
 }
 
 }  // namespace gsalert

@@ -1,7 +1,15 @@
 // Minimal leveled logger. Simulation components log with the virtual
 // timestamp injected by the caller; the default level keeps benches quiet.
+//
+// Structured extensions (all opt-in; default output is byte-identical to
+// the plain stderr logger):
+//   - per-component level filters (set_component_level / GSALERT_LOG env
+//     override, e.g. GSALERT_LOG=warn,gds-1=trace),
+//   - a JSONL sink mirroring every emitted line as one JSON object,
+//   - a process-wide observer hook (the chaos flight recorder taps it).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +22,35 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Global minimum level; messages below it are discarded cheaply.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Override the minimum level for one component (a node name). An
+/// override below the global level enables that component's messages
+/// without opening the floodgates globally.
+void set_component_level(const std::string& component, LogLevel level);
+void clear_component_levels();
+
+/// Would a message at (level, component) be emitted? Applies the
+/// GSALERT_LOG environment override on first use.
+bool log_enabled(LogLevel level, const std::string& component);
+
+/// Parse and apply a "level[,component=level]*" spec (the GSALERT_LOG
+/// format). Unknown level names are ignored. Exposed for tests.
+void apply_log_spec(const std::string& spec);
+
+/// Mirror every emitted line to `path` as JSON lines:
+///   {"t_ms":12.345,"level":"WARN","component":"gds-1","msg":"..."}
+/// Returns false if the file cannot be opened. close_json_log() stops
+/// mirroring and closes the file.
+bool open_json_log(const std::string& path);
+void close_json_log();
+
+/// Observer invoked for every emitted line (after level filtering).
+/// Pass nullptr to clear. Used by obs::FlightRecorder without making
+/// common/ depend on obs/.
+using LogObserver = std::function<void(
+    LogLevel level, SimTime now, const std::string& component,
+    const std::string& message)>;
+void set_log_observer(LogObserver observer);
 
 /// Emit one line: "[level] [t=12.345ms] component: message".
 void log_line(LogLevel level, SimTime now, const std::string& component,
@@ -32,7 +69,7 @@ void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
 template <typename... Args>
 void logf(LogLevel level, SimTime now, const std::string& component,
           const Args&... args) {
-  if (level < log_level()) return;
+  if (!log_enabled(level, component)) return;
   std::ostringstream os;
   detail::append_all(os, args...);
   log_line(level, now, component, os.str());

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace gsalert::gds {
 
@@ -68,6 +70,10 @@ void GdsServer::on_packet(NodeId from, const sim::Packet& packet) {
     return;
   }
   wire::Envelope env = std::move(decoded).take();
+  // All handlers run under the incoming message's trace context, so any
+  // envelope they mint (acks, delivers, forwards) joins the same trace.
+  const obs::TraceScope trace_scope{
+      obs::TraceContext{env.trace_id, env.span_id, env.hop}};
   switch (env.type) {
     case wire::MessageType::kGdsRegister:
       handle_register(from, env);
@@ -314,9 +320,28 @@ void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
   stats_.broadcasts_seen += 1;
   if (is_duplicate(body.origin_server, body.seq)) {
     stats_.duplicates_suppressed += 1;
+    if (obs::active()) {
+      obs::emit_span("gds-dup-drop", name(), network().now(),
+                     {{"origin", body.origin_server},
+                      {"seq", std::to_string(body.seq)}});
+    }
     return;
   }
-  if (env.ttl == 0) return;
+  if (env.ttl == 0) {
+    if (obs::active()) {
+      obs::emit_span("gds-ttl-drop", name(), network().now(),
+                     {{"origin", body.origin_server},
+                      {"seq", std::to_string(body.seq)}});
+    }
+    return;
+  }
+
+  const obs::TraceScope span_scope{
+      obs::active()
+          ? obs::emit_span("gds-broadcast", name(), network().now(),
+                           {{"origin", body.origin_server},
+                            {"seq", std::to_string(body.seq)}})
+          : obs::current_context()};
 
   // Deliver to locally registered servers (never echo back to the origin).
   for (const auto& [server_name, node] : local_servers_) {
@@ -324,12 +349,23 @@ void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
     if (delivery_observer_) {
       delivery_observer_(server_name, body.origin_server, body.seq);
     }
+    const obs::TraceScope deliver_scope{
+        obs::active()
+            ? obs::emit_span("gds-deliver", name(), network().now(),
+                             {{"dst", server_name}})
+            : obs::current_context()};
     deliver(node, body);
   }
-  // Forward upwards and downwards, skipping the edge it arrived on.
+  // Forward upwards and downwards, skipping the edge it arrived on. The
+  // forward reuses the incoming bytes, so restamp its trace context one
+  // hop past the gds-broadcast span rather than the upstream sender's.
   wire::Envelope forward = env;
   forward.src = name();
   forward.ttl = static_cast<std::uint16_t>(env.ttl - 1);
+  const obs::TraceContext forward_ctx = obs::current_context();
+  forward.trace_id = forward_ctx.trace_id;
+  forward.span_id = forward_ctx.span_id;
+  forward.hop = static_cast<std::uint16_t>(forward_ctx.hop + 1);
   if (parent_.valid() && parent_ != from) send_envelope(parent_, forward);
   for (const auto& [child, last_seen] : children_) {
     if (child != from) send_envelope(child, forward);
@@ -344,8 +380,17 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
   const RelayBody& body = decoded.value();
   if (env.ttl == 0) {
     stats_.unroutable += 1;
+    if (obs::active()) {
+      obs::emit_span("gds-unroutable", name(), network().now(),
+                     {{"dst", body.dst_server}});
+    }
     return;
   }
+  const obs::TraceScope relay_scope{
+      obs::active()
+          ? obs::emit_span("gds-relay", name(), network().now(),
+                           {{"dst", body.dst_server}})
+          : obs::current_context()};
   const auto route = name_routes_.find(body.dst_server);
   if (route != name_routes_.end() && route->second.local) {
     const auto server = local_servers_.find(body.dst_server);
@@ -362,6 +407,11 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
   }
   env.src = name();
   env.ttl -= 1;
+  // Forwarded bytes are reused: restamp the context past the relay span.
+  const obs::TraceContext relay_ctx = obs::current_context();
+  env.trace_id = relay_ctx.trace_id;
+  env.span_id = relay_ctx.span_id;
+  env.hop = static_cast<std::uint16_t>(relay_ctx.hop + 1);
   if (route != name_routes_.end()) {
     send_envelope(route->second.via, env);
     stats_.relays_routed += 1;
@@ -370,6 +420,10 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
     stats_.relays_routed += 1;
   } else {
     stats_.unroutable += 1;
+    if (obs::active()) {
+      obs::emit_span("gds-unroutable", name(), network().now(),
+                     {{"dst", body.dst_server}});
+    }
   }
 }
 
@@ -378,6 +432,13 @@ void GdsServer::handle_multicast(NodeId from, const wire::Envelope& env) {
   if (!decoded.ok()) return;
   const MulticastBody& body = decoded.value();
   if (env.ttl == 0) return;
+
+  const obs::TraceScope multicast_scope{
+      obs::active()
+          ? obs::emit_span("gds-multicast", name(), network().now(),
+                           {{"origin", body.origin_server},
+                            {"targets", std::to_string(body.targets.size())}})
+          : obs::current_context()};
 
   std::vector<std::string> to_parent;
   std::unordered_map<NodeId, std::vector<std::string>> per_child;
@@ -478,6 +539,23 @@ void GdsServer::handle_resolve_reply(NodeId /*from*/,
 
 bool GdsServer::knows_name(const std::string& name_queried) const {
   return name_routes_.contains(name_queried);
+}
+
+void GdsServer::collect_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"node", name()}};
+  registry.counter("gds.broadcasts_seen", labels) = stats_.broadcasts_seen;
+  registry.counter("gds.duplicates_suppressed", labels) =
+      stats_.duplicates_suppressed;
+  registry.counter("gds.deliveries", labels) = stats_.deliveries;
+  registry.counter("gds.relays_routed", labels) = stats_.relays_routed;
+  registry.counter("gds.unroutable", labels) = stats_.unroutable;
+  registry.counter("gds.reparents", labels) = stats_.reparents;
+  registry.gauge("gds.registered_servers", labels) =
+      static_cast<double>(local_servers_.size());
+  registry.gauge("gds.known_names", labels) =
+      static_cast<double>(name_routes_.size());
+  registry.gauge("gds.children", labels) =
+      static_cast<double>(children_.size());
 }
 
 }  // namespace gsalert::gds

@@ -91,6 +91,8 @@ class GdsServer : public sim::Node {
   std::uint16_t stratum() const { return config_.stratum; }
   NodeId parent() const { return parent_; }
   const GdsNodeStats& stats() const { return stats_; }
+  /// Export stats under `gds.*{node=<name>}` (see docs/OBSERVABILITY.md).
+  void collect_metrics(obs::MetricsRegistry& registry) const;
   std::size_t registered_count() const { return local_servers_.size(); }
   std::size_t known_names() const { return name_routes_.size(); }
   bool knows_name(const std::string& name) const;

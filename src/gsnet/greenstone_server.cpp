@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace gsalert::gsnet {
 
@@ -270,6 +271,10 @@ void GreenstoneServer::on_packet(NodeId from, const sim::Packet& packet) {
     return;
   }
   wire::Envelope env = std::move(decoded).take();
+  // Handlers (and the alerting extension they call into) run under the
+  // incoming message's trace context.
+  const obs::TraceScope trace_scope{
+      obs::TraceContext{env.trace_id, env.span_id, env.hop}};
   switch (env.type) {
     case wire::MessageType::kGsCollRequest:
       handle_coll_request(from, env);

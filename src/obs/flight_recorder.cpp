@@ -1,0 +1,58 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gsalert::obs {
+
+void FlightRecorder::on_span(const Span& span) {
+  std::string line = span.name + " trace=" + std::to_string(span.trace_id) +
+                     " span=" + std::to_string(span.span_id) +
+                     " parent=" + std::to_string(span.parent_span_id) +
+                     " hop=" + std::to_string(span.hop);
+  for (const auto& [key, value] : span.args) {
+    line += " " + key + "=" + value;
+  }
+  push(span.node, span.at, std::move(line));
+}
+
+void FlightRecorder::note(SimTime at, const std::string& node,
+                          std::string line) {
+  push(node, at, std::move(line));
+}
+
+void FlightRecorder::push(const std::string& node, SimTime at,
+                          std::string line) {
+  Ring& ring = rings_[node];
+  ring.entries.push_back(Entry{at, std::move(line)});
+  if (ring.entries.size() > capacity_) {
+    ring.entries.pop_front();
+    ring.evicted += 1;
+  }
+}
+
+std::size_t FlightRecorder::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& [node, ring] : rings_) n += ring.entries.size();
+  return n;
+}
+
+std::string FlightRecorder::dump() const {
+  std::ostringstream os;
+  os << "--- flight recorder (" << total_entries() << " entries, "
+     << rings_.size() << " nodes) ---\n";
+  for (const auto& [node, ring] : rings_) {
+    os << "[" << node << "]";
+    if (ring.evicted > 0) os << " (" << ring.evicted << " older evicted)";
+    os << "\n";
+    for (const Entry& entry : ring.entries) {
+      char at[32];
+      std::snprintf(at, sizeof at, "  t=%.1fms ", entry.at.as_millis());
+      os << at << entry.line << "\n";
+    }
+  }
+  os << "--- end flight recorder ---\n";
+  return os.str();
+}
+
+}  // namespace gsalert::obs

@@ -1,0 +1,49 @@
+// Bounded per-node ring of recent spans and log lines. Cheap enough to
+// leave armed for every chaos run; when an invariant checker fires, the
+// harness dumps it to turn "seed N failed" into a causal narrative
+// naming the exact hop where the invariant broke.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace gsalert::obs {
+
+class FlightRecorder : public SpanSink {
+ public:
+  explicit FlightRecorder(std::size_t per_node_capacity = 128)
+      : capacity_(per_node_capacity) {}
+
+  void on_span(const Span& span) override;
+
+  /// Record a free-form line (log output, checker notes) under `node`.
+  void note(SimTime at, const std::string& node, std::string line);
+
+  /// Deterministic dump: nodes in name order, each node's entries in
+  /// arrival order, with a drop count when the ring wrapped.
+  std::string dump() const;
+
+  void clear() { rings_.clear(); }
+  std::size_t total_entries() const;
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::string line;
+  };
+  struct Ring {
+    std::deque<Entry> entries;
+    std::uint64_t evicted = 0;
+  };
+
+  void push(const std::string& node, SimTime at, std::string line);
+
+  std::size_t capacity_;
+  std::map<std::string, Ring> rings_;
+};
+
+}  // namespace gsalert::obs

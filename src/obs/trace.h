@@ -1,0 +1,106 @@
+// Causal tracing core. A logical event (e.g. one publish) owns a trace;
+// every packet it spawns — GDS flood hops, dedup drops, auxiliary-profile
+// forwards, rename re-broadcasts, retries — is a span in that trace.
+//
+// The context (trace id, parent span id, hop count) rides inside
+// wire::Envelope, so causality survives arbitrary store-and-forward
+// hops. Instrumentation points guard on `obs::active()`: with no sink
+// installed, the cost per message is one branch on a global.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gsalert::obs {
+
+/// Propagated alongside a message. trace_id == 0 means "untraced".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  // parent for spans emitted under this context
+  std::uint16_t hop = 0;      // network hops traversed so far
+
+  bool traced() const { return trace_id != 0; }
+};
+
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One recorded step in an event's life. `node` is where it happened
+/// (a sim node name, not an address).
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint16_t hop = 0;
+  SimTime at;
+  std::string name;  // "publish", "gds-broadcast", "gds-dup-drop", ...
+  std::string node;
+  SpanArgs args;
+};
+
+/// Receives spans as they are emitted (a Tracer, a FlightRecorder).
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const Span& span) = 0;
+};
+
+void add_sink(SpanSink* sink);
+void remove_sink(SpanSink* sink);
+
+/// True when at least one sink is installed. Check before building span
+/// arguments so tracing is zero-cost when off.
+bool active();
+
+/// Restart the deterministic id allocator. Call at the start of a
+/// tracing session so seed replays produce identical ids.
+void reset_ids();
+
+/// The context of the message currently being dispatched ({} outside a
+/// TraceScope).
+TraceContext current_context();
+
+/// Record a span under the current context; starts a fresh trace when no
+/// context is active. Returns the emitted span's context (propagate it
+/// to children / stamp it onto outgoing envelopes). No-op when no sink
+/// is installed — returns the current context unchanged.
+TraceContext emit_span(std::string_view name, std::string_view node,
+                       SimTime at, SpanArgs args = {});
+
+/// Same, but under an explicit parent — for work replayed from stored
+/// state (outbox retries) or attributed from packet metadata (network
+/// drops) where the active context is not the right parent.
+TraceContext emit_span_under(const TraceContext& parent,
+                             std::string_view name, std::string_view node,
+                             SimTime at, SpanArgs args = {});
+
+/// RAII: makes `ctx` the active context for the current dispatch.
+/// Nested scopes restore the outer context on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// RAII sink registration.
+class ScopedSink {
+ public:
+  explicit ScopedSink(SpanSink* sink) : sink_(sink) { add_sink(sink_); }
+  ~ScopedSink() { remove_sink(sink_); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  SpanSink* sink_;
+};
+
+}  // namespace gsalert::obs

@@ -1,0 +1,139 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace gsalert::obs {
+
+namespace {
+
+std::string args_suffix(const Span& span) {
+  std::string out;
+  for (const auto& [key, value] : span.args) {
+    out += " " + key + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Tracer::trace_ids() const {
+  std::vector<std::uint64_t> ids;
+  for (const Span& span : spans_) ids.push_back(span.trace_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  // One pid for the whole sim; one tid per node, numbered in
+  // first-appearance order with a thread_name metadata record each.
+  std::map<std::string, int> tids;
+  for (const Span& span : spans_) {
+    tids.emplace(span.node, static_cast<int>(tids.size()) + 1);
+  }
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [node, tid] : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << detail::json_escape(node) << "\"}}";
+  }
+  for (const Span& span : spans_) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events with a token 1us duration: instants render
+    // poorly at sim timescales, and our spans are points, not intervals.
+    os << "{\"name\":\"" << detail::json_escape(span.name)
+       << "\",\"cat\":\"trace-" << span.trace_id
+       << "\",\"ph\":\"X\",\"ts\":" << span.at.as_micros()
+       << ",\"dur\":1,\"pid\":1,\"tid\":" << tids[span.node]
+       << ",\"args\":{\"trace_id\":" << span.trace_id
+       << ",\"span_id\":" << span.span_id
+       << ",\"parent_span_id\":" << span.parent_span_id
+       << ",\"hop\":" << span.hop;
+    for (const auto& [key, value] : span.args) {
+      os << ",\"" << detail::json_escape(key) << "\":\""
+         << detail::json_escape(value) << "\"";
+    }
+    os << "}}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+std::string Tracer::causal_tree(std::uint64_t trace_id) const {
+  // Index this trace's spans by parent; children keep emission order,
+  // which is already causal (the sim is single-threaded).
+  std::map<std::uint64_t, std::vector<const Span*>> children;
+  std::vector<const Span*> roots;
+  for (const Span& span : spans_) {
+    if (span.trace_id != trace_id) continue;
+    if (span.parent_span_id == 0) {
+      roots.push_back(&span);
+    } else {
+      children[span.parent_span_id].push_back(&span);
+    }
+  }
+  // Orphans (parent span not recorded, e.g. sink installed mid-trace)
+  // are promoted to roots so nothing is silently dropped.
+  for (auto& [parent, spans] : children) {
+    bool found = false;
+    for (const Span& span : spans_) {
+      found = found || (span.trace_id == trace_id && span.span_id == parent);
+    }
+    if (!found) {
+      for (const Span* s : spans) roots.push_back(s);
+      spans.clear();
+    }
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const Span* a, const Span* b) { return a->span_id < b->span_id; });
+
+  std::ostringstream os;
+  os << "trace " << trace_id << ":\n";
+  std::vector<std::pair<const Span*, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 1);
+  }
+  while (!stack.empty()) {
+    const auto [span, depth] = stack.back();
+    stack.pop_back();
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+       << span->name << "@" << span->node;
+    char at[32];
+    std::snprintf(at, sizeof at, " [t=%.1fms", span->at.as_millis());
+    os << at << " hop=" << span->hop << "]" << args_suffix(*span) << "\n";
+    const auto kids = children.find(span->span_id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.emplace_back(*it, depth + 1);
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string Tracer::causal_tree() const {
+  std::string out;
+  for (const std::uint64_t id : trace_ids()) out += causal_tree(id);
+  return out;
+}
+
+}  // namespace gsalert::obs

@@ -1,0 +1,45 @@
+// In-memory span store with two export formats:
+//  - Chrome trace_event JSON (load in chrome://tracing or Perfetto);
+//    one tid per sim node, ts in virtual microseconds.
+//  - A human-readable causal tree per trace, e.g.
+//      publish@London [t=1200.0ms] event=London#4
+//        gds-broadcast@gds-1 hop=1
+//          gds-dup-drop@gds-2 hop=2
+//          rename@Hamilton via=London.E
+// Install for a run via obs::ScopedSink (and obs::reset_ids() first for
+// deterministic ids).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gsalert::obs {
+
+class Tracer : public SpanSink {
+ public:
+  void on_span(const Span& span) override { spans_.push_back(span); }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Distinct trace ids, ascending.
+  std::vector<std::uint64_t> trace_ids() const;
+
+  /// Chrome trace_event JSON for all recorded spans.
+  std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Indented causal tree for every trace (or one trace).
+  std::string causal_tree() const;
+  std::string causal_tree(std::uint64_t trace_id) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace gsalert::obs

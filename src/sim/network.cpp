@@ -4,7 +4,24 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace gsalert::sim {
+
+namespace {
+/// Record a drop/duplication against the trace the packet belongs to.
+/// Untraced packets (heartbeats, registration chatter) are skipped so a
+/// tracer only sees spans it can parent.
+void trace_packet_fate(const char* what, const Packet& packet,
+                       const std::string& from, const std::string& to,
+                       SimTime at) {
+  if (packet.trace_id == 0) return;
+  obs::emit_span_under(
+      obs::TraceContext{packet.trace_id, packet.span_id, packet.hop}, what,
+      from, at, {{"to", to}});
+}
+}  // namespace
 
 void Network::register_node(std::string name, std::unique_ptr<Node> node) {
   assert(node != nullptr);
@@ -106,22 +123,38 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
   sender.sent += 1;
   sender.bytes_sent += packet.size();
 
+  const std::string& from_name = nodes_[from.value() - 1]->name();
   if (!to.valid() || to.value() > nodes_.size()) {
     stats_.dropped_down += 1;
+    if (obs::active()) {
+      trace_packet_fate("net-drop-down", packet, from_name, "<invalid>",
+                        now());
+    }
     return false;
   }
+  const std::string& to_name = nodes_[to.value() - 1]->name();
   if (is_blocked(from, to)) {
     stats_.dropped_blocked += 1;
+    if (obs::active()) {
+      trace_packet_fate("net-drop-blocked", packet, from_name, to_name,
+                        now());
+    }
     return false;
   }
   if (!is_up(to)) {
     stats_.dropped_down += 1;
+    if (obs::active()) {
+      trace_packet_fate("net-drop-down", packet, from_name, to_name, now());
+    }
     return false;
   }
   const PathConfig& path = path_for(from, to);
   const double loss = path.loss + chaos_.extra_loss;
   if (loss > 0.0 && rng_.chance(loss)) {
     stats_.dropped_loss += 1;
+    if (obs::active()) {
+      trace_packet_fate("net-drop-loss", packet, from_name, to_name, now());
+    }
     return false;
   }
   SimTime delay = path.latency + chaos_.extra_latency;
@@ -138,6 +171,9 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
     // The copy trails the original by up to one base latency, so the two
     // arrivals interleave with unrelated traffic.
     stats_.duplicated += 1;
+    if (obs::active()) {
+      trace_packet_fate("net-duplicate", packet, from_name, to_name, now());
+    }
     schedule_delivery(from, to, packet,
                       delay + SimTime::micros(rng_.uniform_int(
                                   1, std::max<std::int64_t>(
@@ -157,10 +193,20 @@ void Network::schedule_delivery(NodeId from, NodeId to, Packet packet,
         // partition formed while the packet was in flight.
         if (!is_up(to)) {
           stats_.dropped_down += 1;
+          if (obs::active()) {
+            trace_packet_fate("net-drop-down", p,
+                              nodes_[from.value() - 1]->name(),
+                              nodes_[to.value() - 1]->name(), now());
+          }
           return;
         }
         if (is_blocked(from, to)) {
           stats_.dropped_blocked += 1;
+          if (obs::active()) {
+            trace_packet_fate("net-drop-blocked", p,
+                              nodes_[from.value() - 1]->name(),
+                              nodes_[to.value() - 1]->name(), now());
+          }
           return;
         }
         stats_.delivered += 1;
@@ -196,6 +242,25 @@ void Network::reset_stats() {
 const NodeStats& Network::node_stats(NodeId id) const {
   assert(id.valid() && id.value() <= nodes_.size());
   return node_stats_[id.value() - 1];
+}
+
+void Network::collect_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("net.sent") = stats_.sent;
+  registry.counter("net.delivered") = stats_.delivered;
+  registry.counter("net.dropped_loss") = stats_.dropped_loss;
+  registry.counter("net.dropped_down") = stats_.dropped_down;
+  registry.counter("net.dropped_blocked") = stats_.dropped_blocked;
+  registry.counter("net.duplicated") = stats_.duplicated;
+  registry.counter("net.bytes_sent") = stats_.bytes_sent;
+  registry.gauge("net.in_flight") = static_cast<double>(in_flight_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const obs::Labels labels{{"node", nodes_[i]->name()}};
+    const NodeStats& ns = node_stats_[i];
+    registry.counter("net.node.sent", labels) = ns.sent;
+    registry.counter("net.node.received", labels) = ns.received;
+    registry.counter("net.node.bytes_sent", labels) = ns.bytes_sent;
+    registry.counter("net.node.bytes_received", labels) = ns.bytes_received;
+  }
 }
 
 }  // namespace gsalert::sim

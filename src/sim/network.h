@@ -18,6 +18,10 @@
 #include "sim/node.h"
 #include "sim/scheduler.h"
 
+namespace gsalert::obs {
+class MetricsRegistry;
+}  // namespace gsalert::obs
+
 namespace gsalert::sim {
 
 /// Transmission characteristics for a path.
@@ -137,6 +141,10 @@ class Network {
   const NetStats& stats() const { return stats_; }
   void reset_stats();
   const NodeStats& node_stats(NodeId id) const;
+
+  /// Export the aggregate and per-node counters into `registry` under
+  /// `net.*` / `net.node.*{node=...}` (see docs/OBSERVABILITY.md).
+  void collect_metrics(obs::MetricsRegistry& registry) const;
 
   /// Run until the event queue drains or `max_events` executed.
   std::size_t run(std::size_t max_events = SIZE_MAX) {

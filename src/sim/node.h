@@ -15,9 +15,14 @@ class Network;
 
 /// A packet is an opaque byte payload — upper layers serialize wire
 /// envelopes into it. The simulator charges bytes for accounting but never
-/// inspects the content.
+/// inspects the content. The trace fields mirror the envelope's context
+/// (wire::Envelope::pack fills them) so the network can attribute drops
+/// and duplications to traces without decoding; all-zero = untraced.
 struct Packet {
   std::vector<std::byte> bytes;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint16_t hop = 0;
 
   std::size_t size() const { return bytes.size(); }
 };

@@ -1,5 +1,7 @@
 #include "wire/envelope.h"
 
+#include "obs/trace.h"
+
 namespace gsalert::wire {
 
 sim::Packet Envelope::pack() const {
@@ -9,8 +11,17 @@ sim::Packet Envelope::pack() const {
   w.str(dst);
   w.u64(msg_id);
   w.u16(ttl);
+  w.u64(trace_id);
+  w.u64(span_id);
+  w.u16(hop);
   w.bytes(body);
-  return sim::Packet{std::move(w).take()};
+  sim::Packet packet{std::move(w).take()};
+  // Mirror the trace context into packet metadata: the sim layer treats
+  // bytes as opaque but still wants to attribute drops to traces.
+  packet.trace_id = trace_id;
+  packet.span_id = span_id;
+  packet.hop = hop;
+  return packet;
 }
 
 Result<Envelope> unpack(const sim::Packet& packet) {
@@ -21,6 +32,9 @@ Result<Envelope> unpack(const sim::Packet& packet) {
   env.dst = r.str();
   env.msg_id = r.u64();
   env.ttl = r.u16();
+  env.trace_id = r.u64();
+  env.span_id = r.u64();
+  env.hop = r.u16();
   env.body = r.bytes();
   if (!r.done()) {
     return Error{ErrorCode::kDecodeFailure, "malformed envelope"};
@@ -36,6 +50,14 @@ Envelope make_envelope(MessageType type, std::string src, std::string dst,
   env.dst = std::move(dst);
   env.msg_id = msg_id;
   env.body = std::move(body).take();
+  // New envelopes inherit the context of the message being handled (one
+  // hop further along); a send outside any TraceScope stays untraced.
+  const obs::TraceContext ctx = obs::current_context();
+  if (ctx.traced()) {
+    env.trace_id = ctx.trace_id;
+    env.span_id = ctx.span_id;
+    env.hop = static_cast<std::uint16_t>(ctx.hop + 1);
+  }
   return env;
 }
 

@@ -21,6 +21,11 @@ struct Envelope {
   std::string dst;            // logical destination name ("" = hop-local)
   std::uint64_t msg_id = 0;   // per-sender unique id (dedup / acks)
   std::uint16_t ttl = 64;     // hop budget; decremented by forwarders
+  // Trace context (see obs/trace.h): which logical event this packet
+  // belongs to and which span caused it. All zero when untraced.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint16_t hop = 0;      // network hops since the root span
   std::vector<std::byte> body;
 
   sim::Packet pack() const;

@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/log.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace gsalert::workload {
 
@@ -334,6 +336,18 @@ class PostHealCompletenessChecker : public sim::InvariantChecker {
 
 ChaosHarness::ChaosHarness(Scenario& scenario, ChaosHarnessOptions options)
     : scenario_(scenario) {
+  // Arm the flight recorder for the harness's lifetime. When this is the
+  // first sink of the session, restart the span-id allocator so a seed
+  // replay produces byte-identical ids (ChaosReplay depends on it);
+  // when a tracer is already installed (a bench's --trace-out), leave
+  // the allocator alone and just join the session.
+  if (!obs::active()) obs::reset_ids();
+  obs::add_sink(&recorder_);
+  set_log_observer([this](LogLevel /*level*/, SimTime now,
+                          const std::string& component,
+                          const std::string& message) {
+    recorder_.note(now, component, message);
+  });
   if (options.full_checks) {
     assert(scenario.config().strategy == Strategy::kGsAlert);
     exactly_once_ =
@@ -350,6 +364,8 @@ ChaosHarness::ChaosHarness(Scenario& scenario, ChaosHarnessOptions options)
 }
 
 ChaosHarness::~ChaosHarness() {
+  obs::remove_sink(&recorder_);
+  set_log_observer(nullptr);
   for (gds::GdsServer* node : scenario_.gds_tree().nodes) {
     node->set_delivery_observer({});
   }
@@ -496,6 +512,11 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
         << "schedule:\n"
         << report.schedule.describe(scenario.net()) << "verdicts:\n"
         << harness.report();
+  if (!report.violations.empty()) {
+    // Turn the verdict into a causal narrative: each node's recent
+    // spans and log lines around the failure, hop by hop.
+    trace << harness.flight_dump();
+  }
   report.trace = trace.str();
   return report;
 }

@@ -25,4 +25,45 @@ void print_row(const std::string& row) {
   std::printf("%s\n", row.c_str());
 }
 
+void record_outcome(obs::MetricsRegistry& registry, const Outcome& outcome,
+                    const obs::Labels& labels) {
+  registry.counter("outcome.events_published", labels) =
+      outcome.events_published;
+  registry.counter("outcome.expected_notifications", labels) =
+      outcome.expected_notifications;
+  registry.counter("outcome.delivered_matching", labels) =
+      outcome.delivered_matching;
+  registry.counter("outcome.false_positives", labels) =
+      outcome.false_positives;
+  registry.counter("outcome.false_negatives", labels) =
+      outcome.false_negatives;
+  registry.counter("outcome.messages_sent", labels) = outcome.messages_sent;
+  registry.counter("outcome.bytes_sent", labels) = outcome.bytes_sent;
+  registry.gauge("outcome.max_over_mean_node_load", labels) =
+      outcome.max_over_mean_node_load;
+  Histogram& latency =
+      registry.histogram("outcome.notification_latency_ms", labels);
+  latency = outcome.notification_latency_ms;
+}
+
+bool write_bench_json(const std::string& name,
+                      const obs::MetricsRegistry& registry) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string json =
+      "{\"bench\":\"" + name + "\",\"metrics\":" + registry.json() + "}\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "write_bench_json: failed writing %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace gsalert::workload

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "obs/metrics_registry.h"
 
 namespace gsalert::workload {
 
@@ -33,5 +34,16 @@ void print_row(const std::string& row);
 /// runs with a seeded fault schedule injected and the invariant
 /// checkers armed, and exits non-zero on any violation.
 std::optional<std::uint64_t> chaos_seed_arg(int argc, char** argv);
+
+/// Export an Outcome into `registry` under `outcome.*` (optionally
+/// labeled, e.g. {{"strategy","gsalert"}} when one bench compares runs).
+void record_outcome(obs::MetricsRegistry& registry, const Outcome& outcome,
+                    const obs::Labels& labels = {});
+
+/// Write `BENCH_<name>.json` in the working directory: the registry's
+/// metrics snapshot next to the human-readable table a bench prints.
+/// Returns false (after logging to stderr) on I/O failure.
+bool write_bench_json(const std::string& name,
+                      const obs::MetricsRegistry& registry);
 
 }  // namespace gsalert::workload

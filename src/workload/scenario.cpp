@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics_registry.h"
 #include "profiles/event_context.h"
 #include "profiles/parser.h"
 
@@ -449,6 +450,23 @@ Outcome Scenario::outcome() const {
         (static_cast<double>(total_load) / static_cast<double>(n));
   }
   return out;
+}
+
+void Scenario::collect_metrics(obs::MetricsRegistry& registry) const {
+  net_.collect_metrics(registry);
+  for (const gds::GdsServer* node : gds_tree_.nodes) {
+    node->collect_metrics(registry);
+  }
+  for (const alerting::AlertingService* service : gsalert_) {
+    service->collect_metrics(registry);
+  }
+  registry.counter("scenario.events_published") = events_published_;
+  registry.gauge("scenario.servers") =
+      static_cast<double>(servers_.size());
+  registry.gauge("scenario.clients") =
+      static_cast<double>(clients_.size());
+  registry.gauge("scenario.tracked_subscriptions") =
+      static_cast<double>(subs_.size());
 }
 
 }  // namespace gsalert::workload

@@ -122,6 +122,10 @@ class Scenario {
   /// Compare client notification logs against the recorded expectations.
   Outcome outcome() const;
 
+  /// Export the whole world's counters — network, GDS tree, alerting
+  /// services — into `registry` (see docs/OBSERVABILITY.md for names).
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
   std::uint64_t events_published() const { return events_published_; }
 
   /// --- invariant-checker surface -----------------------------------------

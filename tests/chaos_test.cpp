@@ -122,6 +122,13 @@ TEST(ChaosInjectedBug, DedupDisabledIsCaughtBySweep) {
     EXPECT_TRUE(exactly_once)
         << "seed " << seed << " failed for an unexpected reason:\n"
         << sim::format_violations(report.violations);
+    // A violating run must carry the flight-recorder dump in its trace:
+    // the per-node history that names the exact hop that broke.
+    EXPECT_NE(report.trace.find("--- flight recorder"), std::string::npos)
+        << "seed " << seed
+        << " violated an invariant but the trace has no flight dump";
+    EXPECT_NE(report.trace.find("gds-broadcast"), std::string::npos)
+        << "flight dump for seed " << seed << " records no broadcast hops";
   }
   ASSERT_FALSE(caught.empty())
       << "disabling GDS dedup was not caught by any sweep seed";

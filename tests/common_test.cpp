@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "common/histogram.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/types.h"
@@ -174,6 +177,80 @@ TEST(HistogramTest, RecordAfterQuantileResorts) {
   EXPECT_DOUBLE_EQ(h.max(), 10.0);
   h.record(20.0);
   EXPECT_DOUBLE_EQ(h.max(), 20.0);
+}
+
+#ifdef NDEBUG
+// In debug builds these would assert — reading a statistic off an empty
+// histogram is a caller bug — but in release they must return NaN, not
+// read the front of an empty vector.
+TEST(HistogramTest, EmptyStatsAreNaNInRelease) {
+  const Histogram h;
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+#endif
+
+TEST(HistogramTest, SummaryEmpty) {
+  const Histogram h;
+  EXPECT_EQ(h.summary(), "count=0");
+}
+
+TEST(HistogramTest, SummaryOneLiner) {
+  Histogram h;
+  for (int i = 1; i <= 4; ++i) h.record(i);
+  EXPECT_EQ(h.summary(),
+            "count=4 min=1 mean=2.5 p50=2 p99=4 max=4");
+}
+
+// ---------- log -------------------------------------------------------------
+
+TEST(LogTest, ComponentOverrideBeatsGlobal) {
+  set_log_level(LogLevel::kWarn);
+  clear_component_levels();
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "gds-1"));
+  set_component_level("gds-1", LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug, "gds-1"));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "gds-2"));
+  clear_component_levels();
+}
+
+TEST(LogTest, ApplyLogSpecParsesGlobalAndComponents) {
+  apply_log_spec("info,gds-3=trace,bogus=nosuchlevel");
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kTrace, "gds-3"));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo, "other"));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "other"));
+  // Unknown level names are ignored, not applied.
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace, "bogus"));
+  set_log_level(LogLevel::kWarn);
+  clear_component_levels();
+}
+
+TEST(LogTest, JsonlMirrorEscapesAndFormats) {
+  const std::string path = ::testing::TempDir() + "gsalert_log_test.jsonl";
+  ASSERT_TRUE(open_json_log(path));
+  log_line(LogLevel::kError, SimTime::millis(12), "gds-1", "say \"hi\"");
+  close_json_log();
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"t_ms\":12.000,\"level\":\"ERROR\",\"component\":\"gds-1\","
+            "\"msg\":\"say \\\"hi\\\"\"}");
+}
+
+TEST(LogTest, ObserverSeesOnlyEnabledLines) {
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::string> seen;
+  set_log_observer([&](LogLevel, SimTime, const std::string&,
+                       const std::string& msg) { seen.push_back(msg); });
+  log_line(LogLevel::kDebug, SimTime{}, "x", "dropped");
+  log_line(LogLevel::kError, SimTime{}, "x", "kept");
+  set_log_observer(nullptr);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "kept");
 }
 
 // ---------- strings ---------------------------------------------------------

@@ -130,6 +130,37 @@ TEST(EnvelopeTest, RoundTrip) {
   EXPECT_TRUE(r.done());
 }
 
+TEST(EnvelopeTest, TraceContextRoundTrips) {
+  Envelope env = make_envelope(MessageType::kGdsBroadcast, "a", "b", 7,
+                               Writer{});
+  env.trace_id = 0xDEADBEEFCAFEF00Dull;
+  env.span_id = 42;
+  env.hop = 513;  // exercises both bytes of the u16
+  const sim::Packet packet = env.pack();
+  // The packet mirrors the trace context so the byte-opaque network
+  // layer can attribute drops without decoding the envelope.
+  EXPECT_EQ(packet.trace_id, env.trace_id);
+  EXPECT_EQ(packet.span_id, env.span_id);
+  EXPECT_EQ(packet.hop, env.hop);
+
+  auto decoded = unpack(packet);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().trace_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded.value().span_id, 42u);
+  EXPECT_EQ(decoded.value().hop, 513);
+}
+
+TEST(EnvelopeTest, UntracedByDefault) {
+  Envelope env = make_envelope(MessageType::kGdsRegister, "s", "", 1,
+                               Writer{});
+  EXPECT_EQ(env.trace_id, 0u);
+  auto decoded = unpack(env.pack());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().trace_id, 0u);
+  EXPECT_EQ(decoded.value().span_id, 0u);
+  EXPECT_EQ(decoded.value().hop, 0);
+}
+
 TEST(EnvelopeTest, EmptyDstMeansHopLocal) {
   Envelope env = make_envelope(MessageType::kGdsHeartbeat, "gds-2", "", 1,
                                Writer{});
