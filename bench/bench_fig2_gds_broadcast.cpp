@@ -2,19 +2,116 @@
 // Greenstone servers. An event broadcast from Hamilton must reach every
 // other server exactly once; the table reports delivery ratio, duplicates
 // (must be 0), per-server hop latency, and the tree traffic.
+#include <chrono>
 #include <cstdio>
 #include <map>
 
 #include "alerting/alerting_service.h"
 #include "alerting/client.h"
 #include "common/histogram.h"
+#include "gds/gds_client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
 #include "obs/metrics_registry.h"
 #include "sim/network.h"
+#include "wire/codec.h"
 #include "workload/metrics.h"
 
 using namespace gsalert;
+
+namespace {
+
+// A minimal registered server for the fan-out sweep: registers with its
+// GDS node and counts decoded kGdsDeliver packets, so the sweep isolates
+// the tree's encode/fan-out path from alerting-layer filtering cost.
+class SinkServer : public sim::Node {
+ public:
+  void attach_gds(NodeId gds) { gds_ = gds; }
+  void on_start() override {
+    client_.attach(&network(), id(), name(), gds_);
+    client_.start();
+  }
+  void on_packet(NodeId /*from*/, const sim::Packet& packet) override {
+    auto env = wire::unpack(packet);
+    if (env.ok() && env.value().type == wire::MessageType::kGdsDeliver) {
+      ++delivered_;
+    }
+  }
+  void on_timer(std::uint64_t token) override {
+    if (token == gds::GdsClient::kRefreshTimer) client_.on_refresh_timer();
+  }
+  void broadcast(std::size_t payload_bytes) {
+    client_.broadcast(0x7777,
+                      std::vector<std::byte>(payload_bytes, std::byte{0x5A}));
+  }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  gds::GdsClient client_;
+  NodeId gds_;
+  std::uint64_t delivered_ = 0;
+};
+
+// Sweep point: a two-stratum tree (root + `fanout` children), one sink per
+// GDS node, `events` broadcasts of `payload` bytes from the root's sink.
+void sweep(obs::MetricsRegistry& reg, int fanout, std::size_t payload) {
+  sim::Network net{7};
+  net.set_default_path({.latency = SimTime::millis(5)});
+  gds::GdsTree tree = gds::build_tree(net, fanout, 2);
+  std::vector<SinkServer*> sinks;
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    auto* s = net.make_node<SinkServer>("sink-" + std::to_string(i));
+    s->attach_gds(tree.nodes[i]->id());
+    sinks.push_back(s);
+  }
+  net.start();
+  net.run_until(SimTime::millis(300));
+  net.reset_stats();
+  wire::reset_writer_stats();
+
+  const int events = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < events; ++i) {
+    sinks[0]->broadcast(payload);
+    net.run_until(net.now() + SimTime::millis(50));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns_per_event =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      events;
+
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 1; i < sinks.size(); ++i) {
+    delivered += sinks[i]->delivered();
+  }
+  const sim::NetStats& ns = net.stats();
+  const obs::Labels labels{{"fanout", std::to_string(fanout)},
+                           {"payload", std::to_string(payload)}};
+  reg.counter("sweep.events", labels) = static_cast<std::uint64_t>(events);
+  reg.counter("sweep.delivered", labels) = delivered;
+  reg.counter("sweep.bytes_sent", labels) = ns.bytes_sent;
+  reg.counter("sweep.bytes_copied", labels) = ns.bytes_copied;
+  reg.counter("sweep.bytes_shared", labels) = ns.bytes_shared;
+  reg.counter("sweep.messages_sent", labels) = ns.sent;
+  reg.counter("sweep.ns_per_event", labels) =
+      static_cast<std::uint64_t>(ns_per_event);
+  const wire::WriterStats& ws = wire::writer_stats();
+  reg.counter("sweep.writer_buffers", labels) = ws.writers;
+  reg.counter("sweep.writer_grows", labels) = ws.grows;
+  reg.counter("sweep.writer_reserve_shortfalls", labels) =
+      ws.reserve_shortfalls;
+  char row[200];
+  std::snprintf(row, sizeof(row), "%6d %8zu %8d %10llu %12llu %12.0f",
+                fanout, payload, events,
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(ns.bytes_sent),
+                ns_per_event);
+  workload::print_row(row);
+}
+
+}  // namespace
 
 int main() {
   sim::Network net{2};
@@ -97,6 +194,16 @@ int main() {
   for (auto* n : tree.nodes) n->collect_metrics(reg);
   reg.counter("bench.servers_notified") = static_cast<std::uint64_t>(notified);
   reg.histogram("bench.notify_latency_ms") = latency;
+
+  workload::print_table_header(
+      "fan-out / payload sweep — per-event copy volume on the GDS tree",
+      "fanout  payload   events  delivered   bytes_sent  ns_per_event");
+  for (const int fanout : {2, 4, 8}) {
+    for (const std::size_t payload : {std::size_t{256}, std::size_t{4096},
+                                      std::size_t{16384}}) {
+      sweep(reg, fanout, payload);
+    }
+  }
   workload::write_bench_json("fig2_gds_broadcast", reg);
   return notified == 6 ? 0 : 1;
 }

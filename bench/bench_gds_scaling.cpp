@@ -19,7 +19,8 @@ using workload::Strategy;
 
 namespace {
 
-void run(obs::MetricsRegistry& reg, int n_servers, int fanout) {
+void run(obs::MetricsRegistry& reg, int n_servers, int fanout,
+         int docs_per_event = 2) {
   ScenarioConfig config;
   config.strategy = Strategy::kGsAlert;
   config.n_servers = n_servers;
@@ -35,7 +36,7 @@ void run(obs::MetricsRegistry& reg, int n_servers, int fanout) {
 
   const int events = 10;
   for (int i = 0; i < events; ++i) {
-    scenario.publish_random_rebuild(2);
+    scenario.publish_random_rebuild(docs_per_event);
     scenario.settle(SimTime::millis(200));
   }
   scenario.settle(SimTime::seconds(8));
@@ -48,9 +49,16 @@ void run(obs::MetricsRegistry& reg, int n_servers, int fanout) {
     max_gds = std::max(max_gds, ns.sent + ns.received);
   }
   const obs::Labels labels{{"servers", std::to_string(n_servers)},
-                           {"fanout", std::to_string(fanout)}};
+                           {"fanout", std::to_string(fanout)},
+                           {"docs", std::to_string(docs_per_event)}};
   workload::record_outcome(reg, out, labels);
   reg.counter("bench.max_gds_load", labels) = max_gds;
+  reg.counter("bench.bytes_per_event", labels) =
+      out.bytes_sent / static_cast<std::uint64_t>(events);
+  reg.counter("bench.bytes_copied_per_event", labels) =
+      out.bytes_copied / static_cast<std::uint64_t>(events);
+  reg.counter("bench.bytes_shared_per_event", labels) =
+      out.bytes_shared / static_cast<std::uint64_t>(events);
   char row[240];
   std::snprintf(
       row, sizeof(row), "%7d %6d %8zu %11.1f %8.0f %8.0f %9llu %9llu %8llu",
@@ -78,6 +86,12 @@ int main() {
   std::printf("\nfan-out ablation at 100 servers:\n");
   for (int fanout : {2, 4, 8}) {
     run(reg, 100, fanout);
+  }
+  std::printf(
+      "\npayload ablation at 100 servers, fan-out 8 (docs per rebuild "
+      "event drives the flooded payload size):\n");
+  for (int docs : {1, 8, 32}) {
+    run(reg, 100, 8, docs);
   }
   std::printf(
       "\nshape check: msgs/event grows linearly with servers; p50 latency "

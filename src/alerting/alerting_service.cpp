@@ -68,8 +68,11 @@ void AlertingService::on_started() {}
 
 void AlertingService::on_restarted() {
   // Profile store, aux registries and the outbox are durable (Greenstone
-  // keeps profiles on disk); only the retry timer needs re-arming.
+  // keeps profiles on disk); only the retry timer needs re-arming. A
+  // pending batch is in-memory build state and did not survive the crash.
   retry_armed_ = false;
+  batch_.clear();
+  build_depth_ = 0;
   if (!unacked_.empty()) arm_retry_timer();
 }
 
@@ -156,10 +159,54 @@ void AlertingService::forward_to_supers(const docmodel::Event& event) {
 
 void AlertingService::publish(const docmodel::Event& event) {
   if (!server_->gds().attached()) return;  // solitary server, no directory
-  server_->gds().broadcast(
-      static_cast<std::uint16_t>(wire::MessageType::kEventAnnounce),
-      encode_event(event));
+  batch_.push_back(
+      PendingEvent{obs::current_context(), encode_event(event)});
   stats_.events_published += 1;
+  // Outside a build bracket the flush is immediate — semantics (and crash
+  // behaviour) identical to the unbatched path. Inside a build, events
+  // accumulate until build-complete or the batch fills.
+  if (!config_.batch_events || build_depth_ == 0 ||
+      batch_.size() >= config_.max_batch_events) {
+    flush_batch();
+  }
+}
+
+void AlertingService::flush_batch() {
+  if (batch_.empty()) return;
+  if (batch_.size() == 1) {
+    // A lone event needs no batch framing: ship it as a plain announce
+    // under the trace context it was published with.
+    const obs::TraceScope scope{batch_.front().ctx};
+    server_->gds().broadcast(
+        static_cast<std::uint16_t>(wire::MessageType::kEventAnnounce),
+        std::move(batch_.front().bytes));
+  } else {
+    EventBatchBody body;
+    body.entries.reserve(batch_.size());
+    for (PendingEvent& pending : batch_) {
+      body.entries.push_back(EventBatchBody::Entry{
+          pending.ctx.trace_id, pending.ctx.span_id, pending.ctx.hop,
+          std::move(pending.bytes)});
+    }
+    wire::Writer w;
+    body.encode(w);
+    // One envelope, one tree traversal. The flood travels under the first
+    // event's trace; each entry carries its own context for the receiver.
+    const obs::TraceScope scope{batch_.front().ctx};
+    server_->gds().broadcast(
+        static_cast<std::uint16_t>(wire::MessageType::kEventBatch),
+        std::move(w).take());
+    stats_.batches_sent += 1;
+    stats_.batched_events += body.entries.size();
+  }
+  batch_.clear();
+}
+
+void AlertingService::on_build_begin() { build_depth_ += 1; }
+
+void AlertingService::on_build_complete() {
+  if (build_depth_ > 0) build_depth_ -= 1;
+  if (build_depth_ == 0) flush_batch();
 }
 
 void AlertingService::process_event(const docmodel::Event& event,
@@ -199,16 +246,17 @@ void AlertingService::on_local_event(const docmodel::Event& event) {
 
 void AlertingService::on_gds_message(const std::string& /*origin_server*/,
                                      std::uint16_t payload_type,
-                                     const std::vector<std::byte>& payload) {
+                                     std::span<const std::byte> payload) {
   switch (static_cast<wire::MessageType>(payload_type)) {
     // Aux-profile and forward traffic relayed anonymously through the
-    // GDS (no direct host reference): the payload is a full envelope.
+    // GDS (no direct host reference): the payload is a full flattened
+    // envelope.
     case wire::MessageType::kAuxProfileAdd:
     case wire::MessageType::kAuxProfileRemove:
     case wire::MessageType::kEventForward:
     case wire::MessageType::kAuxProfileAck:
     case wire::MessageType::kEventForwardAck: {
-      auto env = wire::unpack(sim::Packet{payload});
+      auto env = wire::unpack(payload);
       if (env.ok()) {
         // The relayed envelope carries the original sender's trace
         // context; handle it under that, not the outer deliver's.
@@ -218,26 +266,44 @@ void AlertingService::on_gds_message(const std::string& /*origin_server*/,
       }
       return;
     }
-    case wire::MessageType::kEventAnnounce:
-      break;  // handled below
+    case wire::MessageType::kEventAnnounce: {
+      auto event = decode_event(payload);
+      if (!event.ok()) return;
+      receive_flooded_event(event.value());
+      return;
+    }
+    case wire::MessageType::kEventBatch: {
+      auto batch = EventBatchBody::decode(payload);
+      if (!batch.ok()) return;
+      for (const EventBatchBody::Entry& entry : batch.value().entries) {
+        auto event = decode_event(entry.event);
+        if (!event.ok()) continue;
+        // Re-establish the context the event was published under so its
+        // delivery (and any notify spans) attribute to the right trace.
+        const obs::TraceScope entry_scope{obs::TraceContext{
+            entry.trace_id, entry.span_id, entry.hop}};
+        receive_flooded_event(event.value());
+      }
+      return;
+    }
     default:
       return;
   }
-  auto event = decode_event(payload);
-  if (!event.ok()) return;
+}
+
+void AlertingService::receive_flooded_event(const docmodel::Event& event) {
   // Flooded events are filtered against local profiles only; forwarding
   // and re-broadcast happened at (or via) the event's own host.
-  if (!seen_events_.insert(event.value().id).second) {
+  if (!seen_events_.insert(event.id).second) {
     stats_.duplicate_events += 1;
     if (obs::active()) {
       obs::emit_span("event-dup-drop", server_->name(),
-                     server_->net().now(),
-                     {{"event", event.value().id.str()}});
+                     server_->net().now(), {{"event", event.id.str()}});
     }
     return;
   }
   stats_.events_received += 1;
-  filter_and_notify(event.value());
+  filter_and_notify(event);
 }
 
 // --- auxiliary profile management (super-collection side) ----------------------
@@ -371,7 +437,7 @@ void AlertingService::send_ack(NodeId from, const wire::Envelope& env,
   } else if (server_->gds().attached()) {
     // The request came through the GDS relay; answer the same way.
     server_->gds().relay(env.src, static_cast<std::uint16_t>(type),
-                         ack.pack().bytes);
+                         ack.flatten());
   }
 }
 
@@ -541,7 +607,7 @@ void AlertingService::attempt_delivery(const std::string& host,
     // anonymous relay — the paper's §6 point-to-point path. The payload
     // is the full envelope so msg_id-based acks work unchanged.
     server_->gds().relay(host, static_cast<std::uint16_t>(env.type),
-                         env.pack().bytes);
+                         env.flatten());
   }
   // Neither path available: the outbox retry will try again — the host
   // may register with the GDS later.
@@ -599,6 +665,9 @@ void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("alerting.rename_loops_cut", labels) =
       stats_.rename_loops_cut;
   registry.counter("alerting.retries", labels) = stats_.retries;
+  registry.counter("alerting.batches_sent", labels) = stats_.batches_sent;
+  registry.counter("alerting.batched_events", labels) =
+      stats_.batched_events;
   registry.gauge("alerting.subscriptions", labels) =
       static_cast<double>(subs_.size());
   registry.gauge("alerting.outbox", labels) =

@@ -29,6 +29,7 @@
 #include "common/types.h"
 #include "gsnet/greenstone_server.h"
 #include "gsnet/server_extension.h"
+#include "obs/trace.h"
 #include "profiles/index.h"
 #include "profiles/parser.h"
 
@@ -37,6 +38,13 @@ namespace gsalert::alerting {
 struct AlertingConfig {
   /// Retry period for unacknowledged aux-profile / event-forward messages.
   SimTime retry_interval = SimTime::seconds(1);
+  /// Coalesce events raised by one collection (re)build into a single
+  /// kEventBatch flood instead of one kEventAnnounce per event. Flushing
+  /// is synchronous (at build completion or when the batch fills), so
+  /// crash semantics match the unbatched path — no timer, no loss window.
+  bool batch_events = true;
+  /// Flush the pending batch once it holds this many events.
+  std::size_t max_batch_events = 16;
 };
 
 /// Counters for experiments and tests.
@@ -50,6 +58,8 @@ struct AlertingStats {
   std::uint64_t renames = 0;              // events renamed at a super host
   std::uint64_t rename_loops_cut = 0;
   std::uint64_t retries = 0;              // outbox resends
+  std::uint64_t batches_sent = 0;         // kEventBatch floods (2+ events)
+  std::uint64_t batched_events = 0;       // events shipped inside batches
 };
 
 class AlertingService : public gsnet::ServerExtension {
@@ -97,8 +107,10 @@ class AlertingService : public gsnet::ServerExtension {
   bool handle_envelope(NodeId from, const wire::Envelope& env) override;
   void on_gds_message(const std::string& origin_server,
                       std::uint16_t payload_type,
-                      const std::vector<std::byte>& payload) override;
+                      std::span<const std::byte> payload) override;
   void on_local_event(const docmodel::Event& event) override;
+  void on_build_begin() override;
+  void on_build_complete() override;
   void on_collection_configured(const docmodel::Collection& coll) override;
   void on_collection_removed(const CollectionRef& ref) override;
   void on_started() override;
@@ -116,8 +128,17 @@ class AlertingService : public gsnet::ServerExtension {
   /// Forward the event to every super-collection host whose auxiliary
   /// profile matches its physical collection.
   void forward_to_supers(const docmodel::Event& event);
-  /// Broadcast the event to all servers through the GDS.
+  /// Broadcast the event to all servers through the GDS. With batching
+  /// enabled and a build in progress, the event is appended to the pending
+  /// batch instead; otherwise it is flushed immediately.
   void publish(const docmodel::Event& event);
+  /// Send the pending batch: a single event goes out as a plain
+  /// kEventAnnounce under its original trace context, several as one
+  /// kEventBatch flood.
+  void flush_batch();
+  /// Handle an event that arrived via GDS flooding (plain or batched):
+  /// dedup, count, filter against local profiles.
+  void receive_flooded_event(const docmodel::Event& event);
   /// Process an event that this server is seeing for the first time
   /// (local build or arriving forward), end to end.
   void process_event(const docmodel::Event& event, bool broadcast);
@@ -161,6 +182,16 @@ class AlertingService : public gsnet::ServerExtension {
   };
   std::unordered_map<std::uint64_t, Unacked> unacked_;
   bool retry_armed_ = false;
+
+  // Events published during the current build, waiting to be flushed as
+  // one batch. Each entry remembers the trace context that was active at
+  // publish time so receivers can attribute deliveries per event.
+  struct PendingEvent {
+    obs::TraceContext ctx;
+    std::vector<std::byte> bytes;  // encode_event() payload
+  };
+  std::vector<PendingEvent> batch_;
+  int build_depth_ = 0;
 
   std::unordered_set<docmodel::EventId> seen_events_;
   // (event id, super) pairs already renamed here — quenches duplicate

@@ -23,7 +23,7 @@ CollectionRef decode_ref(wire::Reader& r) {
 void SubscribeBody::encode(wire::Writer& w) const { w.str(profile_text); }
 
 Result<SubscribeBody> SubscribeBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   SubscribeBody out;
   out.profile_text = r.str();
@@ -39,7 +39,7 @@ void SubscribeAckBody::encode(wire::Writer& w) const {
 }
 
 Result<SubscribeAckBody> SubscribeAckBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   SubscribeAckBody out;
   out.request_id = r.u64();
@@ -52,7 +52,7 @@ Result<SubscribeAckBody> SubscribeAckBody::decode(
 
 void CancelBody::encode(wire::Writer& w) const { w.u64(subscription_id); }
 
-Result<CancelBody> CancelBody::decode(const std::vector<std::byte>& body) {
+Result<CancelBody> CancelBody::decode(std::span<const std::byte> body) {
   wire::Reader r{body};
   CancelBody out;
   out.subscription_id = r.u64();
@@ -66,7 +66,7 @@ void NotificationBody::encode(wire::Writer& w) const {
 }
 
 Result<NotificationBody> NotificationBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   NotificationBody out;
   out.subscription_id = r.u64();
@@ -81,7 +81,7 @@ void AuxProfileBody::encode(wire::Writer& w) const {
 }
 
 Result<AuxProfileBody> AuxProfileBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   AuxProfileBody out;
   out.super = decode_ref(r);
@@ -96,7 +96,7 @@ void EventForwardBody::encode(wire::Writer& w) const {
 }
 
 Result<EventForwardBody> EventForwardBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   EventForwardBody out;
   out.super = decode_ref(r);
@@ -111,11 +111,39 @@ std::vector<std::byte> encode_event(const docmodel::Event& event) {
   return std::move(w).take();
 }
 
-Result<docmodel::Event> decode_event(const std::vector<std::byte>& payload) {
+Result<docmodel::Event> decode_event(std::span<const std::byte> payload) {
   wire::Reader r{payload};
   docmodel::Event event = docmodel::Event::decode(r);
   if (!r.done()) return malformed("Event payload");
   return event;
+}
+
+void EventBatchBody::encode(wire::Writer& w) const {
+  std::size_t estimate = 4;  // entry count
+  for (const Entry& e : entries) estimate += 8 + 8 + 2 + 4 + e.event.size();
+  w.reserve(estimate);
+  w.seq(entries, [](wire::Writer& w2, const Entry& e) {
+    w2.u64(e.trace_id);
+    w2.u64(e.span_id);
+    w2.u16(e.hop);
+    w2.bytes(e.event);
+  });
+}
+
+Result<EventBatchBody> EventBatchBody::decode(
+    std::span<const std::byte> body) {
+  wire::Reader r{body};
+  EventBatchBody out;
+  out.entries = r.seq<Entry>([](wire::Reader& r2) {
+    Entry e;
+    e.trace_id = r2.u64();
+    e.span_id = r2.u64();
+    e.hop = r2.u16();
+    e.event = r2.bytes();
+    return e;
+  });
+  if (!r.done()) return malformed("EventBatchBody");
+  return out;
 }
 
 }  // namespace gsalert::alerting

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,7 @@ struct SubscribeBody {
   std::string profile_text;
 
   void encode(wire::Writer& w) const;
-  static Result<SubscribeBody> decode(const std::vector<std::byte>& body);
+  static Result<SubscribeBody> decode(std::span<const std::byte> body);
 };
 
 struct SubscribeAckBody {
@@ -31,14 +32,14 @@ struct SubscribeAckBody {
   std::string error;
 
   void encode(wire::Writer& w) const;
-  static Result<SubscribeAckBody> decode(const std::vector<std::byte>& body);
+  static Result<SubscribeAckBody> decode(std::span<const std::byte> body);
 };
 
 struct CancelBody {
   SubscriptionId subscription_id = 0;
 
   void encode(wire::Writer& w) const;
-  static Result<CancelBody> decode(const std::vector<std::byte>& body);
+  static Result<CancelBody> decode(std::span<const std::byte> body);
 };
 
 struct NotificationBody {
@@ -46,7 +47,7 @@ struct NotificationBody {
   docmodel::Event event;
 
   void encode(wire::Writer& w) const;
-  static Result<NotificationBody> decode(const std::vector<std::byte>& body);
+  static Result<NotificationBody> decode(std::span<const std::byte> body);
 };
 
 // --- auxiliary profiles (GS network) ----------------------------------------
@@ -60,7 +61,7 @@ struct AuxProfileBody {
   CollectionRef sub;    // e.g. London.E
 
   void encode(wire::Writer& w) const;
-  static Result<AuxProfileBody> decode(const std::vector<std::byte>& body);
+  static Result<AuxProfileBody> decode(std::span<const std::byte> body);
 };
 
 /// Event forwarded from the sub-collection's host to the super-collection's
@@ -70,12 +71,29 @@ struct EventForwardBody {
   docmodel::Event event;
 
   void encode(wire::Writer& w) const;
-  static Result<EventForwardBody> decode(const std::vector<std::byte>& body);
+  static Result<EventForwardBody> decode(std::span<const std::byte> body);
 };
 
 // --- GDS event announcement ----------------------------------------------------
 
 std::vector<std::byte> encode_event(const docmodel::Event& event);
-Result<docmodel::Event> decode_event(const std::vector<std::byte>& payload);
+Result<docmodel::Event> decode_event(std::span<const std::byte> payload);
+
+/// Several event announcements raised by one collection (re)build and
+/// coalesced into a single GDS flood (one envelope, one tree traversal).
+/// Each entry keeps the trace context that was current when its event was
+/// published, so receivers can attribute every delivery to the right span.
+struct EventBatchBody {
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint16_t hop = 0;
+    std::vector<std::byte> event;  // encode_event() bytes
+  };
+  std::vector<Entry> entries;
+
+  void encode(wire::Writer& w) const;
+  static Result<EventBatchBody> decode(std::span<const std::byte> body);
+};
 
 }  // namespace gsalert::alerting

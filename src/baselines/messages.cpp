@@ -11,7 +11,7 @@ void RemoteProfileBody::encode(wire::Writer& w) const {
 }
 
 Result<RemoteProfileBody> RemoteProfileBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   RemoteProfileBody out;
   out.owner_server = r.str();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,7 @@ struct RemoteProfileBody {
   std::uint64_t flood_seq = 0;
 
   void encode(wire::Writer& w) const;
-  static Result<RemoteProfileBody> decode(const std::vector<std::byte>& body);
+  static Result<RemoteProfileBody> decode(std::span<const std::byte> body);
 };
 
 }  // namespace gsalert::baselines

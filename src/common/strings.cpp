@@ -32,12 +32,17 @@ std::string_view trim(std::string_view text) {
 
 std::string to_lower(std::string_view text) {
   std::string out;
+  to_lower_into(text, out);
+  return out;
+}
+
+void to_lower_into(std::string_view text, std::string& out) {
+  out.clear();
   out.reserve(text.size());
   for (char c : text) {
     out.push_back(static_cast<char>(
         std::tolower(static_cast<unsigned char>(c))));
   }
-  return out;
 }
 
 bool wildcard_match(std::string_view pattern, std::string_view text) {

@@ -17,6 +17,10 @@ std::string_view trim(std::string_view text);
 /// Lowercase ASCII copy.
 std::string to_lower(std::string_view text);
 
+/// Lowercase ASCII into `out`, reusing its capacity. For hot loops that
+/// would otherwise allocate a fresh string per element.
+void to_lower_into(std::string_view text, std::string& out);
+
 /// True if `text` matches `pattern` where '*' matches any (possibly empty)
 /// run of characters. This is the paper's wildcard micro-predicate.
 bool wildcard_match(std::string_view pattern, std::string_view text);

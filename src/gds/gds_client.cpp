@@ -55,6 +55,7 @@ std::uint64_t GdsClient::broadcast(std::uint16_t payload_type,
   body.payload_type = payload_type;
   body.payload = std::move(payload);
   wire::Writer w;
+  w.reserve(body.wire_size());
   body.encode(w);
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kGdsBroadcast, self_name_, "", body.seq,
@@ -72,6 +73,9 @@ void GdsClient::relay(const std::string& dst, std::uint16_t payload_type,
   body.payload_type = payload_type;
   body.payload = std::move(payload);
   wire::Writer w;
+  // str + str + u16 + bytes
+  w.reserve(4 + body.origin_server.size() + 4 + body.dst_server.size() + 2 +
+            4 + body.payload.size());
   body.encode(w);
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kGdsRelay, self_name_, dst, next_seq_++,

@@ -303,20 +303,27 @@ bool GdsServer::is_duplicate(const std::string& origin, std::uint64_t seq) {
   return !seen_[origin].insert(seq).second;
 }
 
-void GdsServer::deliver(NodeId server, const BroadcastBody& body) {
-  wire::Writer w;
-  body.encode(w);
+void GdsServer::deliver_frame(NodeId server, wire::Frame body_frame) {
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kGdsDeliver, name(), "", next_msg_id_++,
-      std::move(w));
+      std::move(body_frame));
   send_envelope(server, env);
   stats_.deliveries += 1;
 }
 
+void GdsServer::deliver(NodeId server, const BroadcastBody& body) {
+  wire::Writer w;
+  w.reserve(body.wire_size());
+  body.encode(w);
+  deliver_frame(server, wire::Frame{std::move(w).take()});
+}
+
 void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
-  auto decoded = BroadcastBody::decode(env.body);
-  if (!decoded.ok()) return;
-  const BroadcastBody& body = decoded.value();
+  // Peek the routing fields only — the payload stays inside the shared
+  // body frame and is never copied on this path.
+  auto peeked = BroadcastView::peek(env.body);
+  if (!peeked.ok()) return;
+  const BroadcastView& body = peeked.value();
   stats_.broadcasts_seen += 1;
   if (is_duplicate(body.origin_server, body.seq)) {
     stats_.duplicates_suppressed += 1;
@@ -343,7 +350,9 @@ void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
                             {"seq", std::to_string(body.seq)}})
           : obs::current_context()};
 
-  // Deliver to locally registered servers (never echo back to the origin).
+  // Deliver to locally registered servers (never echo back to the
+  // origin). A kGdsDeliver body is exactly the BroadcastBody bytes, so
+  // every local delivery aliases the incoming frame.
   for (const auto& [server_name, node] : local_servers_) {
     if (server_name == body.origin_server) continue;
     if (delivery_observer_) {
@@ -354,21 +363,25 @@ void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
             ? obs::emit_span("gds-deliver", name(), network().now(),
                              {{"dst", server_name}})
             : obs::current_context()};
-    deliver(node, body);
+    deliver_frame(node, env.body);
   }
-  // Forward upwards and downwards, skipping the edge it arrived on. The
-  // forward reuses the incoming bytes, so restamp its trace context one
-  // hop past the gds-broadcast span rather than the upstream sender's.
-  wire::Envelope forward = env;
+  // Forward upwards and downwards, skipping the edge it arrived on: the
+  // body frame is shared verbatim and the ~50-byte header is encoded
+  // once, then copied per destination. Restamp the trace context one hop
+  // past the gds-broadcast span rather than the upstream sender's.
+  wire::Envelope forward = env;  // cheap: strings + a frame refcount
   forward.src = name();
   forward.ttl = static_cast<std::uint16_t>(env.ttl - 1);
   const obs::TraceContext forward_ctx = obs::current_context();
   forward.trace_id = forward_ctx.trace_id;
   forward.span_id = forward_ctx.span_id;
   forward.hop = static_cast<std::uint16_t>(forward_ctx.hop + 1);
-  if (parent_.valid() && parent_ != from) send_envelope(parent_, forward);
+  const sim::Packet packed = forward.pack();
+  if (parent_.valid() && parent_ != from) {
+    network().send(id(), parent_, packed);
+  }
   for (const auto& [child, last_seen] : children_) {
-    if (child != from) send_envelope(child, forward);
+    if (child != from) network().send(id(), child, packed);
   }
 }
 
@@ -377,7 +390,7 @@ void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
 void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
   auto decoded = RelayBody::decode(env.body);
   if (!decoded.ok()) return;
-  const RelayBody& body = decoded.value();
+  RelayBody body = std::move(decoded).take();
   if (env.ttl == 0) {
     stats_.unroutable += 1;
     if (obs::active()) {
@@ -396,10 +409,10 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
     const auto server = local_servers_.find(body.dst_server);
     if (server != local_servers_.end()) {
       BroadcastBody inner;
-      inner.origin_server = body.origin_server;
+      inner.origin_server = std::move(body.origin_server);
       inner.seq = 0;
       inner.payload_type = body.payload_type;
-      inner.payload = body.payload;
+      inner.payload = std::move(body.payload);
       deliver(server->second, inner);
       stats_.relays_routed += 1;
     }
@@ -428,6 +441,10 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
 }
 
 void GdsServer::handle_multicast(NodeId from, const wire::Envelope& env) {
+  // Like broadcast, the payload is viewed in place: local deliveries share
+  // one lazily-encoded frame, and per-edge forwards re-encode straight
+  // from the view (each edge's target list differs, so the payload is
+  // copied exactly once per edge and never into intermediate structs).
   auto decoded = MulticastBody::decode(env.body);
   if (!decoded.ok()) return;
   const MulticastBody& body = decoded.value();
@@ -442,17 +459,26 @@ void GdsServer::handle_multicast(NodeId from, const wire::Envelope& env) {
 
   std::vector<std::string> to_parent;
   std::unordered_map<NodeId, std::vector<std::string>> per_child;
+  // All local targets receive the same inner BroadcastBody, so it is
+  // encoded at most once and the frame shared across deliveries.
+  wire::Frame local_frame;
   for (const auto& target : body.targets) {
     const auto route = name_routes_.find(target);
     if (route != name_routes_.end() && route->second.local) {
       const auto server = local_servers_.find(target);
       if (server != local_servers_.end()) {
-        BroadcastBody inner;
-        inner.origin_server = body.origin_server;
-        inner.seq = body.seq;
-        inner.payload_type = body.payload_type;
-        inner.payload = body.payload;
-        deliver(server->second, inner);
+        if (local_frame.empty()) {
+          BroadcastBody inner;
+          inner.origin_server = body.origin_server;
+          inner.seq = body.seq;
+          inner.payload_type = body.payload_type;
+          inner.payload = body.payload;
+          wire::Writer w;
+          w.reserve(inner.wire_size());
+          inner.encode(w);
+          local_frame = wire::Frame{std::move(w).take()};
+        }
+        deliver_frame(server->second, local_frame);
       }
     } else if (route != name_routes_.end()) {
       per_child[route->second.via].push_back(target);
@@ -462,21 +488,20 @@ void GdsServer::handle_multicast(NodeId from, const wire::Envelope& env) {
       stats_.unroutable += 1;
     }
   }
-  auto forward_to = [&](NodeId hop, std::vector<std::string> targets) {
-    MulticastBody out = body;
-    out.targets = std::move(targets);
+  auto forward_to = [&](NodeId hop, const std::vector<std::string>& targets) {
     wire::Writer w;
-    out.encode(w);
+    MulticastBody::encode_fields(w, body.origin_server, body.seq, targets,
+                                 body.payload_type, body.payload);
     wire::Envelope fwd = wire::make_envelope(
         wire::MessageType::kGdsMulticast, name(), "", next_msg_id_++,
         std::move(w));
     fwd.ttl = static_cast<std::uint16_t>(env.ttl - 1);
     send_envelope(hop, fwd);
   };
-  for (auto& [child, targets] : per_child) {
-    forward_to(child, std::move(targets));
+  for (const auto& [child, targets] : per_child) {
+    forward_to(child, targets);
   }
-  if (!to_parent.empty()) forward_to(parent_, std::move(to_parent));
+  if (!to_parent.empty()) forward_to(parent_, to_parent);
 }
 
 // --- naming -----------------------------------------------------------------

@@ -114,7 +114,11 @@ class GdsServer : public sim::Node {
   void handle_resolve(NodeId from, const wire::Envelope& env);
   void handle_resolve_reply(NodeId from, const wire::Envelope& env);
 
-  /// Deliver an inner payload to a locally registered server.
+  /// Deliver an already-encoded BroadcastBody frame to a locally
+  /// registered server. The frame is shared (refcounted), not copied, so
+  /// fanning a broadcast out to N local servers costs N headers.
+  void deliver_frame(NodeId server, wire::Frame body_frame);
+  /// Encode-and-deliver convenience for relay/multicast local hits.
   void deliver(NodeId server, const BroadcastBody& body);
 
   void send_envelope(NodeId to, const wire::Envelope& env);

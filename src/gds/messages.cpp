@@ -10,7 +10,7 @@ Error malformed(const char* what) {
 
 void RegisterBody::encode(wire::Writer& w) const { w.str(server_name); }
 
-Result<RegisterBody> RegisterBody::decode(const std::vector<std::byte>& body) {
+Result<RegisterBody> RegisterBody::decode(std::span<const std::byte> body) {
   wire::Reader r{body};
   RegisterBody out;
   out.server_name = r.str();
@@ -25,8 +25,27 @@ void BroadcastBody::encode(wire::Writer& w) const {
   w.bytes(payload);
 }
 
+std::size_t BroadcastBody::wire_size() const {
+  // str(4+n) + u64 + u16 + bytes(4+n)
+  return 4 + origin_server.size() + 8 + 2 + 4 + payload.size();
+}
+
+Result<BroadcastView> BroadcastView::peek(std::span<const std::byte> body) {
+  wire::Reader r{body};
+  BroadcastView out;
+  out.origin_server = r.str();
+  out.seq = r.u64();
+  out.payload_type = r.u16();
+  const std::uint32_t payload_len = r.u32();
+  if (!r.ok() || r.remaining() != payload_len) {
+    return malformed("BroadcastBody");
+  }
+  out.payload = body.subspan(body.size() - payload_len);
+  return out;
+}
+
 Result<BroadcastBody> BroadcastBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   BroadcastBody out;
   out.origin_server = r.str();
@@ -44,7 +63,7 @@ void RelayBody::encode(wire::Writer& w) const {
   w.bytes(payload);
 }
 
-Result<RelayBody> RelayBody::decode(const std::vector<std::byte>& body) {
+Result<RelayBody> RelayBody::decode(std::span<const std::byte> body) {
   wire::Reader r{body};
   RelayBody out;
   out.origin_server = r.str();
@@ -56,7 +75,18 @@ Result<RelayBody> RelayBody::decode(const std::vector<std::byte>& body) {
 }
 
 void MulticastBody::encode(wire::Writer& w) const {
-  w.str(origin_server);
+  encode_fields(w, origin_server, seq, targets, payload_type, payload);
+}
+
+void MulticastBody::encode_fields(wire::Writer& w, const std::string& origin,
+                                  std::uint64_t seq,
+                                  const std::vector<std::string>& targets,
+                                  std::uint16_t payload_type,
+                                  std::span<const std::byte> payload) {
+  std::size_t estimate = 4 + origin.size() + 8 + 4 + 2 + 4 + payload.size();
+  for (const std::string& t : targets) estimate += 4 + t.size();
+  w.reserve(estimate);
+  w.str(origin);
   w.u64(seq);
   w.seq(targets, [](wire::Writer& w2, const std::string& t) { w2.str(t); });
   w.u16(payload_type);
@@ -64,7 +94,7 @@ void MulticastBody::encode(wire::Writer& w) const {
 }
 
 Result<MulticastBody> MulticastBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   MulticastBody out;
   out.origin_server = r.str();
@@ -81,7 +111,7 @@ void ResolveBody::encode(wire::Writer& w) const {
   w.str(server_name);
 }
 
-Result<ResolveBody> ResolveBody::decode(const std::vector<std::byte>& body) {
+Result<ResolveBody> ResolveBody::decode(std::span<const std::byte> body) {
   wire::Reader r{body};
   ResolveBody out;
   out.query_id = r.u64();
@@ -98,7 +128,7 @@ void ResolveReplyBody::encode(wire::Writer& w) const {
 }
 
 Result<ResolveReplyBody> ResolveReplyBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   ResolveReplyBody out;
   out.query_id = r.u64();
@@ -117,7 +147,7 @@ void ChildHelloBody::encode(wire::Writer& w) const {
 }
 
 Result<ChildHelloBody> ChildHelloBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   ChildHelloBody out;
   out.stratum = r.u16();

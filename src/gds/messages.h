@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,7 @@ struct RegisterBody {
   std::string server_name;
 
   void encode(wire::Writer& w) const;
-  static Result<RegisterBody> decode(const std::vector<std::byte>& body);
+  static Result<RegisterBody> decode(std::span<const std::byte> body);
 };
 
 /// Broadcast payload flooded through the tree. The (origin_server, seq)
@@ -30,7 +31,22 @@ struct BroadcastBody {
   std::vector<std::byte> payload;
 
   void encode(wire::Writer& w) const;
-  static Result<BroadcastBody> decode(const std::vector<std::byte>& body);
+  /// Exact encoded size (for Writer::reserve).
+  std::size_t wire_size() const;
+  static Result<BroadcastBody> decode(std::span<const std::byte> body);
+};
+
+/// Zero-copy view of an encoded BroadcastBody: the routing fields are
+/// decoded, the payload stays a span into the input buffer (valid only
+/// while that buffer lives). The payload is the final field, so a hop can
+/// read the dedup key and hand the payload onward without copying it.
+struct BroadcastView {
+  std::string origin_server;
+  std::uint64_t seq = 0;
+  std::uint16_t payload_type = 0;
+  std::span<const std::byte> payload;
+
+  static Result<BroadcastView> peek(std::span<const std::byte> body);
 };
 
 /// Point-to-point message routed through the tree by name.
@@ -41,7 +57,7 @@ struct RelayBody {
   std::vector<std::byte> payload;
 
   void encode(wire::Writer& w) const;
-  static Result<RelayBody> decode(const std::vector<std::byte>& body);
+  static Result<RelayBody> decode(std::span<const std::byte> body);
 };
 
 /// Multicast to an explicit set of server names. Forwarders split the
@@ -54,7 +70,16 @@ struct MulticastBody {
   std::vector<std::byte> payload;
 
   void encode(wire::Writer& w) const;
-  static Result<MulticastBody> decode(const std::vector<std::byte>& body);
+  /// Encode without materializing a MulticastBody: forwarders split the
+  /// target list per next hop and re-encode straight from the decoded
+  /// fields, copying the payload once into each edge's buffer and never
+  /// into an intermediate struct.
+  static void encode_fields(wire::Writer& w, const std::string& origin,
+                            std::uint64_t seq,
+                            const std::vector<std::string>& targets,
+                            std::uint16_t payload_type,
+                            std::span<const std::byte> payload);
+  static Result<MulticastBody> decode(std::span<const std::byte> body);
 };
 
 /// Name lookup (the DNS-like naming service).
@@ -63,7 +88,7 @@ struct ResolveBody {
   std::string server_name;
 
   void encode(wire::Writer& w) const;
-  static Result<ResolveBody> decode(const std::vector<std::byte>& body);
+  static Result<ResolveBody> decode(std::span<const std::byte> body);
 };
 
 struct ResolveReplyBody {
@@ -73,7 +98,7 @@ struct ResolveReplyBody {
   std::string owner_gds;  // name of the GDS node holding the registration
 
   void encode(wire::Writer& w) const;
-  static Result<ResolveReplyBody> decode(const std::vector<std::byte>& body);
+  static Result<ResolveReplyBody> decode(std::span<const std::byte> body);
 };
 
 /// Child GDS node -> parent: announce itself and advertise subtree names.
@@ -86,7 +111,7 @@ struct ChildHelloBody {
   std::vector<std::string> removes;
 
   void encode(wire::Writer& w) const;
-  static Result<ChildHelloBody> decode(const std::vector<std::byte>& body);
+  static Result<ChildHelloBody> decode(std::span<const std::byte> body);
 };
 
 }  // namespace gsalert::gds

@@ -68,6 +68,10 @@ Status GreenstoneServer::rebuild_collection(const std::string& coll_name,
   entry.collection.data = std::move(data);
   entry.collection.build_version += 1;
   entry.engine.build(entry.collection);
+  // One rebuild can raise up to three events; the bracket lets the
+  // alerting extension coalesce their floods into a single batch that is
+  // flushed synchronously before this call returns.
+  if (extension_) extension_->on_build_begin();
   emit(make_event(docmodel::EventType::kCollectionRebuilt, entry.collection,
                   std::move(fresh)));
   if (!modified.empty()) {
@@ -78,6 +82,7 @@ Status GreenstoneServer::rebuild_collection(const std::string& coll_name,
     emit(make_event(docmodel::EventType::kDocumentsRemoved,
                     entry.collection, std::move(removed)));
   }
+  if (extension_) extension_->on_build_complete();
   return Status::ok();
 }
 
@@ -294,7 +299,9 @@ void GreenstoneServer::on_packet(NodeId from, const sim::Packet& packet) {
       gds_.handle_resolve_reply(env);
       return;
     case wire::MessageType::kGdsDeliver: {
-      auto body = gds::BroadcastBody::decode(env.body);
+      // Peek, don't decode: the payload stays a view into the shared body
+      // frame and is handed to the extension without a copy.
+      auto body = gds::BroadcastView::peek(env.body);
       if (body.ok() && extension_) {
         extension_->on_gds_message(body.value().origin_server,
                                    body.value().payload_type,

@@ -10,7 +10,7 @@ void CollRequestBody::encode(wire::Writer& w) const {
 }
 
 Result<CollRequestBody> CollRequestBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   CollRequestBody out;
   out.request_id = r.u64();
@@ -33,7 +33,7 @@ void CollResponseBody::encode(wire::Writer& w) const {
 }
 
 Result<CollResponseBody> CollResponseBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   CollResponseBody out;
   out.request_id = r.u64();
@@ -56,7 +56,7 @@ void SearchRequestBody::encode(wire::Writer& w) const {
 }
 
 Result<SearchRequestBody> SearchRequestBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   SearchRequestBody out;
   out.request_id = r.u64();
@@ -78,7 +78,7 @@ void SearchResponseBody::encode(wire::Writer& w) const {
 }
 
 Result<SearchResponseBody> SearchResponseBody::decode(
-    const std::vector<std::byte>& body) {
+    std::span<const std::byte> body) {
   wire::Reader r{body};
   SearchResponseBody out;
   out.request_id = r.u64();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,7 @@ struct CollRequestBody {
   std::vector<std::string> chain;
 
   void encode(wire::Writer& w) const;
-  static Result<CollRequestBody> decode(const std::vector<std::byte>& body);
+  static Result<CollRequestBody> decode(std::span<const std::byte> body);
 };
 
 struct CollResponseBody {
@@ -35,7 +36,7 @@ struct CollResponseBody {
   std::uint32_t servers_contacted = 0; // distinct server visits
 
   void encode(wire::Writer& w) const;
-  static Result<CollResponseBody> decode(const std::vector<std::byte>& body);
+  static Result<CollResponseBody> decode(std::span<const std::byte> body);
 };
 
 /// Aggregated outcome of resolving a collection (local API form).
@@ -58,7 +59,7 @@ struct SearchRequestBody {
   std::vector<std::string> chain;
 
   void encode(wire::Writer& w) const;
-  static Result<SearchRequestBody> decode(const std::vector<std::byte>& body);
+  static Result<SearchRequestBody> decode(std::span<const std::byte> body);
 };
 
 struct SearchResponseBody {
@@ -71,7 +72,7 @@ struct SearchResponseBody {
 
   void encode(wire::Writer& w) const;
   static Result<SearchResponseBody> decode(
-      const std::vector<std::byte>& body);
+      std::span<const std::byte> body);
 };
 
 /// Aggregated federated-search outcome (local API form).

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.h"
 #include "docmodel/collection.h"
@@ -28,14 +29,23 @@ class ServerExtension {
   }
 
   /// A message delivered through the GDS (broadcast, multicast or relay).
+  /// The payload is a view into the delivery packet's shared body frame —
+  /// valid only for the duration of the call; copy to retain.
   virtual void on_gds_message(const std::string& /*origin_server*/,
                               std::uint16_t /*payload_type*/,
-                              const std::vector<std::byte>& /*payload*/) {}
+                              std::span<const std::byte> /*payload*/) {}
 
   /// A local collection (re)build produced an event. Runs synchronously as
   /// the paper's "additional step in the build process" — its cost is what
   /// experiment E4 measures.
   virtual void on_local_event(const docmodel::Event& /*event*/) {}
+
+  /// Bracket around a (re)build that may emit several events (the paper's
+  /// batch-at-build-time model): on_local_event calls between begin and
+  /// complete belong to one build, so the alerting layer can coalesce
+  /// their floods into one batch and flush synchronously at complete.
+  virtual void on_build_begin() {}
+  virtual void on_build_complete() {}
 
   /// A collection was added or its configuration changed (sub-collection
   /// links added/removed). The alerting layer diffs against its own

@@ -13,6 +13,13 @@ Status ProfileIndex::add(Profile profile) {
                   "profile " + std::to_string(profile.id) + " already indexed"};
   }
   ProfileEntry entry;
+  if (!slot_free_list_.empty()) {
+    entry.slot = slot_free_list_.back();
+    slot_free_list_.pop_back();
+  } else {
+    entry.slot = static_cast<std::uint32_t>(owner_epoch_.size());
+    owner_epoch_.push_back(0);
+  }
   for (const Conjunction& conj : profile.dnf) {
     ConjIdx idx;
     if (!free_list_.empty()) {
@@ -27,6 +34,7 @@ Status ProfileIndex::add(Profile profile) {
     }
     ConjEntry& ce = conjunctions_[idx];
     ce.owner = profile.id;
+    ce.owner_slot = entry.slot;
     ce.alive = true;
     for (const Predicate& pred : conj.preds) {
       if (pred.is_hashable_eq()) {
@@ -71,6 +79,7 @@ Status ProfileIndex::remove(ProfileId id) {
                   "profile " + std::to_string(id) + " not indexed"};
   }
   for (ConjIdx idx : it->second.conjunctions) unlink_conjunction(idx);
+  slot_free_list_.push_back(it->second.slot);
   by_profile_.erase(it);
   return Status::ok();
 }
@@ -117,10 +126,14 @@ std::vector<ProfileId> ProfileIndex::match(const EventContext& ctx,
     const bool all = std::all_of(
         ce.residual.begin(), ce.residual.end(),
         [&](const Predicate& p) { return p.eval(ctx); });
-    if (all) matched.push_back(ce.owner);
+    // Epoch-stamped per-profile dedup (same trick as hit_epoch_): a
+    // profile with several matching conjunctions is reported once, in
+    // first-match order, with no sort+unique pass over the result.
+    if (all && owner_epoch_[ce.owner_slot] != epoch_) {
+      owner_epoch_[ce.owner_slot] = epoch_;
+      matched.push_back(ce.owner);
+    }
   }
-  std::sort(matched.begin(), matched.end());
-  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
   return matched;
 }
 

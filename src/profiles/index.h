@@ -33,8 +33,9 @@ class ProfileIndex {
   std::size_t profile_count() const { return by_profile_.size(); }
   std::size_t conjunction_count() const { return live_conjunctions_; }
 
-  /// Profiles matching the event, sorted, unique. `stats` (optional)
-  /// receives instrumentation for the ablation bench.
+  /// Profiles matching the event, unique, in first-match order (not
+  /// sorted — dedup is epoch-stamped per profile slot, so no sort pass).
+  /// `stats` (optional) receives instrumentation for the ablation bench.
   std::vector<ProfileId> match(const EventContext& ctx,
                                MatchStats* stats = nullptr) const;
 
@@ -46,6 +47,7 @@ class ProfileIndex {
 
   struct ConjEntry {
     ProfileId owner = 0;
+    std::uint32_t owner_slot = 0;  // dense per-profile slot for match dedup
     std::uint32_t eq_count = 0;
     std::vector<Predicate> residual;
     // (attribute, value) buckets holding this conjunction, for O(k) unlink.
@@ -55,6 +57,7 @@ class ProfileIndex {
 
   struct ProfileEntry {
     Profile profile;
+    std::uint32_t slot = 0;
     std::vector<ConjIdx> conjunctions;
   };
 
@@ -72,10 +75,14 @@ class ProfileIndex {
   std::vector<ConjIdx> zero_eq_;  // conjunctions with no hashable equality
 
   std::unordered_map<ProfileId, ProfileEntry> by_profile_;
+  std::vector<std::uint32_t> slot_free_list_;
 
   // Epoch-stamped hit counters, reset in O(1) per match.
   mutable std::vector<std::uint32_t> hit_count_;
   mutable std::vector<std::uint64_t> hit_epoch_;
+  // Epoch stamp per profile slot: dedups a profile whose conjunctions
+  // match several times, without the old sort+unique pass over the result.
+  mutable std::vector<std::uint64_t> owner_epoch_;
   mutable std::uint64_t epoch_ = 0;
 };
 

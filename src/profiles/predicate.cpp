@@ -64,10 +64,13 @@ bool doc_matches_positive(Op op, const Predicate& p,
                          return value_op_matches(op, p, t);
                        });
   }
+  // One lowercase buffer reused across the scan — to_lower per entry
+  // allocated a fresh string for every metadata value.
+  std::string lowered;
   for (const auto& [attr, value] : doc.metadata.entries()) {
-    if (attr == p.attribute && value_op_matches(op, p, to_lower(value))) {
-      return true;
-    }
+    if (attr != p.attribute) continue;
+    to_lower_into(value, lowered);
+    if (value_op_matches(op, p, lowered)) return true;
   }
   return false;
 }

@@ -119,6 +119,8 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
   if (!is_up(from)) return false;
   stats_.sent += 1;
   stats_.bytes_sent += packet.size();
+  stats_.bytes_copied += packet.header.size();
+  stats_.bytes_shared += packet.body.size();
   auto& sender = node_stats_[from.value() - 1];
   sender.sent += 1;
   sender.bytes_sent += packet.size();
@@ -169,8 +171,12 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
   }
   if (chaos_.duplication > 0.0 && rng_.chance(chaos_.duplication)) {
     // The copy trails the original by up to one base latency, so the two
-    // arrivals interleave with unrelated traffic.
+    // arrivals interleave with unrelated traffic. Copying the Packet
+    // duplicates only the header; the body frame is aliased (immutable by
+    // type, so the two deliveries can never diverge).
     stats_.duplicated += 1;
+    stats_.bytes_copied += packet.header.size();
+    stats_.bytes_shared += packet.body.size();
     if (obs::active()) {
       trace_packet_fate("net-duplicate", packet, from_name, to_name, now());
     }
@@ -252,6 +258,8 @@ void Network::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("net.dropped_blocked") = stats_.dropped_blocked;
   registry.counter("net.duplicated") = stats_.duplicated;
   registry.counter("net.bytes_sent") = stats_.bytes_sent;
+  registry.counter("net.bytes_copied") = stats_.bytes_copied;
+  registry.counter("net.bytes_shared") = stats_.bytes_shared;
   registry.gauge("net.in_flight") = static_cast<double>(in_flight_);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const obs::Labels labels{{"node", nodes_[i]->name()}};

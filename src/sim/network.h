@@ -42,6 +42,12 @@ struct NetStats {
   std::uint64_t dropped_blocked = 0; // blocked pair / partition
   std::uint64_t duplicated = 0;      // extra copies injected by chaos
   std::uint64_t bytes_sent = 0;
+  // Copy-volume split per transmission (chaos duplicates included):
+  // header bytes are owned and memcpy'd per destination, body bytes ride
+  // in a refcounted wire::Frame and are only aliased. Before the frame
+  // split, every sent byte was copied (bytes_copied == bytes_sent).
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_shared = 0;
 };
 
 /// Network-wide degradation knobs driven by chaos schedules. They stack on

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "wire/frame.h"
 
 namespace gsalert::sim {
 
@@ -15,16 +16,21 @@ class Network;
 
 /// A packet is an opaque byte payload — upper layers serialize wire
 /// envelopes into it. The simulator charges bytes for accounting but never
-/// inspects the content. The trace fields mirror the envelope's context
-/// (wire::Envelope::pack fills them) so the network can attribute drops
-/// and duplications to traces without decoding; all-zero = untraced.
+/// inspects the content. The payload is split into a small per-destination
+/// `header` region (owned, rewritten at every hop: src, ttl, trace
+/// context) and an immutable `body` frame that fan-out and chaos
+/// duplication alias instead of copying (see wire/frame.h). The trace
+/// fields mirror the envelope's context (wire::Envelope::pack fills them)
+/// so the network can attribute drops and duplications to traces without
+/// decoding; all-zero = untraced.
 struct Packet {
-  std::vector<std::byte> bytes;
+  std::vector<std::byte> header;
+  wire::Frame body;
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
   std::uint16_t hop = 0;
 
-  std::size_t size() const { return bytes.size(); }
+  std::size_t size() const { return header.size() + body.size(); }
 };
 
 class Node {

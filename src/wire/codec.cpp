@@ -23,28 +23,69 @@ T read_le(const std::byte* p) {
   }
   return v;
 }
+WriterStats g_writer_stats;
 }  // namespace
 
-void Writer::u8(std::uint8_t v) { append_le(buffer_, v); }
-void Writer::u16(std::uint16_t v) { append_le(buffer_, v); }
-void Writer::u32(std::uint32_t v) { append_le(buffer_, v); }
-void Writer::u64(std::uint64_t v) { append_le(buffer_, v); }
+WriterStats& writer_stats() { return g_writer_stats; }
+void reset_writer_stats() { g_writer_stats = WriterStats{}; }
+
+Writer::Writer() { ++g_writer_stats.writers; }
+
+void Writer::reserve(std::size_t n) {
+  buffer_.reserve(buffer_.size() + n);
+  reserved_ = true;
+}
+
+void Writer::note_growth(std::size_t extra) {
+  if (buffer_.size() + extra <= buffer_.capacity()) return;
+  ++g_writer_stats.grows;
+  if (reserved_) {
+    ++g_writer_stats.reserve_shortfalls;
+    shortfall_ = true;
+  }
+}
+
+void Writer::u8(std::uint8_t v) {
+  note_growth(1);
+  append_le(buffer_, v);
+}
+void Writer::u16(std::uint16_t v) {
+  note_growth(2);
+  append_le(buffer_, v);
+}
+void Writer::u32(std::uint32_t v) {
+  note_growth(4);
+  append_le(buffer_, v);
+}
+void Writer::u64(std::uint64_t v) {
+  note_growth(8);
+  append_le(buffer_, v);
+}
 void Writer::i64(std::int64_t v) {
+  note_growth(8);
   append_le(buffer_, static_cast<std::uint64_t>(v));
 }
 void Writer::f64(double v) {
+  note_growth(8);
   append_le(buffer_, std::bit_cast<std::uint64_t>(v));
 }
 void Writer::boolean(bool v) { u8(v ? 1 : 0); }
 
 void Writer::str(std::string_view v) {
+  note_growth(4 + v.size());
   u32(static_cast<std::uint32_t>(v.size()));
   const auto* p = reinterpret_cast<const std::byte*>(v.data());
   buffer_.insert(buffer_.end(), p, p + v.size());
 }
 
 void Writer::bytes(std::span<const std::byte> v) {
+  note_growth(4 + v.size());
   u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void Writer::raw(std::span<const std::byte> v) {
+  note_growth(v.size());
   buffer_.insert(buffer_.end(), v.begin(), v.end());
 }
 

@@ -16,8 +16,28 @@
 
 namespace gsalert::wire {
 
+/// Global allocation counters for the encode path (reset per measurement
+/// window by benches and the perf-smoke test). Single-threaded sim, so
+/// plain counters suffice.
+struct WriterStats {
+  std::uint64_t writers = 0;             // Writer instances created
+  std::uint64_t grows = 0;               // buffer (re)allocations
+  std::uint64_t reserve_shortfalls = 0;  // grows after an explicit reserve
+};
+WriterStats& writer_stats();
+void reset_writer_stats();
+
 class Writer {
  public:
+  Writer();
+
+  /// Pre-size the buffer for `n` more bytes so encoding performs at most
+  /// one allocation. Growing past a reserve is counted (and asserted
+  /// against in debug on the broadcast path) via writer_stats().
+  void reserve(std::size_t n);
+  /// True if the buffer reallocated after reserve() — the estimate lied.
+  bool grew_after_reserve() const { return shortfall_; }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -27,6 +47,9 @@ class Writer {
   void boolean(bool v);
   void str(std::string_view v);
   void bytes(std::span<const std::byte> v);
+  /// Append raw bytes without a length prefix (flattening pre-encoded
+  /// regions that already carry their own framing).
+  void raw(std::span<const std::byte> v);
 
   /// Write a length-prefixed sequence using a per-element callback.
   template <typename Range, typename Fn>
@@ -40,7 +63,11 @@ class Writer {
   std::size_t size() const { return buffer_.size(); }
 
  private:
+  void note_growth(std::size_t extra);
+
   std::vector<std::byte> buffer_;
+  bool reserved_ = false;
+  bool shortfall_ = false;
 };
 
 class Reader {

@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "sim/node.h"
 #include "wire/codec.h"
+#include "wire/frame.h"
 #include "wire/message_types.h"
 
 namespace gsalert::wire {
@@ -26,15 +28,33 @@ struct Envelope {
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
   std::uint16_t hop = 0;      // network hops since the root span
-  std::vector<std::byte> body;
+  // Immutable, refcounted: forwarding an envelope aliases the body frame
+  // and rewrites only the per-hop header fields above.
+  Frame body;
 
+  /// Exact byte count pack() writes into Packet::header.
+  std::size_t header_wire_size() const;
+
+  /// Encode into a Packet: the mutable per-hop fields land in
+  /// Packet::header (exactly one allocation, see Writer::reserve); the
+  /// body frame is shared, never copied.
   sim::Packet pack() const;
+
+  /// One contiguous buffer, byte-identical to Packet::header + body —
+  /// for embedding a whole envelope as a payload inside another message
+  /// (store-and-forward relay, acks).
+  std::vector<std::byte> flatten() const;
 };
 
 Result<Envelope> unpack(const sim::Packet& packet);
+/// Decode a flatten()ed envelope (copies the body out of `flat`).
+Result<Envelope> unpack(std::span<const std::byte> flat);
 
 /// Helper: build an envelope around an already-encoded body.
 Envelope make_envelope(MessageType type, std::string src, std::string dst,
                        std::uint64_t msg_id, Writer body);
+/// Same, around an existing (possibly shared) body frame.
+Envelope make_envelope(MessageType type, std::string src, std::string dst,
+                       std::uint64_t msg_id, Frame body);
 
 }  // namespace gsalert::wire

@@ -39,6 +39,8 @@ void record_outcome(obs::MetricsRegistry& registry, const Outcome& outcome,
       outcome.false_negatives;
   registry.counter("outcome.messages_sent", labels) = outcome.messages_sent;
   registry.counter("outcome.bytes_sent", labels) = outcome.bytes_sent;
+  registry.counter("outcome.bytes_copied", labels) = outcome.bytes_copied;
+  registry.counter("outcome.bytes_shared", labels) = outcome.bytes_shared;
   registry.gauge("outcome.max_over_mean_node_load", labels) =
       outcome.max_over_mean_node_load;
   Histogram& latency =

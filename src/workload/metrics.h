@@ -21,6 +21,10 @@ struct Outcome {
 
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  /// Copy split of bytes_sent: freshly memcpy'd (headers, flat sends)
+  /// vs refcount-aliased shared body frames. Copied + shared == sent.
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_shared = 0;
   /// Hotspot measure: busiest node's message count / mean across nodes.
   double max_over_mean_node_load = 0.0;
 };

@@ -435,6 +435,8 @@ Outcome Scenario::outcome() const {
   }
   out.messages_sent = net_.stats().sent;
   out.bytes_sent = net_.stats().bytes_sent;
+  out.bytes_copied = net_.stats().bytes_copied;
+  out.bytes_shared = net_.stats().bytes_shared;
 
   std::uint64_t max_load = 0, total_load = 0;
   const std::size_t n = net_.node_count();

@@ -48,13 +48,13 @@ struct World {
   std::vector<AlertingService*> alerting;
   std::vector<Client*> clients;
 
-  explicit World(int n_servers = 4) {
+  explicit World(int n_servers = 4, AlertingConfig config = {}) {
     tree = gds::build_figure2_tree(net);
     for (int i = 0; i < n_servers; ++i) {
       const std::string host =
           i == 0 ? "Hamilton" : (i == 1 ? "London" : "Host" + std::to_string(i));
       auto* server = net.make_node<gsnet::GreenstoneServer>(host);
-      auto service = std::make_unique<AlertingService>();
+      auto service = std::make_unique<AlertingService>(config);
       alerting.push_back(service.get());
       server->set_extension(std::move(service));
       server->attach_gds(tree.leaf_for(static_cast<std::size_t>(i))->id());
@@ -189,6 +189,114 @@ TEST(FederatedAlertingTest, EventsCarryOnlyFreshDocsOnRebuild) {
   EXPECT_EQ(w.clients[2]->notifications()[0].event.docs.size(), 1u);
 }
 
+// --- event batching: one flood per build --------------------------------
+
+TEST(BatchingTest, EmptyBuildBracketSendsNothing) {
+  World w;
+  const std::uint64_t sent_before = w.net.stats().sent;
+  // A build that raises no events must not flood anything. Flushing is
+  // synchronous, so any send would be visible immediately (no settle —
+  // that would run unrelated heartbeat chatter).
+  w.alerting[0]->on_build_begin();
+  w.alerting[0]->on_build_complete();
+  EXPECT_EQ(w.net.stats().sent, sent_before);
+  EXPECT_EQ(w.alerting[0]->stats().events_published, 0u);
+  EXPECT_EQ(w.alerting[0]->stats().batches_sent, 0u);
+}
+
+TEST(BatchingTest, SingleEventBuildGoesAsPlainAnnounce) {
+  World w;
+  w.clients[2]->subscribe("host = hamilton");
+  w.settle();
+  ASSERT_TRUE(w.servers[0]->add_collection(
+      config("A"), DataSet{{doc(1, "T", "c")}}));
+  // Rebuild with only fresh docs raises exactly one event.
+  ASSERT_TRUE(w.servers[0]->rebuild_collection(
+      "A", DataSet{{doc(1, "T", "c"), doc(2, "T2", "c")}}));
+  w.settle(SimTime::seconds(1));
+  EXPECT_EQ(w.clients[2]->notifications().size(), 2u);
+  // A lone event never pays batch framing.
+  EXPECT_EQ(w.alerting[0]->stats().batches_sent, 0u);
+  EXPECT_EQ(w.alerting[0]->stats().batched_events, 0u);
+  EXPECT_EQ(w.alerting[0]->stats().events_published, 2u);
+}
+
+TEST(BatchingTest, RebuildWithThreeEventsCoalescesIntoOneFlood) {
+  World w;
+  w.clients[2]->subscribe("host = hamilton");
+  w.settle();
+  ASSERT_TRUE(w.servers[0]->add_collection(
+      config("A"), DataSet{{doc(1, "T", "c"), doc(2, "T2", "c")}}));
+  w.settle(SimTime::seconds(1));
+  ASSERT_EQ(w.clients[2]->notifications().size(), 1u);
+  // Change doc 1, add doc 3, drop doc 2: three events in one build
+  // (rebuilt/fresh, documents-modified, documents-removed).
+  ASSERT_TRUE(w.servers[0]->rebuild_collection(
+      "A", DataSet{{doc(1, "T changed", "c"), doc(3, "T3", "c")}}));
+  w.settle(SimTime::seconds(1));
+  // All three events arrive, in one kEventBatch flood.
+  EXPECT_EQ(w.clients[2]->notifications().size(), 4u);
+  EXPECT_EQ(w.alerting[0]->stats().batches_sent, 1u);
+  EXPECT_EQ(w.alerting[0]->stats().batched_events, 3u);
+  EXPECT_EQ(w.alerting[0]->stats().events_published, 4u);
+  // The remote side dedups and counts each batched event individually.
+  EXPECT_EQ(w.alerting[2]->stats().events_received, 4u);
+  EXPECT_EQ(w.alerting[2]->stats().duplicate_events, 0u);
+}
+
+TEST(BatchingTest, BatchFlushesAtMaxAndCarriesRemainder) {
+  AlertingConfig cfg;
+  cfg.max_batch_events = 2;
+  World w{4, cfg};
+  w.clients[2]->subscribe("host = hamilton");
+  w.settle();
+  ASSERT_TRUE(w.servers[0]->add_collection(config("A"), DataSet{}));
+  w.settle(SimTime::seconds(1));
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(w.clients[2]->notifications().size());
+  // max+1 events inside one bracket: the batch flushes at max (2), the
+  // remainder goes out at build-complete as a plain announce.
+  auto event_for = [&](std::uint64_t seq) {
+    docmodel::Event e;
+    e.id = docmodel::EventId{"Hamilton", 1000 + seq};
+    e.type = EventType::kCollectionRebuilt;
+    e.collection = CollectionRef{"Hamilton", "A"};
+    e.physical_origin = e.collection;
+    return e;
+  };
+  w.alerting[0]->on_build_begin();
+  w.alerting[0]->on_local_event(event_for(1));
+  w.alerting[0]->on_local_event(event_for(2));
+  // Batch hit max_batch_events: flushed immediately, mid-build.
+  EXPECT_EQ(w.alerting[0]->stats().batches_sent, 1u);
+  EXPECT_EQ(w.alerting[0]->stats().batched_events, 2u);
+  w.alerting[0]->on_local_event(event_for(3));
+  w.alerting[0]->on_build_complete();
+  w.settle(SimTime::seconds(1));
+  // The remainder was a singleton: announced plainly, not batch-framed.
+  EXPECT_EQ(w.alerting[0]->stats().batches_sent, 1u);
+  EXPECT_EQ(w.alerting[0]->stats().batched_events, 2u);
+  EXPECT_EQ(w.clients[2]->notifications().size(), base + 3);
+}
+
+TEST(BatchingTest, DisabledConfigFloodsPerEvent) {
+  AlertingConfig cfg;
+  cfg.batch_events = false;
+  World w{4, cfg};
+  w.clients[2]->subscribe("host = hamilton");
+  w.settle();
+  ASSERT_TRUE(w.servers[0]->add_collection(
+      config("A"), DataSet{{doc(1, "T", "c"), doc(2, "T2", "c")}}));
+  w.settle(SimTime::seconds(1));
+  ASSERT_TRUE(w.servers[0]->rebuild_collection(
+      "A", DataSet{{doc(1, "T changed", "c"), doc(3, "T3", "c")}}));
+  w.settle(SimTime::seconds(1));
+  // Same deliveries as the batched run, just one flood per event.
+  EXPECT_EQ(w.clients[2]->notifications().size(), 4u);
+  EXPECT_EQ(w.alerting[0]->stats().batches_sent, 0u);
+  EXPECT_EQ(w.alerting[0]->stats().events_published, 4u);
+}
+
 // --- distributed collections: the Figure 3 hybrid flow -----------------------------
 
 struct Figure3World : World {
@@ -254,6 +362,30 @@ TEST(HybridAlertingTest, BothSubAndSuperSubscribersNotifiedDistinctly) {
   // Two distinct announcements: London.E (original) and Hamilton.D
   // (renamed), each matching once.
   EXPECT_EQ(w.clients[2]->notifications().size(), 2u);
+}
+
+TEST(HybridAlertingTest, RenameCascadeWorksOnBatchedEvents) {
+  Figure3World w;
+  w.clients[2]->subscribe("ref = hamilton.d");
+  w.settle();
+  // Change doc 5 and add doc 6: the rebuild of E raises two events
+  // (rebuilt/fresh + documents-modified) that travel as ONE batch flood.
+  ASSERT_TRUE(w.servers[1]->rebuild_collection(
+      "E", DataSet{{doc(5, "Changed E doc", "x"), doc(6, "New E doc", "z")}}));
+  w.settle(SimTime::seconds(2));
+  // London coalesced the two events into one flood...
+  EXPECT_EQ(w.alerting[1]->stats().batches_sent, 1u);
+  EXPECT_EQ(w.alerting[1]->stats().batched_events, 2u);
+  // ...but forwarded each to Hamilton individually, where each was
+  // renamed to Hamilton.D and re-broadcast — the cascade is per event.
+  EXPECT_EQ(w.alerting[1]->stats().aux_forwards, 2u);
+  EXPECT_EQ(w.alerting[0]->stats().renames, 2u);
+  ASSERT_EQ(w.clients[2]->notifications().size(), 2u);
+  for (const auto& n : w.clients[2]->notifications()) {
+    EXPECT_EQ(n.event.collection.str(), "Hamilton.D");
+    EXPECT_EQ(n.event.physical_origin.str(), "London.E");
+    EXPECT_EQ(n.event.via, (std::vector<std::string>{"London.E"}));
+  }
 }
 
 TEST(HybridAlertingTest, RemovingSubLinkCancelsAuxProfile) {

@@ -5,6 +5,7 @@
 //    index gives exactly the documents the query matches directly.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,10 @@ docmodel::Event random_event(Rng& rng) {
 /// Every decoder in the system, applied to one byte buffer. None may
 /// crash; success or failure are both acceptable outcomes.
 void run_all_decoders(const std::vector<std::byte>& bytes) {
-  (void)wire::unpack(sim::Packet{bytes});
+  (void)wire::unpack(sim::Packet{bytes});  // junk lands in the header
+  (void)wire::unpack(std::span<const std::byte>(bytes));
+  (void)gds::BroadcastView::peek(bytes);
+  (void)alerting::EventBatchBody::decode(bytes);
   (void)gds::RegisterBody::decode(bytes);
   (void)gds::BroadcastBody::decode(bytes);
   (void)gds::RelayBody::decode(bytes);
@@ -98,7 +102,7 @@ TEST_P(WireFuzz, DecodersSurviveTruncatedValidMessages) {
     event.encode(w);
     wire::Envelope env = wire::make_envelope(
         wire::MessageType::kEventAnnounce, "src", "dst", 7, std::move(w));
-    std::vector<std::byte> bytes = env.pack().bytes;
+    std::vector<std::byte> bytes = env.flatten();
     // Truncate at a random point, then run every decoder.
     bytes.resize(rng.index(bytes.size() + 1));
     run_all_decoders(bytes);
@@ -319,7 +323,11 @@ TEST_P(CodecRoundTrip, EnvelopePackUnpackIsByteExact) {
     const sim::Packet packed = env.pack();
     auto unpacked = wire::unpack(packed);
     ASSERT_TRUE(unpacked.ok());
-    EXPECT_EQ(packed.bytes, unpacked.value().pack().bytes);
+    const sim::Packet repacked = unpacked.value().pack();
+    EXPECT_EQ(packed.header, repacked.header);
+    EXPECT_EQ(packed.body, repacked.body);
+    // The flat form is byte-identical to header + body.
+    EXPECT_EQ(env.flatten(), unpacked.value().flatten());
   }
 }
 

@@ -1,0 +1,144 @@
+// Perf smoke (ctest label `perf`): bounds the per-event copy volume and
+// encode-allocation count of the GDS broadcast send path against the
+// checked-in budget in tests/perf_budget.txt. This catches regressions
+// that reintroduce per-hop payload copies or per-fan-out re-encodes
+// without needing the full bench harness: the shared-frame design keeps
+// bytes_copied to headers only, so the copied-per-event ceiling is tiny
+// compared to the flooded payload volume (which rides in bytes_shared).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gds/gds_client.h"
+#include "gds/tree_builder.h"
+#include "sim/network.h"
+#include "wire/codec.h"
+#include "wire/envelope.h"
+
+namespace gsalert {
+namespace {
+
+// Budget file: `key value` lines, `#` comments. Values are hard ceilings
+// (or floors, for min_*) on the measured run. Update deliberately, with
+// a bench run justifying the new number, never to quiet a red test.
+std::map<std::string, std::uint64_t> load_budget(const std::string& path) {
+  std::map<std::string, std::uint64_t> budget;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream row{line};
+    std::string key;
+    std::uint64_t value = 0;
+    if (row >> key >> value) budget[key] = value;
+  }
+  return budget;
+}
+
+// Minimal registered server: counts kGdsDeliver packets (same shape as
+// the bench_fig2_gds_broadcast sweep sink).
+class SinkServer : public sim::Node {
+ public:
+  void attach_gds(NodeId gds) { gds_ = gds; }
+  void on_start() override {
+    client_.attach(&network(), id(), name(), gds_);
+    client_.start();
+  }
+  void on_packet(NodeId /*from*/, const sim::Packet& packet) override {
+    auto env = wire::unpack(packet);
+    if (env.ok() && env.value().type == wire::MessageType::kGdsDeliver) {
+      ++delivered_;
+    }
+  }
+  void on_timer(std::uint64_t token) override {
+    if (token == gds::GdsClient::kRefreshTimer) client_.on_refresh_timer();
+  }
+  void broadcast(std::size_t payload_bytes) {
+    client_.broadcast(0x7777,
+                      std::vector<std::byte>(payload_bytes, std::byte{0x5A}));
+  }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  gds::GdsClient client_;
+  NodeId gds_;
+  std::uint64_t delivered_ = 0;
+};
+
+TEST(PerfSmokeTest, BroadcastSendPathStaysWithinBudget) {
+  const auto budget = load_budget(GSALERT_PERF_BUDGET_FILE);
+  ASSERT_FALSE(budget.empty())
+      << "missing or empty budget file: " << GSALERT_PERF_BUDGET_FILE;
+  for (const char* key :
+       {"events", "fanout", "payload", "max_bytes_copied_per_event",
+        "min_bytes_shared_per_event", "max_writer_grows_per_event",
+        "max_reserve_shortfalls"}) {
+    ASSERT_TRUE(budget.count(key)) << "budget file missing key: " << key;
+  }
+  const int events = static_cast<int>(budget.at("events"));
+  const int fanout = static_cast<int>(budget.at("fanout"));
+  const std::size_t payload = budget.at("payload");
+
+  sim::Network net{7};
+  net.set_default_path({.latency = SimTime::millis(5)});
+  gds::GdsTree tree = gds::build_tree(net, fanout, 2);
+  std::vector<SinkServer*> sinks;
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    auto* s = net.make_node<SinkServer>("sink-" + std::to_string(i));
+    s->attach_gds(tree.nodes[i]->id());
+    sinks.push_back(s);
+  }
+  net.start();
+  net.run_until(SimTime::millis(300));
+  net.reset_stats();
+  wire::reset_writer_stats();
+
+  for (int i = 0; i < events; ++i) {
+    sinks[0]->broadcast(payload);
+    net.run_until(net.now() + SimTime::millis(50));
+  }
+
+  std::uint64_t delivered = 0;
+  for (const SinkServer* s : sinks) delivered += s->delivered();
+  // Sanity: the flood actually ran — every sink hears every event.
+  ASSERT_GE(delivered,
+            static_cast<std::uint64_t>(events) * (sinks.size() - 1));
+
+  const sim::NetStats& ns = net.stats();
+  const wire::WriterStats& ws = wire::writer_stats();
+  const std::uint64_t copied_per_event =
+      ns.bytes_copied / static_cast<std::uint64_t>(events);
+  const std::uint64_t shared_per_event =
+      ns.bytes_shared / static_cast<std::uint64_t>(events);
+  const std::uint64_t grows_per_event =
+      ws.grows / static_cast<std::uint64_t>(events);
+  std::printf(
+      "perf-smoke measured: bytes_copied/event=%llu bytes_shared/event=%llu "
+      "writer_grows/event=%llu reserve_shortfalls=%llu\n",
+      static_cast<unsigned long long>(copied_per_event),
+      static_cast<unsigned long long>(shared_per_event),
+      static_cast<unsigned long long>(grows_per_event),
+      static_cast<unsigned long long>(ws.reserve_shortfalls));
+
+  EXPECT_LE(copied_per_event, budget.at("max_bytes_copied_per_event"))
+      << "send path copies more bytes per event than budgeted — did a "
+         "payload copy sneak back into the fan-out?";
+  EXPECT_GE(shared_per_event, budget.at("min_bytes_shared_per_event"))
+      << "too few bytes ride shared frames — fan-out is no longer "
+         "aliasing the encoded body";
+  EXPECT_LE(grows_per_event, budget.at("max_writer_grows_per_event"))
+      << "encode path allocates more than budgeted per event";
+  EXPECT_LE(ws.reserve_shortfalls, budget.at("max_reserve_shortfalls"))
+      << "a Writer::reserve() estimate undershot; fix the wire_size "
+         "estimate at the encode site";
+}
+
+}  // namespace
+}  // namespace gsalert
