@@ -87,7 +87,8 @@ void AlertingService::filter_and_notify(const docmodel::Event& event) {
   if (event.via.empty() && event.collection.host == server_->name()) {
     ctx.set_engine(server_->engine(event.collection.name));
   }
-  const std::vector<profiles::ProfileId> hits = index_.match(ctx);
+  const std::vector<profiles::ProfileId> hits =
+      index_.match(ctx, &match_stats_);
   stats_.filter_matches += hits.size();
   for (profiles::ProfileId id : hits) {
     const auto it = subs_.find(id);
@@ -672,6 +673,24 @@ void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
       static_cast<double>(subs_.size());
   registry.gauge("alerting.outbox", labels) =
       static_cast<double>(unacked_.size());
+  // Matcher instrumentation (see docs/PERFORMANCE.md "Matcher"): how much
+  // work the interned eq index + shared-predicate memo + query cache saved.
+  registry.counter("alerting.match.eq_probe_hits", labels) =
+      match_stats_.eq_probe_hits;
+  registry.counter("alerting.match.candidates", labels) =
+      match_stats_.candidates;
+  registry.counter("alerting.match.residual_evals", labels) =
+      match_stats_.residual_evals;
+  registry.counter("alerting.match.predicate_cache_hits", labels) =
+      match_stats_.predicate_cache_hits;
+  registry.counter("alerting.match.predicate_cache_misses", labels) =
+      match_stats_.predicate_cache_misses;
+  registry.counter("alerting.match.query_cache_hits", labels) =
+      match_stats_.query_cache_hits;
+  registry.counter("alerting.match.eq_probe_string_hashes", labels) =
+      match_stats_.eq_probe_string_hashes;
+  registry.gauge("alerting.match.distinct_residuals", labels) =
+      static_cast<double>(index_.shared_predicate_count());
 }
 
 }  // namespace gsalert::alerting

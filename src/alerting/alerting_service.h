@@ -74,6 +74,9 @@ class AlertingService : public gsnet::ServerExtension {
 
   std::size_t subscription_count() const { return subs_.size(); }
   const AlertingStats& stats() const { return stats_; }
+  /// Matcher instrumentation accumulated across every filtered event
+  /// (eq probes, predicate/query cache hits, residual evaluations).
+  const profiles::MatchStats& match_stats() const { return match_stats_; }
   const profiles::ProfileIndex& index() const { return index_; }
   /// Export stats under `alerting.*{server=<name>}` plus gauges for the
   /// live subscription/outbox sizes (see docs/OBSERVABILITY.md).
@@ -202,6 +205,7 @@ class AlertingService : public gsnet::ServerExtension {
   std::map<std::pair<std::uint32_t, std::uint64_t>, SubscriptionId>
       sub_requests_;
   AlertingStats stats_;
+  profiles::MatchStats match_stats_;
   NotificationObserver notification_observer_;
 };
 

@@ -1,0 +1,21 @@
+#include "common/interner.h"
+
+namespace gsalert {
+
+std::uint32_t StringInterner::intern(std::string_view text) {
+  ++hash_count_;
+  const auto it = by_string_.find(text);
+  if (it != by_string_.end()) return it->second;
+  const auto symbol = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  by_string_.emplace(strings_.back(), symbol);
+  return symbol;
+}
+
+std::uint32_t StringInterner::find(std::string_view text) const {
+  ++hash_count_;
+  const auto it = by_string_.find(text);
+  return it == by_string_.end() ? kNoSymbol : it->second;
+}
+
+}  // namespace gsalert

@@ -1,0 +1,57 @@
+// String interning: a bijection between strings and dense uint32 symbols.
+// The profile matcher keys its equality index by (attr_sym, value_sym)
+// pairs so the hot probe loop compares and hashes integers only; the
+// strings themselves are hashed once — when a profile is added, or once
+// per event when its attribute values are translated into symbol space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gsalert {
+
+class StringInterner {
+ public:
+  static constexpr std::uint32_t kNoSymbol = 0xFFFFFFFFu;
+
+  /// Find-or-add. Symbols are dense, starting at 0, never reused.
+  std::uint32_t intern(std::string_view text);
+
+  /// Lookup without inserting; kNoSymbol when the string was never
+  /// interned (an event value no profile mentions).
+  std::uint32_t find(std::string_view text) const;
+
+  /// The interned string for a symbol (valid for the interner's lifetime).
+  std::string_view str(std::uint32_t symbol) const {
+    return strings_[symbol];
+  }
+
+  std::size_t size() const { return strings_.size(); }
+
+  /// String hashes performed by intern()/find() since construction —
+  /// the perf-smoke budget bounds how many of these a match may spend.
+  std::uint64_t hash_count() const { return hash_count_; }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, std::uint32_t, Hash, Eq> by_string_;
+  std::vector<std::string> strings_;
+  mutable std::uint64_t hash_count_ = 0;
+};
+
+}  // namespace gsalert

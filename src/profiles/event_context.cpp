@@ -1,5 +1,6 @@
 #include "profiles/event_context.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/strings.h"
@@ -52,6 +53,50 @@ const EventContext::DocIndex& EventContext::doc_index() const {
     doc_index_ = std::move(index);
   }
   return *doc_index_;
+}
+
+const retrieval::PostingList& EventContext::cached_search(
+    const retrieval::Query& query) const {
+  const auto [it, fresh] = search_cache_.try_emplace(query.str());
+  if (fresh) {
+    ++query_cache_misses_;
+    it->second = engine_->search(query);
+  } else {
+    ++query_cache_hits_;
+  }
+  return it->second;
+}
+
+bool EventContext::any_doc_matches(const retrieval::Query& query) const {
+  const auto [it, fresh] = scan_cache_.try_emplace(query.str());
+  if (fresh) {
+    ++query_cache_misses_;
+    it->second = std::any_of(docs_->begin(), docs_->end(),
+                             [&](const docmodel::Document& d) {
+                               return query.matches(d);
+                             });
+  } else {
+    ++query_cache_hits_;
+  }
+  return it->second;
+}
+
+const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+EventContext::macro_symbols(const StringInterner& interner) const {
+  if (sym_owner_ == &interner && sym_owner_size_ == interner.size()) {
+    return macro_syms_;
+  }
+  macro_syms_.clear();
+  for (const auto& [attr, value] : attrs_) {
+    const std::uint32_t a = interner.find(attr);
+    if (a == StringInterner::kNoSymbol) continue;
+    const std::uint32_t v = interner.find(value);
+    if (v == StringInterner::kNoSymbol) continue;
+    macro_syms_.emplace_back(a, v);
+  }
+  sym_owner_ = &interner;
+  sym_owner_size_ = interner.size();
+  return macro_syms_;
 }
 
 const std::string& EventContext::macro(std::string_view attribute) const {

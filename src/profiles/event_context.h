@@ -6,12 +6,15 @@
 // the event's documents (their metadata, or their terms for "text").
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "docmodel/event.h"
 #include "retrieval/engine.h"
 
@@ -40,8 +43,34 @@ class EventContext {
   /// the event's documents — only valid when the engine indexes the
   /// documents the event carries (i.e. at the event's own host, for
   /// un-renamed events).
-  void set_engine(const retrieval::Engine* engine) { engine_ = engine; }
+  void set_engine(const retrieval::Engine* engine) {
+    engine_ = engine;
+    // Cached query answers are engine-specific; drop them on a swap.
+    search_cache_.clear();
+    scan_cache_.clear();
+  }
   const retrieval::Engine* engine() const { return engine_; }
+
+  /// engine()->search(query), cached by canonical query text: N profiles
+  /// sharing a filter query cost one index search per event. Only valid
+  /// while engine() is non-null.
+  const retrieval::PostingList& cached_search(
+      const retrieval::Query& query) const;
+
+  /// Engine-less filter-query path: does any of the event's documents
+  /// match? Cached by canonical query text like cached_search.
+  bool any_doc_matches(const retrieval::Query& query) const;
+
+  std::uint64_t query_cache_hits() const { return query_cache_hits_; }
+  std::uint64_t query_cache_misses() const { return query_cache_misses_; }
+
+  /// The event's macro attributes translated into `interner`'s symbol
+  /// space, computed once per event (pairs whose attribute or value the
+  /// interner has never seen are dropped — no profile can match them).
+  /// This is what makes an equality probe one integer hash: the strings
+  /// are hashed here, never in the probe loop.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& macro_symbols(
+      const StringInterner& interner) const;
 
   /// Per-event micro index over the documents: attribute -> lowercase
   /// value -> present. Built lazily on the first doc-level predicate and
@@ -61,6 +90,19 @@ class EventContext {
   const docmodel::Event* event_ = nullptr;
   const retrieval::Engine* engine_ = nullptr;
   mutable std::shared_ptr<const DocIndex> doc_index_;
+
+  // Query-result caches, keyed by canonical query text (Query::str()).
+  mutable std::unordered_map<std::string, retrieval::PostingList>
+      search_cache_;
+  mutable std::unordered_map<std::string, bool> scan_cache_;
+  mutable std::uint64_t query_cache_hits_ = 0;
+  mutable std::uint64_t query_cache_misses_ = 0;
+
+  // Macro attrs in symbol space, valid for one (interner, size) state;
+  // the size guard re-translates after the interner learned new strings.
+  mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> macro_syms_;
+  mutable const StringInterner* sym_owner_ = nullptr;
+  mutable std::size_t sym_owner_size_ = 0;
 };
 
 }  // namespace gsalert::profiles

@@ -5,6 +5,20 @@
 // hits per conjunction — and only conjunctions whose equality predicates
 // all hit (the candidates) pay for residual evaluation (wildcards,
 // inequalities, ID lists, document queries).
+//
+// Matching cost scales with the number of *distinct* predicates, not the
+// number of profiles, via three sharing layers:
+//   1. Symbol interning: attribute/value strings map to dense uint32
+//      symbols; the equality index is one flat open-addressed table over
+//      packed (attr_sym, value_sym) keys whose postings live in a
+//      CSR-style contiguous arena. An eq probe is one integer hash —
+//      the event's strings are hashed once per event, never per posting.
+//   2. Predicate sharing: structurally identical residual predicates
+//      dedupe into a global table (negatives alias their positive twin);
+//      each distinct residual is evaluated at most once per event, in an
+//      epoch-stamped memo cache.
+//   3. Query-result caching (in EventContext): profiles sharing a filter
+//      query cost one engine search / document scan per event.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +27,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/interner.h"
 #include "profiles/profile.h"
 
 namespace gsalert::profiles {
@@ -20,7 +35,18 @@ namespace gsalert::profiles {
 struct MatchStats {
   std::uint64_t eq_probe_hits = 0;    // posting entries touched
   std::uint64_t candidates = 0;       // conjunctions reaching full eq count
-  std::uint64_t residual_evals = 0;   // residual predicates evaluated
+  std::uint64_t residual_evals = 0;   // Predicate::eval calls actually run
+  // Residual checks answered from the per-event memo instead of an eval.
+  std::uint64_t predicate_cache_hits = 0;
+  std::uint64_t predicate_cache_misses = 0;  // == residual_evals, by layer
+  // Engine searches / document scans reused via the event's query cache.
+  std::uint64_t query_cache_hits = 0;
+  // Live entries in the shared residual-predicate table (assigned, not
+  // accumulated: per match it bounds residual_evals for that event).
+  std::uint64_t distinct_residuals = 0;
+  // String hashes spent inside the eq probe loop — 0 by construction;
+  // the perf-smoke budget pins it there.
+  std::uint64_t eq_probe_string_hashes = 0;
 };
 
 class ProfileIndex {
@@ -42,16 +68,31 @@ class ProfileIndex {
   /// Stored profile by id (nullptr if absent).
   const Profile* profile(ProfileId id) const;
 
+  // --- introspection (leak/churn tests, perf budget) ----------------------
+  /// Live entries in the shared residual-predicate table.
+  std::size_t shared_predicate_count() const { return live_preds_; }
+  /// Strings ever interned (append-only; bounded by the distinct
+  /// attribute/value strings seen, not by churn volume).
+  std::size_t interned_symbol_count() const { return interner_.size(); }
+  /// Live posting entries in the equality arena.
+  std::size_t arena_live_entries() const { return arena_live_; }
+  /// Total arena capacity (live + slack + dead awaiting compaction).
+  std::size_t arena_size() const { return arena_.size(); }
+  /// Arena compactions triggered by the small-churn policy.
+  std::size_t compaction_count() const { return compactions_; }
+
  private:
   using ConjIdx = std::uint32_t;
+  using PredId = std::uint32_t;
 
   struct ConjEntry {
     ProfileId owner = 0;
     std::uint32_t owner_slot = 0;  // dense per-profile slot for match dedup
     std::uint32_t eq_count = 0;
-    std::vector<Predicate> residual;
-    // (attribute, value) buckets holding this conjunction, for O(k) unlink.
-    std::vector<std::pair<std::string, std::string>> eq_keys;
+    // Shared residual refs: (pred_id << 1) | negated.
+    std::vector<std::uint32_t> residual;
+    // Packed (attr_sym, value_sym) eq keys, for O(k) unlink.
+    std::vector<std::uint64_t> eq_keys;
     bool alive = false;
   };
 
@@ -61,18 +102,75 @@ class ProfileIndex {
     std::vector<ConjIdx> conjunctions;
   };
 
+  // One shared residual predicate (stored in positive form; negative
+  // users flip the memoized answer).
+  struct SharedPred {
+    Predicate pred;
+    std::uint32_t refs = 0;
+  };
+
+  // Open-addressed slot of the flat eq table. `bucket` doubles as the
+  // occupancy state (kEmptySlot / kTombstone sentinels).
+  struct EqSlot {
+    std::uint64_t key = 0;
+    std::uint32_t bucket = kEmptySlot;
+  };
+  // Contiguous posting run inside the arena.
+  struct Bucket {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+  };
+
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kTombstone = 0xFFFFFFFEu;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  static std::uint64_t pack_key(std::uint32_t attr_sym,
+                                std::uint32_t value_sym) {
+    return (static_cast<std::uint64_t>(attr_sym) << 32) | value_sym;
+  }
+
   void unlink_conjunction(ConjIdx idx);
+
+  // Shared predicate table.
+  PredId intern_predicate(const Predicate& pred);
+  void release_predicate(PredId id);
+
+  // Flat eq table + arena.
+  std::size_t find_slot(std::uint64_t key) const;
+  std::uint32_t bucket_for_insert(std::uint64_t key);
+  void rehash_slots(std::size_t min_capacity);
+  void posting_add(std::uint32_t bucket_id, ConjIdx idx);
+  void posting_remove(std::uint64_t key, ConjIdx idx);
+  void maybe_compact_arena();
 
   std::vector<ConjEntry> conjunctions_;
   std::vector<ConjIdx> free_list_;
   std::size_t live_conjunctions_ = 0;
 
-  // attr -> value -> conjunction postings (may contain an index twice if a
-  // conjunction repeats the same equality predicate).
-  std::unordered_map<std::string,
-                     std::unordered_map<std::string, std::vector<ConjIdx>>>
-      eq_index_;
+  // Layer 1: interned symbols, flat probe table, CSR posting arena.
+  StringInterner interner_;
+  std::vector<EqSlot> slots_;  // power-of-two, linear probing
+  std::size_t slot_live_ = 0;
+  std::size_t slot_tombstones_ = 0;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> bucket_free_;
+  // Waste (slack + capacity orphaned by relocation or bucket frees) is
+  // arena_.size() - arena_live_; the compaction policy bounds it.
+  std::vector<ConjIdx> arena_;
+  std::size_t arena_live_ = 0;  // live posting entries
+  std::size_t compactions_ = 0;
+
   std::vector<ConjIdx> zero_eq_;  // conjunctions with no hashable equality
+
+  // Layer 2: global residual predicate table + per-event memo cache.
+  std::vector<SharedPred> preds_;
+  std::vector<PredId> pred_free_;
+  std::unordered_map<std::string, PredId> pred_by_key_;
+  std::size_t live_preds_ = 0;
+  mutable std::vector<std::uint64_t> pred_epoch_;
+  mutable std::vector<std::uint8_t> pred_value_;
 
   std::unordered_map<ProfileId, ProfileEntry> by_profile_;
   std::vector<std::uint32_t> slot_free_list_;

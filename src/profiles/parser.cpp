@@ -227,11 +227,16 @@ class Parser {
       case Token::Kind::kEq:
       case Token::Kind::kNeq: {
         const bool neq = take().kind == Token::Kind::kNeq;
-        auto value = parse_value();
+        bool quoted = false;
+        auto value = parse_value(&quoted);
         if (!value.ok()) return value.error();
         pred.value = std::move(value).take();
-        const bool wild = pred.value.find('*') != std::string::npos ||
-                          pred.value.find('?') != std::string::npos;
+        // Wildcard metacharacters only act in bare words; a quoted value
+        // is always a literal, so `title = "a*b"` matches the three-char
+        // starred title and str()'s quoting round-trips exactly.
+        const bool wild =
+            !quoted && (pred.value.find('*') != std::string::npos ||
+                        pred.value.find('?') != std::string::npos);
         pred.op = wild ? (neq ? Op::kNotWildcard : Op::kWildcard)
                        : (neq ? Op::kNeq : Op::kEq);
         break;
@@ -276,9 +281,10 @@ class Parser {
     return NodePtr{std::move(node)};
   }
 
-  Result<std::string> parse_value() {
+  Result<std::string> parse_value(bool* quoted = nullptr) {
     if (peek().kind == Token::Kind::kWord ||
         peek().kind == Token::Kind::kString) {
+      if (quoted != nullptr) *quoted = peek().kind == Token::Kind::kString;
       return to_lower(take().text);
     }
     return Error{ErrorCode::kInvalidArgument,

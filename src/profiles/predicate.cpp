@@ -1,6 +1,7 @@
 #include "profiles/predicate.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/strings.h"
 
@@ -26,6 +27,26 @@ const char* op_name(Op op) {
       return "NOT ~";
   }
   return "?";
+}
+
+bool is_negative_op(Op op) {
+  return op == Op::kNeq || op == Op::kNotWildcard || op == Op::kNotIn ||
+         op == Op::kNotQuery;
+}
+
+Op positive_op(Op op) {
+  switch (op) {
+    case Op::kNeq:
+      return Op::kEq;
+    case Op::kNotWildcard:
+      return Op::kWildcard;
+    case Op::kNotIn:
+      return Op::kIn;
+    case Op::kNotQuery:
+      return Op::kQuery;
+    default:
+      return op;
+  }
 }
 
 bool Predicate::is_doc_level() const {
@@ -75,26 +96,6 @@ bool doc_matches_positive(Op op, const Predicate& p,
   return false;
 }
 
-Op positive_form(Op op) {
-  switch (op) {
-    case Op::kNeq:
-      return Op::kEq;
-    case Op::kNotWildcard:
-      return Op::kWildcard;
-    case Op::kNotIn:
-      return Op::kIn;
-    case Op::kNotQuery:
-      return Op::kQuery;
-    default:
-      return op;
-  }
-}
-
-bool is_negative(Op op) {
-  return op == Op::kNeq || op == Op::kNotWildcard || op == Op::kNotIn ||
-         op == Op::kNotQuery;
-}
-
 }  // namespace
 
 bool Predicate::eval(const EventContext& ctx) const {
@@ -102,26 +103,25 @@ bool Predicate::eval(const EventContext& ctx) const {
     // Doc-level semantics: positive predicates need SOME document to match;
     // negative predicates need NO document to match the positive form
     // (e.g. NOT doc_id IN [7] = "the event does not touch document 7").
-    const Op pos = positive_form(op);
+    const Op pos = positive_op(op);
     if (pos == Op::kQuery && ctx.engine() != nullptr && query != nullptr) {
       // Index-based path (§5): run the query on the collection's inverted
-      // index and test whether any of the event's documents is a hit.
-      const retrieval::PostingList hits = ctx.engine()->search(*query);
+      // index and test whether any of the event's documents is a hit. The
+      // posting list is cached in the event context by canonical query
+      // text, so N profiles sharing a filter query cost one index search.
+      const retrieval::PostingList& hits = ctx.cached_search(*query);
       const bool any = std::any_of(
           ctx.docs().begin(), ctx.docs().end(),
           [&](const docmodel::Document& d) {
             return std::binary_search(hits.begin(), hits.end(), d.id);
           });
-      return is_negative(op) ? !any : any;
+      return is_negative_op(op) ? !any : any;
     }
     if (pos == Op::kQuery) {
-      // No engine available: evaluate the query per document.
-      const bool any = std::any_of(
-          ctx.docs().begin(), ctx.docs().end(),
-          [&](const docmodel::Document& d) {
-            return doc_matches_positive(pos, *this, d);
-          });
-      return is_negative(op) ? !any : any;
+      // No engine available: evaluate the query per document (the scan
+      // result is cached per query text in the event context too).
+      const bool any = query != nullptr && ctx.any_doc_matches(*query);
+      return is_negative_op(op) ? !any : any;
     }
     // EQ / IN / wildcard over documents: answered from the per-event
     // micro index, amortized across every candidate for this event.
@@ -149,11 +149,11 @@ bool Predicate::eval(const EventContext& ctx) const {
           break;
       }
     }
-    return is_negative(op) ? !any : any;
+    return is_negative_op(op) ? !any : any;
   }
   const std::string& actual = ctx.macro(attribute);
-  const bool positive = value_op_matches(positive_form(op), *this, actual);
-  return is_negative(op) ? !positive : positive;
+  const bool positive = value_op_matches(positive_op(op), *this, actual);
+  return is_negative_op(op) ? !positive : positive;
 }
 
 Predicate Predicate::negated() const {
@@ -187,16 +187,44 @@ Predicate Predicate::negated() const {
   return out;
 }
 
+namespace {
+
+/// Quote a value when emitting it bare would not lex back to one word
+/// token (spaces, commas, brackets, ...), or — for literal comparisons —
+/// when it contains wildcard metacharacters that an unquoted parse would
+/// reinterpret as a pattern. Quoted values parse back as literals, so
+/// this is what makes str() round-trip safe ("parseable back" contract)
+/// and usable as the predicate-sharing canonical key. Values containing
+/// a double quote cannot round-trip (the profile lexer has no escapes).
+std::string quoted_value(const std::string& v, bool wildcards_are_literal) {
+  bool quote = v.empty();
+  for (const char c : v) {
+    const bool word = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '-' || c == '.' || c == ':' ||
+                      c == '*' || c == '?';
+    if (!word || (wildcards_are_literal && (c == '*' || c == '?'))) {
+      quote = true;
+      break;
+    }
+  }
+  return quote ? "\"" + v + "\"" : v;
+}
+
+}  // namespace
+
 std::string Predicate::str() const {
   switch (op) {
     case Op::kEq:
-      return attribute + " = " + value;
+      return attribute + " = " + quoted_value(value, true);
     case Op::kNeq:
-      return attribute + " != " + value;
+      return attribute + " != " + quoted_value(value, true);
     case Op::kWildcard:
-      return attribute + " = " + value;
+      // Pattern metacharacters must stay unquoted to reparse as a
+      // wildcard; patterns are parser-produced word tokens, so quoting
+      // is only ever needed for programmatic patterns with odd chars.
+      return attribute + " = " + quoted_value(value, false);
     case Op::kNotWildcard:
-      return "NOT " + attribute + " = " + value;
+      return "NOT " + attribute + " = " + quoted_value(value, false);
     case Op::kIn:
     case Op::kNotIn: {
       std::string out =
@@ -204,7 +232,7 @@ std::string Predicate::str() const {
       const char* sep = "";
       for (const auto& v : values) {
         out += sep;
-        out += v;
+        out += quoted_value(v, true);
         sep = ", ";
       }
       return out + "]";
@@ -216,6 +244,11 @@ std::string Predicate::str() const {
              "\"";
   }
   return "";
+}
+
+std::string shared_predicate_key(const Predicate& pred) {
+  if (!is_negative_op(pred.op)) return pred.str();
+  return pred.negated().str();
 }
 
 }  // namespace gsalert::profiles

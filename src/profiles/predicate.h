@@ -26,6 +26,15 @@ enum class Op : std::uint8_t {
 
 const char* op_name(Op op);
 
+/// True for the operators produced by De Morgan push-down; the
+/// predicate-sharing table caches only positive forms and flips the
+/// cached answer for these (both macro- and doc-level negatives are
+/// exact complements of their positive twin — see Predicate::eval).
+bool is_negative_op(Op op);
+
+/// The positive twin of an operator (identity for positive operators).
+Op positive_op(Op op);
+
 struct Predicate {
   Op op = Op::kEq;
   std::string attribute;
@@ -49,8 +58,16 @@ struct Predicate {
   /// Logical negation (for De Morgan push-down).
   Predicate negated() const;
 
-  /// Canonical text, parseable back (values quoted as needed).
+  /// Canonical text, parseable back (values quoted as needed). Serves as
+  /// the structural-identity key for the predicate-sharing table, so two
+  /// predicates with equal str() must be semantically interchangeable.
   std::string str() const;
 };
+
+/// Canonical sharing key for a residual predicate: the str() of its
+/// positive form. A negative predicate keys to its positive twin (its
+/// answer is the exact complement), so e.g. `doc ~ "x"` and
+/// `NOT doc ~ "x"` occupy one table entry and one evaluation per event.
+std::string shared_predicate_key(const Predicate& pred);
 
 }  // namespace gsalert::profiles

@@ -15,6 +15,7 @@
 #include "docmodel/event.h"
 #include "gds/messages.h"
 #include "gsnet/messages.h"
+#include "profiles/parser.h"
 #include "retrieval/inverted_index.h"
 #include "retrieval/query_parser.h"
 #include "wire/envelope.h"
@@ -362,9 +363,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
                            return "seed_" + std::to_string(info.param.seed);
                          });
 
-// ---------- retrieval: index == direct evaluation -----------------------------
+// ---------- profile predicates: str -> parse -> str is a fixed point ----------
+//
+// Predicate::str() doubles as the canonical key for the matcher's shared
+// predicate table, so it must (a) parse back and (b) be a fixed point:
+// two predicates with equal behavior but different source spellings
+// canonicalize to the same key, and no information is lost on the way.
+// Known limitation (lexer has no escapes): values containing '"' cannot
+// round-trip, and wildcard patterns must stay word-token-shaped — the
+// generator honors both.
 
-class RetrievalFuzz : public ::testing::TestWithParam<FuzzParam> {};
+class ProfileStrFuzz : public ::testing::TestWithParam<FuzzParam> {};
 
 std::string random_query(Rng& rng, int depth = 0) {
   static const std::vector<std::string> attrs{"text", "title", "creator"};
@@ -386,6 +395,129 @@ std::string random_query(Rng& rng, int depth = 0) {
       return "(" + a + " AND NOT " + b + ")";
   }
 }
+
+std::string random_pred_value(Rng& rng) {
+  // Lowercase (the parser lowercases values, so only lowercase values can
+  // be str() fixed points) with quoting-relevant characters mixed in:
+  // spaces, commas, brackets, parens — and literal * / ? which must be
+  // quoted by str() to not reparse as wildcards.
+  static const std::string pool = "abcxyz0189_-.: ,[]()*?=";
+  std::string out;
+  const int len = static_cast<int>(rng.uniform_int(0, 8));
+  for (int i = 0; i < len; ++i) out += pool[rng.index(pool.size())];
+  return out;
+}
+
+std::string random_word_value(Rng& rng, bool wildcard) {
+  static const std::string pool = "abcxyz0189_-.";
+  std::string out;
+  const int len = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < len; ++i) out += pool[rng.index(pool.size())];
+  if (wildcard) {
+    out.insert(rng.index(out.size() + 1), 1,
+               rng.chance(0.5) ? '*' : '?');
+  }
+  return out;
+}
+
+std::string random_profile_predicate(Rng& rng) {
+  static const std::vector<std::string> attrs{"host", "collection", "type",
+                                              "title", "creator", "doc_id"};
+  const std::string attr = attrs[rng.index(attrs.size())];
+  std::string text;
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+      text = attr + " = \"" + random_pred_value(rng) + "\"";
+      break;
+    case 1:
+      text = attr + " != \"" + random_pred_value(rng) + "\"";
+      break;
+    case 2:
+      text = attr + " = " + random_word_value(rng, /*wildcard=*/true);
+      break;
+    case 3: {
+      text = attr + " IN [";
+      const int n = static_cast<int>(rng.uniform_int(1, 4));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) text += ", ";
+        text += "\"" + random_pred_value(rng) + "\"";
+      }
+      text += "]";
+      break;
+    }
+    default:
+      text = "doc ~ \"" + random_query(rng) + "\"";
+      break;
+  }
+  if (rng.chance(0.3)) text = "NOT " + text;
+  return text;
+}
+
+TEST_P(ProfileStrFuzz, PredicateStrParseStrIsFixedPoint) {
+  Rng rng{GetParam().seed ^ 0x57A};
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = random_profile_predicate(rng);
+    auto parsed = profiles::parse_profile(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.error().str();
+    for (const auto& conj : parsed.value().dnf) {
+      for (const auto& pred : conj.preds) {
+        const std::string canon = pred.str();
+        auto reparsed = profiles::parse_profile(canon);
+        ASSERT_TRUE(reparsed.ok())
+            << "str() not parseable: " << canon << " (from: " << text << ")";
+        ASSERT_EQ(reparsed.value().dnf.size(), 1u) << canon;
+        ASSERT_EQ(reparsed.value().dnf[0].preds.size(), 1u) << canon;
+        const auto& round = reparsed.value().dnf[0].preds[0];
+        EXPECT_EQ(round.op, pred.op) << canon;
+        EXPECT_EQ(round.str(), canon)
+            << "str() not a fixed point (from: " << text << ")";
+      }
+    }
+  }
+}
+
+TEST_P(ProfileStrFuzz, WholeProfileReparsesToSameDnf) {
+  Rng rng{GetParam().seed ^ 0xD4F};
+  for (int i = 0; i < 150; ++i) {
+    std::string text = random_profile_predicate(rng);
+    const int extra = static_cast<int>(rng.uniform_int(0, 2));
+    for (int c = 0; c < extra; ++c) {
+      text += (rng.chance(0.5) ? " AND " : " OR ") +
+              random_profile_predicate(rng);
+    }
+    auto parsed = profiles::parse_profile(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    // Re-assemble each conjunction from predicate str()s and reparse: the
+    // DNF must survive unchanged (same ops, same canonical predicates).
+    for (const auto& conj : parsed.value().dnf) {
+      std::string conj_text;
+      for (const auto& pred : conj.preds) {
+        if (!conj_text.empty()) conj_text += " AND ";
+        conj_text += pred.str();
+      }
+      auto re = profiles::parse_profile(conj_text);
+      ASSERT_TRUE(re.ok()) << conj_text;
+      ASSERT_EQ(re.value().dnf.size(), 1u) << conj_text;
+      ASSERT_EQ(re.value().dnf[0].preds.size(), conj.preds.size())
+          << conj_text;
+      for (std::size_t p = 0; p < conj.preds.size(); ++p) {
+        EXPECT_EQ(re.value().dnf[0].preds[p].str(), conj.preds[p].str())
+            << conj_text;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileStrFuzz,
+                         ::testing::Values(FuzzParam{11}, FuzzParam{211},
+                                           FuzzParam{3111}, FuzzParam{41111}),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           return "seed_" + std::to_string(info.param.seed);
+                         });
+
+// ---------- retrieval: index == direct evaluation -----------------------------
+
+class RetrievalFuzz : public ::testing::TestWithParam<FuzzParam> {};
 
 TEST_P(RetrievalFuzz, IndexExecutionMatchesDirectEvaluation) {
   Rng rng{GetParam().seed};

@@ -188,6 +188,55 @@ TEST(MetricsRegistryTest, ScenarioMetricsDeterministicUnderSeedReplay) {
   EXPECT_EQ(first, second);
 }
 
+// Matcher counters (interned eq index, shared-predicate memo, query
+// cache) surface through every AlertingService's collect_metrics, and
+// the cross-layer invariants hold after real traffic.
+TEST(MetricsRegistryTest, MatcherCountersExportedPerServer) {
+  workload::ScenarioConfig config;
+  config.n_servers = 4;
+  config.clients_per_server = 2;
+  config.seed = 99;
+  workload::Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(2));
+  for (int i = 0; i < 5; ++i) {
+    scenario.publish_random_rebuild(1);
+    scenario.settle(SimTime::millis(300));
+  }
+  scenario.settle(SimTime::seconds(3));
+
+  std::uint64_t probes = 0, evals = 0, hits = 0, misses = 0, hashes = 0;
+  for (const alerting::AlertingService* svc : scenario.gsalert()) {
+    const profiles::MatchStats& ms = svc->match_stats();
+    probes += ms.eq_probe_hits;
+    evals += ms.residual_evals;
+    hits += ms.predicate_cache_hits;
+    misses += ms.predicate_cache_misses;
+    hashes += ms.eq_probe_string_hashes;
+  }
+  // Events flowed through the matcher...
+  EXPECT_GT(probes + evals + hits, 0u);
+  // ...every eval is a memo miss by definition...
+  EXPECT_EQ(evals, misses);
+  // ...and the probe loop never hashed a string (interning contract).
+  EXPECT_EQ(hashes, 0u);
+
+  MetricsRegistry reg;
+  scenario.collect_metrics(reg);
+  const std::string text = reg.text_snapshot();
+  for (const char* series :
+       {"alerting.match.eq_probe_hits", "alerting.match.candidates",
+        "alerting.match.residual_evals",
+        "alerting.match.predicate_cache_hits",
+        "alerting.match.predicate_cache_misses",
+        "alerting.match.query_cache_hits",
+        "alerting.match.eq_probe_string_hashes",
+        "alerting.match.distinct_residuals"}) {
+    EXPECT_NE(text.find(series), std::string::npos) << series;
+  }
+}
+
 // ---------- flight recorder -------------------------------------------------
 
 TEST(FlightRecorderTest, RingIsBoundedPerNodeAndCountsEvictions) {

@@ -15,8 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "docmodel/event.h"
 #include "gds/gds_client.h"
 #include "gds/tree_builder.h"
+#include "profiles/event_context.h"
+#include "profiles/index.h"
+#include "profiles/parser.h"
 #include "sim/network.h"
 #include "wire/codec.h"
 #include "wire/envelope.h"
@@ -138,6 +142,88 @@ TEST(PerfSmokeTest, BroadcastSendPathStaysWithinBudget) {
   EXPECT_LE(ws.reserve_shortfalls, budget.at("max_reserve_shortfalls"))
       << "a Writer::reserve() estimate undershot; fix the wire_size "
          "estimate at the encode site";
+}
+
+// Filter-matching budget: with heavy predicate sharing, per-event matcher
+// work must scale with the number of DISTINCT residual predicates, not
+// the number of profiles, and the interned eq index must spend zero
+// string hashes inside its probe loop (they all happen once per event in
+// EventContext::macro_symbols).
+TEST(PerfSmokeTest, FilterMatchingStaysWithinBudget) {
+  const auto budget = load_budget(GSALERT_PERF_BUDGET_FILE);
+  ASSERT_FALSE(budget.empty());
+  for (const char* key :
+       {"match_profiles", "match_dup_pct", "match_events",
+        "max_eq_probe_string_hashes", "max_residual_evals_per_event"}) {
+    ASSERT_TRUE(budget.count(key)) << "budget file missing key: " << key;
+  }
+  const int n_profiles = static_cast<int>(budget.at("match_profiles"));
+  const int dup_pct = static_cast<int>(budget.at("match_dup_pct"));
+  const int n_events = static_cast<int>(budget.at("match_events"));
+
+  // dup_pct% of profiles draw their filter query from this shared pool;
+  // the rest are unique. Every profile also carries the same inequality
+  // rider, so the residual table is 1 + pool + uniques entries.
+  static const std::vector<std::string> pool{
+      "text:term1 OR text:term2", "text:term3",
+      "title:title-alpha0",       "creator:creator-beta1",
+      "text:term5 AND text:term1", "text:term8",
+      "title:title-gamma2 OR text:term4", "text:term13"};
+  profiles::ProfileIndex index;
+  const int unique_every = 100 / (100 - dup_pct);  // deterministic mix
+  for (int i = 0; i < n_profiles; ++i) {
+    const std::string query = (i % unique_every == 0)
+                                  ? "creator:u" + std::to_string(i)
+                                  : pool[static_cast<std::size_t>(i) %
+                                         pool.size()];
+    auto parsed = profiles::parse_profile(
+        "host = host0 AND type != collection_deleted AND doc ~ \"" + query +
+        "\"");
+    ASSERT_TRUE(parsed.ok());
+    parsed.value().id = static_cast<profiles::ProfileId>(i + 1);
+    ASSERT_TRUE(index.add(std::move(parsed).take()));
+  }
+
+  std::uint64_t max_evals = 0, string_hashes = 0, cache_hits = 0;
+  for (int e = 0; e < n_events; ++e) {
+    docmodel::Event event;
+    event.id = {"Host0", static_cast<std::uint64_t>(e + 1)};
+    event.type = docmodel::EventType::kCollectionRebuilt;
+    event.collection = {"Host0", "C"};
+    event.physical_origin = event.collection;
+    for (int d = 0; d < 3; ++d) {
+      docmodel::Document doc;
+      doc.id = static_cast<DocumentId>(e * 3 + d + 1);
+      doc.metadata.add("title", "title-alpha" + std::to_string(d));
+      doc.metadata.add("creator", "creator-beta" + std::to_string(d));
+      doc.terms = {"term" + std::to_string(1 + (e + d) % 16), "term1"};
+      event.docs.push_back(std::move(doc));
+    }
+    const profiles::EventContext ctx = profiles::EventContext::from(event);
+    profiles::MatchStats stats;
+    (void)index.match(ctx, &stats);
+    // Hard layering invariant: memoization caps evals at the number of
+    // distinct live residuals, whatever the candidate count.
+    ASSERT_LE(stats.residual_evals, stats.distinct_residuals);
+    max_evals = std::max(max_evals, stats.residual_evals);
+    string_hashes += stats.eq_probe_string_hashes;
+    cache_hits += stats.predicate_cache_hits;
+  }
+  std::printf(
+      "perf-smoke matcher: profiles=%d distinct_residuals=%zu "
+      "max_residual_evals/event=%llu predicate_cache_hits=%llu "
+      "eq_probe_string_hashes=%llu\n",
+      n_profiles, index.shared_predicate_count(),
+      static_cast<unsigned long long>(max_evals),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(string_hashes));
+
+  EXPECT_LE(string_hashes, budget.at("max_eq_probe_string_hashes"))
+      << "the eq probe loop hashed strings — symbol interning is no "
+         "longer covering the hot path";
+  EXPECT_LE(max_evals, budget.at("max_residual_evals_per_event"))
+      << "per-event residual work exceeds the distinct-predicate budget — "
+         "did predicate sharing or memoization regress?";
 }
 
 }  // namespace

@@ -414,14 +414,232 @@ TEST(ProfileIndexTest, SlotReuseAfterRemoval) {
   EXPECT_TRUE(index.match(EventContext::from(sample_event())).empty());
 }
 
-// ---------- property: index == naive, over random profiles/events --------------
-
 // match() reports profiles unique but in first-match order (the epoch
-// dedup removed the sort pass); the oracle comparisons are set-based.
+// dedup removed the sort pass); oracle comparisons are set-based.
 std::vector<ProfileId> sorted(std::vector<ProfileId> ids) {
   std::sort(ids.begin(), ids.end());
   return ids;
 }
+
+// ---------- predicate sharing + per-event memoization -------------------------
+
+TEST(ProfileIndexSharingTest, SharedResidualEvaluatedOncePerEvent) {
+  ProfileIndex index;
+  // 20 profiles with the same eq predicate and the same residual query:
+  // the residual dedupes to ONE shared predicate, evaluated once per
+  // event; the other 19 candidates are answered from the memo.
+  for (ProfileId id = 1; id <= 20; ++id) {
+    auto p = parse_profile("host = hamilton AND doc ~ \"alerting\"");
+    p.value().id = id;
+    ASSERT_TRUE(index.add(std::move(p).take()));
+  }
+  EXPECT_EQ(index.shared_predicate_count(), 1u);
+
+  MatchStats stats;
+  const auto hits = index.match(EventContext::from(sample_event()), &stats);
+  EXPECT_EQ(hits.size(), 20u);
+  EXPECT_EQ(stats.candidates, 20u);
+  EXPECT_EQ(stats.residual_evals, 1u);
+  EXPECT_EQ(stats.predicate_cache_misses, 1u);
+  EXPECT_EQ(stats.predicate_cache_hits, 19u);
+  EXPECT_EQ(stats.distinct_residuals, 1u);
+  // Interning contract: the probe loop hashes no strings at all.
+  EXPECT_EQ(stats.eq_probe_string_hashes, 0u);
+}
+
+TEST(ProfileIndexSharingTest, NegatedInSharesPositiveTwinMemo) {
+  ProfileIndex index;
+  auto pos = parse_profile("doc_id IN [101, 105]");
+  auto neg = parse_profile("NOT doc_id IN [101, 105]");
+  pos.value().id = 1;
+  neg.value().id = 2;
+  ASSERT_TRUE(index.add(std::move(pos).take()));
+  ASSERT_TRUE(index.add(std::move(neg).take()));
+  // Both forms collapse onto one stored (positive) predicate.
+  ASSERT_EQ(index.shared_predicate_count(), 1u);
+
+  // Event touching doc 101: the positive profile matches, the negative
+  // must NOT — even though its answer comes from the cached positive.
+  MatchStats stats;
+  EXPECT_EQ(index.match(EventContext::from(sample_event()), &stats),
+            (std::vector<ProfileId>{1}));
+  EXPECT_EQ(stats.residual_evals, 1u);
+  EXPECT_EQ(stats.predicate_cache_hits, 1u);
+
+  // Event not touching those docs: the answers flip, still one eval.
+  Event other = sample_event();
+  for (auto& d : other.docs) d.id += 600;
+  MatchStats stats2;
+  EXPECT_EQ(index.match(EventContext::from(other), &stats2),
+            (std::vector<ProfileId>{2}));
+  EXPECT_EQ(stats2.residual_evals, 1u);
+  EXPECT_EQ(stats2.predicate_cache_hits, 1u);
+}
+
+TEST(ProfileIndexSharingTest, NegatedQuerySharesMemoWithAndWithoutEngine) {
+  ProfileIndex index;
+  auto pos = parse_profile("doc ~ \"creator:hinze\"");
+  auto neg = parse_profile("NOT doc ~ \"creator:hinze\"");
+  pos.value().id = 1;
+  neg.value().id = 2;
+  ASSERT_TRUE(index.add(std::move(pos).take()));
+  ASSERT_TRUE(index.add(std::move(neg).take()));
+  ASSERT_EQ(index.shared_predicate_count(), 1u);
+
+  const Event e = sample_event();  // doc 101 has creator "Hinze"
+
+  // Engine-less path: the query predicate scans the event's documents.
+  {
+    EventContext ctx = EventContext::from(e);
+    MatchStats stats;
+    EXPECT_EQ(index.match(ctx, &stats), (std::vector<ProfileId>{1}));
+    EXPECT_EQ(stats.residual_evals, 1u);
+    EXPECT_EQ(stats.predicate_cache_hits, 1u);
+  }
+
+  // Engine-backed path (§5): same answers from the inverted index.
+  docmodel::Collection coll;
+  coll.config.name = "X";
+  coll.config.host = "Hamilton";
+  coll.config.indexed_attributes = {"title", "creator"};
+  for (const auto& d : e.docs) coll.data.add(d);
+  retrieval::Engine engine;
+  engine.build(coll);
+  {
+    EventContext ctx = EventContext::from(e);
+    ctx.set_engine(&engine);
+    MatchStats stats;
+    EXPECT_EQ(index.match(ctx, &stats), (std::vector<ProfileId>{1}));
+    EXPECT_EQ(stats.residual_evals, 1u);
+    EXPECT_EQ(stats.predicate_cache_hits, 1u);
+    // Matching the SAME context again: the per-event predicate memo is
+    // epoch-invalidated, but the query-result cache still holds the
+    // posting list — the re-evaluation becomes a query cache hit.
+    MatchStats again;
+    EXPECT_EQ(index.match(ctx, &again), (std::vector<ProfileId>{1}));
+    EXPECT_EQ(again.residual_evals, 1u);
+    EXPECT_GE(again.query_cache_hits, 1u);
+  }
+}
+
+TEST(ProfileIndexSharingTest, QueryResultCacheSharedAcrossDistinctPredicates) {
+  ProfileIndex index;
+  // Different attributes make these distinct shared predicates, but they
+  // carry the same filter query — the second rides the ctx query cache.
+  auto p1 = parse_profile("doc ~ \"creator:hinze\"");
+  auto p2 = parse_profile("extra ~ \"creator:hinze\" AND host = hamilton");
+  p1.value().id = 1;
+  p2.value().id = 2;
+  ASSERT_TRUE(index.add(std::move(p1).take()));
+  ASSERT_TRUE(index.add(std::move(p2).take()));
+  EXPECT_EQ(index.shared_predicate_count(), 2u);
+
+  const Event e = sample_event();
+  EventContext ctx = EventContext::from(e);
+  MatchStats stats;
+  // First-match order: eq-probe candidates (profile 2) precede zero-eq
+  // conjunctions (profile 1).
+  EXPECT_EQ(index.match(ctx, &stats), (std::vector<ProfileId>{2, 1}));
+  EXPECT_EQ(stats.residual_evals, 2u);     // two distinct predicates...
+  EXPECT_EQ(stats.query_cache_hits, 1u);   // ...one document scan
+}
+
+// ---------- remove/re-add churn: no leaks, no corruption ----------------------
+
+TEST(ProfileIndexChurnTest, TenThousandRemoveReAddCyclesStayBounded) {
+  // A fixed catalogue mixing shared eq keys, shared residuals and unique
+  // predicates; the population recycles these texts so steady-state
+  // resource counts must be flat no matter how much churn happened.
+  std::vector<std::string> catalogue;
+  for (int i = 0; i < 40; ++i) {
+    switch (i % 4) {
+      case 0:
+        catalogue.push_back("host = hamilton AND doc ~ \"alerting\"");
+        break;
+      case 1:
+        catalogue.push_back("collection = d AND type != collection_deleted");
+        break;
+      case 2:
+        catalogue.push_back("host = h" + std::to_string(i) +
+                            " AND doc ~ \"term" + std::to_string(i) + "\"");
+        break;
+      default:
+        catalogue.push_back("creator = c" + std::to_string(i) +
+                            " OR host = hamilton");
+        break;
+    }
+  }
+
+  ProfileIndex index;
+  struct Entry {
+    Profile profile;
+    std::size_t slot;  // catalogue slot, so re-adds preserve composition
+  };
+  std::vector<Entry> oracle;
+  ProfileId next_id = 1;
+  auto add_from_catalogue = [&](std::size_t slot) {
+    auto parsed = parse_profile(catalogue[slot % catalogue.size()]);
+    ASSERT_TRUE(parsed.ok());
+    parsed.value().id = next_id++;
+    oracle.push_back(Entry{parsed.value(), slot % catalogue.size()});
+    ASSERT_TRUE(index.add(std::move(parsed).take()));
+  };
+  for (std::size_t i = 0; i < 200; ++i) add_from_catalogue(i);
+
+  const std::size_t preds0 = index.shared_predicate_count();
+  const std::size_t arena0 = index.arena_live_entries();
+  const std::size_t conj0 = index.conjunction_count();
+  const std::size_t syms0 = index.interned_symbol_count();
+
+  Rng rng{20260806};
+  const Event probe = sample_event();
+  for (int cycle = 0; cycle < 10000; ++cycle) {
+    const std::size_t victim = rng.index(oracle.size());
+    const std::size_t slot = oracle[victim].slot;
+    ASSERT_TRUE(index.remove(oracle[victim].profile.id));
+    oracle.erase(oracle.begin() + static_cast<std::ptrdiff_t>(victim));
+    add_from_catalogue(slot);  // same text back, fresh id
+    if (cycle % 500 == 0) {
+      const EventContext ctx = EventContext::from(probe);
+      std::vector<ProfileId> naive;
+      for (const Entry& entry : oracle) {
+        if (entry.profile.matches(ctx)) naive.push_back(entry.profile.id);
+      }
+      ASSERT_EQ(sorted(index.match(ctx)), sorted(naive))
+          << "cycle=" << cycle;
+    }
+  }
+
+  // Identical population multiset -> identical live resource counts:
+  // churn must not leak shared predicates, postings or conjunction slots.
+  EXPECT_EQ(index.profile_count(), 200u);
+  EXPECT_EQ(index.shared_predicate_count(), preds0);
+  EXPECT_EQ(index.arena_live_entries(), arena0);
+  EXPECT_EQ(index.conjunction_count(), conj0);
+  // Interning is append-only but bounded by the catalogue's vocabulary.
+  EXPECT_EQ(index.interned_symbol_count(), syms0);
+
+  // Drain to a tenth of the population: live postings shrink sharply,
+  // which must trip the compaction policy and keep the arena proportional
+  // to what is live (policy contract: never more than half dead past the
+  // 64-entry floor).
+  while (oracle.size() > 20) {
+    ASSERT_TRUE(index.remove(oracle.back().profile.id));
+    oracle.pop_back();
+  }
+  EXPECT_GT(index.compaction_count(), 0u);
+  EXPECT_LE(index.arena_size(),
+            std::max<std::size_t>(63, 2 * index.arena_live_entries()));
+  // And the drained index still answers correctly.
+  const EventContext ctx = EventContext::from(probe);
+  std::vector<ProfileId> naive;
+  for (const Entry& entry : oracle) {
+    if (entry.profile.matches(ctx)) naive.push_back(entry.profile.id);
+  }
+  EXPECT_EQ(sorted(index.match(ctx)), sorted(naive));
+}
+
+// ---------- property: index == naive, over random profiles/events --------------
 
 struct FuzzParam {
   std::uint64_t seed;
