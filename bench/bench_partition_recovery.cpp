@@ -37,6 +37,8 @@ struct World {
   gds::GdsTree tree;
   gsnet::GreenstoneServer* hamilton;
   gsnet::GreenstoneServer* london;
+  alerting::AlertingService* hamilton_svc;
+  alerting::AlertingService* london_svc;
   alerting::Client* user;
   DocumentId next_doc = 10;
 
@@ -45,8 +47,12 @@ struct World {
     tree = gds::build_tree(net, 2, 2);
     hamilton = net.make_node<gsnet::GreenstoneServer>("Hamilton");
     london = net.make_node<gsnet::GreenstoneServer>("London");
-    hamilton->set_extension(std::make_unique<alerting::AlertingService>());
-    london->set_extension(std::make_unique<alerting::AlertingService>());
+    auto h_svc = std::make_unique<alerting::AlertingService>();
+    auto l_svc = std::make_unique<alerting::AlertingService>();
+    hamilton_svc = h_svc.get();
+    london_svc = l_svc.get();
+    hamilton->set_extension(std::move(h_svc));
+    london->set_extension(std::move(l_svc));
     hamilton->attach_gds(tree.nodes[1]->id());
     london->attach_gds(tree.nodes[2]->id());
     hamilton->set_host_ref("London", london->id());
@@ -133,6 +139,24 @@ int main(int argc, char** argv) {
     const obs::Labels labels{{"partition_s", std::to_string(seconds)}};
     reg.counter("bench.delivered", labels) = delay >= 0 ? 1 : 0;
     reg.gauge("bench.delay_s", labels) = delay;
+    // Transport queue depths: the reliable channel must have carried the
+    // forward across the partition (retransmits grow with its length)
+    // and fully drained after the heal; nothing may still sit parked.
+    reg.counter("bench.transport.channel_retransmits", labels) =
+        world.london_svc->channel_stats().retransmits +
+        world.hamilton_svc->channel_stats().retransmits;
+    reg.gauge("bench.transport.channel_unacked_after_heal", labels) =
+        static_cast<double>(world.london_svc->outbox_size() +
+                            world.hamilton_svc->outbox_size());
+    std::uint64_t park_flushed = 0;
+    std::size_t park_depth = 0;
+    for (const gds::GdsServer* node : world.tree.nodes) {
+      park_flushed += node->park_stats().flushed;
+      park_depth += node->parked_count();
+    }
+    reg.counter("bench.transport.park_flushed", labels) = park_flushed;
+    reg.gauge("bench.transport.park_depth_after_heal", labels) =
+        static_cast<double>(park_depth);
     char row[160];
     std::snprintf(row, sizeof(row), "%11d %8s %7.2f", seconds,
                   delay >= 0 ? "yes" : "LOST", delay);

@@ -33,6 +33,14 @@ struct Phases {
   workload::Outcome after_failure;
   double hotspot = 0;
   std::vector<sim::Violation> violations;
+  // Transport queue depths at the end of phase B (see docs/TRANSPORT.md):
+  // retry volume spent surviving the failure, and what is still queued.
+  std::uint64_t channel_retransmits = 0;
+  std::size_t channel_unacked = 0;
+  std::uint64_t park_flushed = 0;
+  std::size_t park_depth = 0;
+  std::uint64_t endpoint_retransmits = 0;
+  std::uint64_t endpoint_timeouts = 0;
 };
 
 Phases run(Strategy strategy, std::uint64_t seed,
@@ -106,6 +114,22 @@ Phases run(Strategy strategy, std::uint64_t seed,
   scenario.settle(SimTime::seconds(10));
   phases.after_failure = scenario.outcome();
   if (harness.has_value()) phases.violations = harness->check();
+  for (const alerting::AlertingService* svc : scenario.gsalert()) {
+    phases.channel_retransmits += svc->channel_stats().retransmits;
+    phases.channel_unacked += svc->outbox_size();
+  }
+  for (const gds::GdsServer* node : scenario.gds_tree().nodes) {
+    phases.park_flushed += node->park_stats().flushed;
+    phases.park_depth += node->parked_count();
+  }
+  for (gsnet::GreenstoneServer* server : scenario.servers()) {
+    // Baseline strategies route broker control through an Endpoint.
+    if (const auto* ext = dynamic_cast<baselines::SubscriptionExtensionBase*>(
+            server->extension())) {
+      phases.endpoint_retransmits += ext->endpoint_stats().retransmits;
+      phases.endpoint_timeouts += ext->endpoint_stats().timeouts;
+    }
+  }
   return phases;
 }
 
@@ -130,6 +154,19 @@ int main(int argc, char** argv) {
                              {{"strategy", name}, {"phase", "node-failure"}});
     reg.gauge("bench.hotspot_max_over_mean", {{"strategy", name}}) =
         phases.hotspot;
+    const obs::Labels slabel{{"strategy", name}};
+    reg.counter("bench.transport.channel_retransmits", slabel) =
+        phases.channel_retransmits;
+    reg.gauge("bench.transport.channel_unacked_final", slabel) =
+        static_cast<double>(phases.channel_unacked);
+    reg.counter("bench.transport.park_flushed", slabel) =
+        phases.park_flushed;
+    reg.gauge("bench.transport.park_depth_final", slabel) =
+        static_cast<double>(phases.park_depth);
+    reg.counter("bench.transport.endpoint_retransmits", slabel) =
+        phases.endpoint_retransmits;
+    reg.counter("bench.transport.endpoint_timeouts", slabel) =
+        phases.endpoint_timeouts;
     if (!phases.violations.empty()) {
       chaos_violations += phases.violations.size();
       std::printf("chaos violation(s) [%s]:\n%s",

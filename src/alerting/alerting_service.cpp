@@ -10,8 +10,6 @@
 namespace gsalert::alerting {
 
 namespace {
-constexpr std::uint64_t kRetryTimer = 0xA1E27;
-
 std::string forward_key(const docmodel::EventId& id,
                         const CollectionRef& super) {
   return id.str() + "->" + super.str();
@@ -64,16 +62,16 @@ void AlertingService::attach(gsnet::GreenstoneServer& server) {
   ServerExtension::attach(server);
 }
 
-void AlertingService::on_started() {}
+void AlertingService::on_started() { ensure_channels(); }
 
 void AlertingService::on_restarted() {
-  // Profile store, aux registries and the outbox are durable (Greenstone
-  // keeps profiles on disk); only the retry timer needs re-arming. A
-  // pending batch is in-memory build state and did not survive the crash.
-  retry_armed_ = false;
+  // Profile store, aux registries and the channel state are durable
+  // (Greenstone keeps profiles on disk); only the retry timer needs
+  // re-arming. A pending batch is in-memory build state and did not
+  // survive the crash.
   batch_.clear();
   build_depth_ = 0;
-  if (!unacked_.empty()) arm_retry_timer();
+  channels_.on_restart();
 }
 
 // --- event pipeline -----------------------------------------------------------
@@ -375,13 +373,9 @@ bool AlertingService::handle_envelope(NodeId from, const wire::Envelope& env) {
       handle_cancel(env);
       return true;
     case wire::MessageType::kAuxProfileAdd:
-      handle_aux_add(from, env);
-      return true;
     case wire::MessageType::kAuxProfileRemove:
-      handle_aux_remove(from, env);
-      return true;
     case wire::MessageType::kEventForward:
-      handle_event_forward(from, env);
+      receive_channel_data(from, env);
       return true;
     case wire::MessageType::kAuxProfileAck:
     case wire::MessageType::kEventForwardAck:
@@ -442,15 +436,44 @@ void AlertingService::send_ack(NodeId from, const wire::Envelope& env,
   }
 }
 
-void AlertingService::handle_aux_add(NodeId from, const wire::Envelope& env) {
+void AlertingService::receive_channel_data(NodeId from,
+                                           const wire::Envelope& env) {
+  ensure_channels();
+  transport::ChannelSet::Incoming incoming = channels_.on_data(env);
+  // Always ack the arrival (duplicates included): the sender's channel
+  // only drains when the echo of this sequence number reaches it.
+  send_ack(from, env,
+           env.type == wire::MessageType::kEventForward
+               ? wire::MessageType::kEventForwardAck
+               : wire::MessageType::kAuxProfileAck);
+  for (wire::Envelope& data : incoming.deliver) {
+    // A buffered envelope released by this arrival carries its own trace
+    // stamps; apply it under those, not the outer arrival's.
+    const obs::TraceScope data_scope{
+        obs::TraceContext{data.trace_id, data.span_id, data.hop}};
+    switch (data.type) {
+      case wire::MessageType::kAuxProfileAdd:
+        apply_aux_add(data);
+        break;
+      case wire::MessageType::kAuxProfileRemove:
+        apply_aux_remove(data);
+        break;
+      case wire::MessageType::kEventForward:
+        apply_event_forward(data);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void AlertingService::apply_aux_add(const wire::Envelope& env) {
   auto body = AuxProfileBody::decode(env.body);
   if (!body.ok()) return;
   aux_in_[body.value().sub.name].insert(body.value().super);
-  send_ack(from, env, wire::MessageType::kAuxProfileAck);
 }
 
-void AlertingService::handle_aux_remove(NodeId from,
-                                        const wire::Envelope& env) {
+void AlertingService::apply_aux_remove(const wire::Envelope& env) {
   auto body = AuxProfileBody::decode(env.body);
   if (!body.ok()) return;
   const auto it = aux_in_.find(body.value().sub.name);
@@ -458,18 +481,15 @@ void AlertingService::handle_aux_remove(NodeId from,
     it->second.erase(body.value().super);
     if (it->second.empty()) aux_in_.erase(it);
   }
-  send_ack(from, env, wire::MessageType::kAuxProfileAck);
 }
 
-void AlertingService::handle_event_forward(NodeId from,
-                                           const wire::Envelope& env) {
+void AlertingService::apply_event_forward(const wire::Envelope& env) {
   auto decoded = EventForwardBody::decode(env.body);
   if (!decoded.ok()) return;
   const EventForwardBody& body = decoded.value();
-  // Always ack: retransmissions of an already-processed forward must be
-  // quenched even though we will not process them again.
-  send_ack(from, env, wire::MessageType::kEventForwardAck);
-
+  // Belt and braces on top of the channel's dedup window: a migrated
+  // profile snapshot can make a second sender forward the same (event,
+  // super) pair over a different channel.
   if (!processed_forwards_.insert(forward_key(body.event.id, body.super))
            .second) {
     if (obs::active()) {
@@ -519,7 +539,9 @@ void AlertingService::handle_event_forward(NodeId from,
 }
 
 void AlertingService::handle_ack(const wire::Envelope& env) {
-  unacked_.erase(env.msg_id);
+  // The ack echoes the channel sequence in msg_id; the peer is named by
+  // the ack's source (works for both direct and GDS-relayed acks).
+  channels_.on_ack(env.src, env.msg_id);
 }
 
 // --- durability / migration -----------------------------------------------------------
@@ -614,39 +636,33 @@ void AlertingService::attempt_delivery(const std::string& host,
   // may register with the GDS later.
 }
 
-void AlertingService::send_reliable(const std::string& host,
-                                    wire::Envelope env) {
-  env.msg_id = server_->next_msg_id();
-  unacked_[env.msg_id] = Unacked{host, env};
-  attempt_delivery(host, unacked_[env.msg_id].env);
-  arm_retry_timer();
+void AlertingService::ensure_channels() {
+  if (channels_.attached()) return;
+  channels_.set_policy(transport::ChannelPolicy{
+      .initial_rto = config_.retry_interval,
+      .backoff = 1.5,
+      .max_rto = SimTime::micros(config_.retry_interval.as_micros() * 3 / 2),
+      .jitter = 0.25});
+  channels_.set_retransmit_hook(
+      [this](const std::string&, const wire::Envelope&) {
+        stats_.retries += 1;
+      });
+  channels_.attach(
+      &server_->net(), server_->id(), server_->name(),
+      [this](const std::string& host, const wire::Envelope& env) {
+        attempt_delivery(host, env);
+      },
+      0xA1E27ULL ^ server_->id().value());
 }
 
-void AlertingService::arm_retry_timer() {
-  if (retry_armed_ || unacked_.empty()) return;
-  retry_armed_ = true;
-  server_->net().set_timer(server_->id(), config_.retry_interval,
-                           kRetryTimer);
+void AlertingService::send_reliable(const std::string& host,
+                                    wire::Envelope env) {
+  ensure_channels();
+  channels_.send(host, std::move(env));
 }
 
 void AlertingService::on_timer_token(std::uint64_t token) {
-  if (token != kRetryTimer) return;
-  retry_armed_ = false;
-  if (unacked_.empty()) return;
-  for (const auto& [msg_id, pending] : unacked_) {
-    // The stored envelope keeps its original trace stamps, so the retry
-    // span hangs off the span that first sent it, not the timer tick.
-    if (obs::active()) {
-      obs::emit_span_under(
-          obs::TraceContext{pending.env.trace_id, pending.env.span_id,
-                            pending.env.hop},
-          "retry", server_->name(), server_->net().now(),
-          {{"host", pending.host}, {"msg_id", std::to_string(msg_id)}});
-    }
-    attempt_delivery(pending.host, pending.env);
-    stats_.retries += 1;
-  }
-  arm_retry_timer();
+  (void)channels_.on_timer(token);
 }
 
 void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
@@ -672,7 +688,21 @@ void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge("alerting.subscriptions", labels) =
       static_cast<double>(subs_.size());
   registry.gauge("alerting.outbox", labels) =
-      static_cast<double>(unacked_.size());
+      static_cast<double>(channels_.unacked_total());
+  // Reliable-channel substrate (see docs/TRANSPORT.md).
+  const transport::ChannelStats& ch = channels_.stats();
+  registry.counter("transport.channel.sends", labels) = ch.sends;
+  registry.counter("transport.channel.retransmits", labels) =
+      ch.retransmits;
+  registry.counter("transport.channel.acked", labels) = ch.acked;
+  registry.counter("transport.channel.dup_drops", labels) = ch.dup_drops;
+  registry.counter("transport.channel.reorder_buffered", labels) =
+      ch.reorder_buffered;
+  registry.counter("transport.channel.reorder_overflows", labels) =
+      ch.reorder_overflows;
+  registry.counter("transport.channel.delivered", labels) = ch.delivered;
+  registry.gauge("transport.channel.unacked", labels) =
+      static_cast<double>(channels_.unacked_total());
   // Matcher instrumentation (see docs/PERFORMANCE.md "Matcher"): how much
   // work the interned eq index + shared-predicate memo + query cache saved.
   registry.counter("alerting.match.eq_probe_hits", labels) =

@@ -32,11 +32,15 @@
 #include "obs/trace.h"
 #include "profiles/index.h"
 #include "profiles/parser.h"
+#include "transport/channel.h"
 
 namespace gsalert::alerting {
 
 struct AlertingConfig {
-  /// Retry period for unacknowledged aux-profile / event-forward messages.
+  /// Initial retransmit interval for unacknowledged aux-profile /
+  /// event-forward messages; the transport channel backs it off (×1.5,
+  /// capped at 1.5× this value) with deterministic downward jitter so
+  /// co-parked senders desynchronize after a partition heals.
   SimTime retry_interval = SimTime::seconds(1);
   /// Coalesce events raised by one collection (re)build into a single
   /// kEventBatch flood instead of one kEventAnnounce per event. Flushing
@@ -85,7 +89,12 @@ class AlertingService : public gsnet::ServerExtension {
   /// Auxiliary profiles registered here by remote super-collection hosts
   /// (sub name -> supers). Exposed for tests/benches.
   std::vector<CollectionRef> aux_profiles_for(const std::string& sub) const;
-  std::size_t outbox_size() const { return unacked_.size(); }
+  /// Unacknowledged reliable messages across all peer channels (the old
+  /// outbox depth; invariant checkers assert it drains after a heal).
+  std::size_t outbox_size() const { return channels_.unacked_total(); }
+  const transport::ChannelStats& channel_stats() const {
+    return channels_.stats();
+  }
 
   /// Observer invoked for every notification this service sends to a
   /// client (invariant checkers correlate them with cancellations and
@@ -148,22 +157,27 @@ class AlertingService : public gsnet::ServerExtension {
 
   void handle_subscribe(NodeId from, const wire::Envelope& env);
   void handle_cancel(const wire::Envelope& env);
-  void handle_aux_add(NodeId from, const wire::Envelope& env);
-  void handle_aux_remove(NodeId from, const wire::Envelope& env);
-  void handle_event_forward(NodeId from, const wire::Envelope& env);
+  /// Channel ingress for reliable messages (aux add/remove, forward):
+  /// ack the arrival, then apply whatever the channel releases in order.
+  void receive_channel_data(NodeId from, const wire::Envelope& env);
+  void apply_aux_add(const wire::Envelope& env);
+  void apply_aux_remove(const wire::Envelope& env);
+  void apply_event_forward(const wire::Envelope& env);
   void handle_ack(const wire::Envelope& env);
 
   /// Acknowledge `env` back to its sender: directly when we saw the
   /// sender's node, else anonymously by name through the GDS relay.
   void send_ack(NodeId from, const wire::Envelope& env,
                 wire::MessageType type);
-  /// Queue an envelope for reliable delivery to a host (retried until a
-  /// matching ack arrives).
+  /// Hand an envelope to the peer's reliable channel (retransmitted with
+  /// backoff until the matching ack arrives).
   void send_reliable(const std::string& host, wire::Envelope env);
   /// One delivery attempt: direct host reference if known, otherwise the
   /// anonymous GDS point-to-point relay (paper §6).
   void attempt_delivery(const std::string& host, const wire::Envelope& env);
-  void arm_retry_timer();
+  /// Bind the channel set to the network (idempotent; send_reliable may
+  /// run before on_started when collections are wired up early).
+  void ensure_channels();
 
   /// Sync aux_out_ for one collection against its current remote subs.
   void sync_aux_profiles(const docmodel::Collection& coll);
@@ -178,13 +192,8 @@ class AlertingService : public gsnet::ServerExtension {
   // Upstream side: local super-collection name -> remote subs registered.
   std::map<std::string, std::set<CollectionRef>> aux_out_;
 
-  // Reliable delivery: msg_id -> (destination host, envelope).
-  struct Unacked {
-    std::string host;
-    wire::Envelope env;
-  };
-  std::unordered_map<std::uint64_t, Unacked> unacked_;
-  bool retry_armed_ = false;
+  // Reliable delivery: one seq/ack/retransmit channel per peer host.
+  transport::ChannelSet channels_;
 
   // Events published during the current build, waiting to be flushed as
   // one batch. Each entry remembers the trace context that was active at

@@ -6,14 +6,35 @@ namespace gsalert::alerting {
 
 void Client::subscribe(const std::string& profile_text,
                        SubscribeCallback callback) {
+  if (!endpoint_.attached()) {
+    endpoint_.attach(&network(), id(), name(), kEndpointTag,
+                     0xC11E27ULL ^ id().value());
+  }
   SubscribeBody body{profile_text};
   wire::Writer w;
   body.encode(w);
   const std::uint64_t request_id = next_request_++;
-  if (callback) pending_[request_id] = std::move(callback);
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kSubscribe, name(), "", request_id, std::move(w));
-  network().send(id(), home_, env.pack());
+  endpoint_.request(
+      request_id, std::move(env), {.to = home_},
+      [this, callback = std::move(callback)](const wire::Envelope* reply) {
+        if (reply == nullptr) {
+          if (callback) {
+            callback(Error{ErrorCode::kUnreachable, "subscribe timed out"});
+          }
+          return;
+        }
+        auto ack = SubscribeAckBody::decode(reply->body);
+        if (!ack.ok()) return;
+        const SubscribeAckBody& body = ack.value();
+        if (body.ok) {
+          subscription_ids_.push_back(body.subscription_id);
+          if (callback) callback(body.subscription_id);
+        } else if (callback) {
+          callback(Error{ErrorCode::kInvalidArgument, body.error});
+        }
+      });
 }
 
 void Client::cancel(SubscriptionId sub_id) {
@@ -34,19 +55,9 @@ void Client::on_packet(NodeId from, const sim::Packet& packet) {
   if (env.type == wire::MessageType::kSubscribeAck) {
     auto ack = SubscribeAckBody::decode(env.body);
     if (!ack.ok()) return;
-    const SubscribeAckBody& body = ack.value();
-    SubscribeCallback callback;
-    const auto it = pending_.find(body.request_id);
-    if (it != pending_.end()) {
-      callback = std::move(it->second);
-      pending_.erase(it);
-    }
-    if (body.ok) {
-      subscription_ids_.push_back(body.subscription_id);
-      if (callback) callback(body.subscription_id);
-    } else if (callback) {
-      callback(Error{ErrorCode::kInvalidArgument, body.error});
-    }
+    // Duplicate acks (for retransmitted subscribes) miss the pending map
+    // and are dropped here, so the subscription is recorded exactly once.
+    endpoint_.complete(ack.value().request_id, env);
     return;
   }
   if (env.type == wire::MessageType::kNotification) {
@@ -66,5 +77,7 @@ void Client::on_packet(NodeId from, const sim::Packet& packet) {
         network().now()});
   }
 }
+
+void Client::on_timer(std::uint64_t token) { endpoint_.on_timer(token); }
 
 }  // namespace gsalert::alerting

@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "common/types.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "transport/endpoint.h"
 
 namespace gsalert::alerting {
 
@@ -47,12 +47,23 @@ class Client : public sim::Node {
   }
   void clear_notifications() { notifications_.clear(); }
 
+  /// Retransmit/timeout counters for subscribe requests.
+  const transport::EndpointStats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
+
   void on_packet(NodeId from, const sim::Packet& packet) override;
+  void on_timer(std::uint64_t token) override;
 
  private:
+  static constexpr std::uint8_t kEndpointTag = 1;
+
   NodeId home_;
   std::uint64_t next_request_ = 1;
-  std::unordered_map<std::uint64_t, SubscribeCallback> pending_;
+  // Pending subscribe requests (retries + deadline) live in the endpoint;
+  // acks for retransmitted subscribes dedup against it, so a subscription
+  // id is recorded at most once per request.
+  transport::Endpoint endpoint_;
   std::vector<SubscriptionId> subscription_ids_;
   std::vector<ReceivedNotification> notifications_;
   // The server sends one notification per (subscription, event); a second

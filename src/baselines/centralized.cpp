@@ -19,6 +19,12 @@ void CentralServer::on_packet(NodeId from, const sim::Packet& packet) {
   const wire::Envelope& env = decoded.value();
   switch (env.type) {
     case wire::MessageType::kRvSubscribe: {
+      // Ack first — even a malformed control message must stop the
+      // sender's retransmit loop (retrying cannot fix it).
+      network().send(this->id(), from,
+                     wire::make_envelope(wire::MessageType::kRvAck, name(),
+                                         env.src, env.msg_id, wire::Writer{})
+                         .pack());
       auto body = RemoteProfileBody::decode(env.body);
       if (!body.ok()) return;
       const RemoteProfileBody& msg = body.value();
@@ -77,7 +83,7 @@ void CentralizedAlerting::on_subscribed(const Sub& sub,
   body.profile_text = sub.profile_text;
   wire::Writer w;
   body.encode(w);
-  server_->send_to(central_,
+  reliable_control(central_,
                    wire::make_envelope(wire::MessageType::kRvSubscribe,
                                        server_->name(), "",
                                        server_->next_msg_id(),
@@ -91,7 +97,7 @@ void CentralizedAlerting::on_cancelled(SubscriptionId id, const Sub& /*sub*/) {
   body.remove = true;
   wire::Writer w;
   body.encode(w);
-  server_->send_to(central_,
+  reliable_control(central_,
                    wire::make_envelope(wire::MessageType::kRvSubscribe,
                                        server_->name(), "",
                                        server_->next_msg_id(),

@@ -38,6 +38,12 @@ void RendezvousBroker::on_packet(NodeId from, const sim::Packet& packet) {
   switch (env.type) {
     case wire::MessageType::kRvSubscribe:
     case wire::MessageType::kRvUnsubscribe: {
+      // Ack first — even a malformed control message must stop the
+      // sender's retransmit loop (retrying cannot fix it).
+      network().send(this->id(), from,
+                     wire::make_envelope(wire::MessageType::kRvAck, name(),
+                                         env.src, env.msg_id, wire::Writer{})
+                         .pack());
       auto body = RemoteProfileBody::decode(env.body);
       if (!body.ok()) return;
       const RemoteProfileBody& msg = body.value();
@@ -102,7 +108,7 @@ void RendezvousAlerting::on_subscribed(const Sub& sub,
   body.profile_text = sub.profile_text;
   wire::Writer w;
   body.encode(w);
-  server_->send_to(broker_for(topic),
+  reliable_control(broker_for(topic),
                    wire::make_envelope(wire::MessageType::kRvSubscribe,
                                        server_->name(), "",
                                        server_->next_msg_id(),
@@ -118,7 +124,7 @@ void RendezvousAlerting::on_cancelled(SubscriptionId id, const Sub&) {
   body.remove = true;
   wire::Writer w;
   body.encode(w);
-  server_->send_to(broker_for(it->second),
+  reliable_control(broker_for(it->second),
                    wire::make_envelope(wire::MessageType::kRvUnsubscribe,
                                        server_->name(), "",
                                        server_->next_msg_id(),

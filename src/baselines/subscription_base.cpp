@@ -46,9 +46,31 @@ bool SubscriptionExtensionBase::handle_envelope(NodeId from,
       }
       return true;
     }
+    case wire::MessageType::kRvAck:
+      (void)endpoint_.complete(env.msg_id, env);
+      return true;
     default:
       return handle_strategy_envelope(from, env);
   }
+}
+
+void SubscriptionExtensionBase::on_timer_token(std::uint64_t token) {
+  (void)endpoint_.on_timer(token);
+}
+
+void SubscriptionExtensionBase::reliable_control(NodeId to,
+                                                 wire::Envelope env) {
+  if (!endpoint_.attached()) {
+    endpoint_.attach(&server_->net(), server_->id(), server_->name(),
+                     kEndpointTag, 0xBA5E11E5ULL ^ server_->id().value());
+  }
+  const std::uint64_t key = env.msg_id;
+  endpoint_.request(key, std::move(env), {.to = to},
+                    [](const wire::Envelope*) {
+                      // Nothing to do on ack; a deadline means the broker
+                      // stayed unreachable and the control message is
+                      // dropped (bounded persistence, not a full outbox).
+                    });
 }
 
 void SubscriptionExtensionBase::notify_client(SubscriptionId id,

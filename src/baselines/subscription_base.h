@@ -12,6 +12,7 @@
 #include "gsnet/greenstone_server.h"
 #include "gsnet/server_extension.h"
 #include "profiles/profile.h"
+#include "transport/endpoint.h"
 
 namespace gsalert::baselines {
 
@@ -20,6 +21,12 @@ class SubscriptionExtensionBase : public gsnet::ServerExtension {
   std::size_t subscription_count() const { return subs_.size(); }
 
   bool handle_envelope(NodeId from, const wire::Envelope& env) override;
+  void on_timer_token(std::uint64_t token) override;
+
+  /// Retransmit/timeout counters for broker control messages.
+  const transport::EndpointStats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
 
  protected:
   struct Sub {
@@ -38,9 +45,21 @@ class SubscriptionExtensionBase : public gsnet::ServerExtension {
   /// Deliver an event to the client of a local subscription.
   void notify_client(SubscriptionId id, const docmodel::Event& event);
 
+  /// Send a broker control message (subscribe/unsubscribe) through the
+  /// transport endpoint: retransmitted with backoff until the broker's
+  /// kRvAck (echoing msg_id) arrives or the deadline passes. Publishes
+  /// remain fire-and-forget — the lossiness the benches measure is the
+  /// event path, not the control plane.
+  void reliable_control(NodeId to, wire::Envelope env);
+
+  /// Endpoint tag (Endpoint::kTagShift) for control-message timers;
+  /// distinct from the host server's (1) and its GDS client's (2).
+  static constexpr std::uint8_t kEndpointTag = 3;
+
   std::map<SubscriptionId, Sub> subs_;
   SubscriptionId next_sub_ = 1;
   std::uint64_t notifications_sent_ = 0;
+  transport::Endpoint endpoint_;
 
  public:
   std::uint64_t notifications_sent() const { return notifications_sent_; }

@@ -11,6 +11,16 @@ void GdsClient::attach(sim::Network* net, NodeId self, std::string self_name,
   self_ = self;
   self_name_ = std::move(self_name);
   gds_node_ = gds_node;
+  endpoint_.attach(net_, self_, self_name_, kEndpointTag,
+                   0x9D5C11E47ULL ^ self_.value());
+}
+
+bool GdsClient::on_timer(std::uint64_t token) {
+  if (token == kRefreshTimer) {
+    on_refresh_timer();
+    return true;
+  }
+  return endpoint_.on_timer(token);
 }
 
 void GdsClient::send_register() {
@@ -108,25 +118,32 @@ void GdsClient::resolve(const std::string& server_name,
   ResolveBody body;
   body.query_id = next_query_++;
   body.server_name = server_name;
-  pending_resolves_[body.query_id] = std::move(callback);
   wire::Writer w;
   body.encode(w);
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kGdsResolve, self_name_, "", next_seq_++,
       std::move(w));
-  net_->send(self_, gds_node_, env.pack());
+  endpoint_.request(
+      body.query_id, std::move(env),
+      {.policy = resolve_policy_, .to = gds_node_},
+      [cb = std::move(callback)](const wire::Envelope* reply) {
+        if (reply == nullptr) {  // deadline: report not-found
+          cb(false, "");
+          return;
+        }
+        auto decoded = ResolveReplyBody::decode(reply->body);
+        if (!decoded.ok()) {
+          cb(false, "");
+          return;
+        }
+        cb(decoded.value().found, decoded.value().owner_gds);
+      });
 }
 
 bool GdsClient::handle_resolve_reply(const wire::Envelope& env) {
   auto decoded = ResolveReplyBody::decode(env.body);
   if (!decoded.ok()) return false;
-  const ResolveReplyBody& reply = decoded.value();
-  const auto it = pending_resolves_.find(reply.query_id);
-  if (it == pending_resolves_.end()) return false;
-  ResolveCallback cb = std::move(it->second);
-  pending_resolves_.erase(it);
-  cb(reply.found, reply.owner_gds);
-  return true;
+  return endpoint_.complete(decoded.value().query_id, env);
 }
 
 }  // namespace gsalert::gds

@@ -1,26 +1,31 @@
 // Client-side access to the GDS, embedded in every Greenstone server (and
 // in baseline brokers). Handles registration (with periodic refresh, so a
 // restarted GDS node re-learns its servers), broadcast/multicast/relay
-// submission, and name resolution with async callbacks.
+// submission, and name resolution through a transport::Endpoint (so
+// resolve queries retransmit with backoff and report not-found on
+// deadline instead of never firing).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "gds/messages.h"
 #include "sim/network.h"
+#include "transport/endpoint.h"
 #include "wire/envelope.h"
 
 namespace gsalert::gds {
 
 class GdsClient {
  public:
-  /// Timer token the owner must route to on_refresh_timer().
+  /// Timer token the owner must route to on_timer().
   static constexpr std::uint64_t kRefreshTimer = 0x6D5FE5;
+  /// Endpoint tag for resolve timers (see transport::Endpoint::kTagShift);
+  /// distinct from the owning server's own endpoint tag.
+  static constexpr std::uint8_t kEndpointTag = 2;
 
   GdsClient() = default;
 
@@ -37,6 +42,9 @@ class GdsClient {
   void restart() { start(); }
   /// Called by the owner when the refresh timer fires.
   void on_refresh_timer();
+  /// Timer dispatch: refresh + resolve retransmit/deadline timers.
+  /// Returns false for tokens that are not ours.
+  bool on_timer(std::uint64_t token);
 
   void unregister();
 
@@ -56,8 +64,8 @@ class GdsClient {
 
   using ResolveCallback = std::function<void(bool found, const std::string&
                                                              owner_gds)>;
-  /// Resolve a name; the callback fires when the reply arrives (it may
-  /// never fire under failures — best-effort, like everything here).
+  /// Resolve a name; the callback fires exactly once — with the reply,
+  /// or with found=false when the transport deadline expires.
   void resolve(const std::string& server_name, ResolveCallback callback);
 
   /// The owner forwards kGdsResolveReply envelopes here. Returns true if
@@ -67,6 +75,14 @@ class GdsClient {
   /// Refresh period for registrations (exposed for tests).
   SimTime refresh_interval() const { return refresh_interval_; }
   void set_refresh_interval(SimTime t) { refresh_interval_ = t; }
+
+  /// Retry/deadline policy for resolve queries (exposed for tests).
+  void set_resolve_policy(const transport::RetryPolicy& policy) {
+    resolve_policy_ = policy;
+  }
+  const transport::EndpointStats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
 
  private:
   void send_register();
@@ -78,7 +94,9 @@ class GdsClient {
   SimTime refresh_interval_ = SimTime::seconds(2);
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_query_ = 1;
-  std::unordered_map<std::uint64_t, ResolveCallback> pending_resolves_;
+  transport::RetryPolicy resolve_policy_{.deadline = SimTime::seconds(3),
+                                         .max_retransmits = 2};
+  transport::Endpoint endpoint_;
 };
 
 }  // namespace gsalert::gds

@@ -33,6 +33,7 @@ void GdsServer::adopt_parent(NodeId new_parent) {
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
   send_child_hello(/*full=*/true, subtree_names(), {});
+  flush_all_parked();
 }
 
 void GdsServer::on_start() {
@@ -50,6 +51,7 @@ void GdsServer::on_restart() {
   children_.clear();
   seen_.clear();
   resolve_backpaths_.clear();
+  parked_.clear();  // custody is soft state too: a crash loses the lot
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
   heartbeats_since_hello_ = 0;
@@ -133,6 +135,13 @@ void GdsServer::on_timer(std::uint64_t token) {
     }
   }
   prune_dead_children();
+  const std::uint64_t expired_before = parked_.stats().expired;
+  parked_.expire(network().now());
+  if (obs::active() && parked_.stats().expired > expired_before) {
+    obs::emit_span("gds-park-expired", name(), network().now(),
+                   {{"count", std::to_string(parked_.stats().expired -
+                                             expired_before)}});
+  }
   network().set_timer(id(), config_.heartbeat_interval, kHeartbeatTimer);
 }
 
@@ -150,6 +159,8 @@ void GdsServer::handle_register(NodeId from, const wire::Envelope& env) {
       wire::MessageType::kGdsRegisterAck, name(), server, env.msg_id,
       wire::Writer{});
   send_envelope(from, ack);
+  // The name just became routable: hand over anything parked for it.
+  flush_parked(server);
 }
 
 void GdsServer::handle_unregister(const wire::Envelope& env) {
@@ -207,6 +218,7 @@ void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
   if (!new_adds.empty() || !new_removes.empty()) {
     advertise_up(std::move(new_adds), std::move(new_removes));
   }
+  for (const auto& name_added : body.adds) flush_parked(name_added);
 }
 
 void GdsServer::handle_heartbeat(NodeId from, const wire::Envelope& env) {
@@ -242,6 +254,8 @@ void GdsServer::reparent() {
   logf(LogLevel::kInfo, network().now(), name(), "re-parenting to node ",
        parent_.value());
   send_child_hello(/*full=*/true, subtree_names(), {});
+  // The new parent may route names we could not: retry parked relays.
+  flush_all_parked();
 }
 
 void GdsServer::prune_dead_children() {
@@ -404,6 +418,12 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
           ? obs::emit_span("gds-relay", name(), network().now(),
                            {{"dst", body.dst_server}})
           : obs::current_context()};
+  route_relay(from, std::move(env), std::move(body),
+              network().now() + config_.park_ttl);
+}
+
+void GdsServer::route_relay(NodeId from, wire::Envelope env, RelayBody body,
+                            SimTime park_expiry) {
   const auto route = name_routes_.find(body.dst_server);
   if (route != name_routes_.end() && route->second.local) {
     const auto server = local_servers_.find(body.dst_server);
@@ -415,6 +435,14 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
       inner.payload = std::move(body.payload);
       deliver(server->second, inner);
       stats_.relays_routed += 1;
+    }
+    return;
+  }
+  if (env.ttl == 0) {  // exhausted by repeated park/flush hops
+    stats_.unroutable += 1;
+    if (obs::active()) {
+      obs::emit_span("gds-unroutable", name(), network().now(),
+                     {{"dst", body.dst_server}});
     }
     return;
   }
@@ -432,11 +460,55 @@ void GdsServer::handle_relay(NodeId from, wire::Envelope env) {
     send_envelope(parent_, env);
     stats_.relays_routed += 1;
   } else {
+    // No route and nowhere to forward: store-and-forward custody (paper
+    // §4.1) instead of the old silent drop. Still counted unroutable —
+    // the target is unknown *now*; the park is the second chance.
     stats_.unroutable += 1;
     if (obs::active()) {
-      obs::emit_span("gds-unroutable", name(), network().now(),
-                     {{"dst", body.dst_server}});
+      obs::emit_span("gds-park", name(), network().now(),
+                     {{"dst", body.dst_server},
+                      {"depth", std::to_string(parked_.size() + 1)}});
     }
+    parked_.park_until(body.dst_server, std::move(env), park_expiry);
+  }
+}
+
+void GdsServer::flush_parked(const std::string& dst) {
+  if (!parked_.has(dst)) return;
+  for (auto& entry : parked_.take(dst, network().now())) {
+    auto decoded = RelayBody::decode(entry.env.body);
+    if (!decoded.ok()) continue;
+    // Re-enter routing under a flush span chained to the parked
+    // envelope's own trace, so causal traces show park -> flush -> hop.
+    const obs::TraceScope scope{
+        obs::active()
+            ? obs::emit_span_under(
+                  obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                                    entry.env.hop},
+                  "gds-park-flush", name(), network().now(), {{"dst", dst}})
+            : obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                                entry.env.hop}};
+    route_relay(NodeId::invalid(), std::move(entry.env),
+                std::move(decoded).take(), entry.expires_at);
+  }
+}
+
+void GdsServer::flush_all_parked() {
+  for (auto& entry : parked_.take_all(network().now())) {
+    auto decoded = RelayBody::decode(entry.env.body);
+    if (!decoded.ok()) continue;
+    RelayBody body = std::move(decoded).take();
+    const obs::TraceScope scope{
+        obs::active()
+            ? obs::emit_span_under(
+                  obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                                    entry.env.hop},
+                  "gds-park-flush", name(), network().now(),
+                  {{"dst", body.dst_server}})
+            : obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                                entry.env.hop}};
+    route_relay(NodeId::invalid(), std::move(entry.env), std::move(body),
+                entry.expires_at);
   }
 }
 
@@ -581,6 +653,13 @@ void GdsServer::collect_metrics(obs::MetricsRegistry& registry) const {
       static_cast<double>(name_routes_.size());
   registry.gauge("gds.children", labels) =
       static_cast<double>(children_.size());
+  const transport::ParkStats& park = parked_.stats();
+  registry.counter("transport.park.parked", labels) = park.parked;
+  registry.counter("transport.park.flushed", labels) = park.flushed;
+  registry.counter("transport.park.expired", labels) = park.expired;
+  registry.counter("transport.park.evicted", labels) = park.evicted;
+  registry.gauge("transport.park.depth", labels) =
+      static_cast<double>(parked_.size());
 }
 
 }  // namespace gsalert::gds

@@ -26,6 +26,7 @@
 #include "gds/messages.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "transport/parking.h"
 #include "wire/envelope.h"
 
 namespace gsalert::gds {
@@ -44,6 +45,12 @@ struct GdsConfig {
   int hello_refresh_every = 4;
   /// Duplicate suppression for broadcasts (ablation switch for bench E7).
   bool dedup_enabled = true;
+  /// Store-and-forward custody for relays whose target is unknown here
+  /// (paper §4.1): parked messages wait up to `park_ttl` for the name to
+  /// register (or a parent to appear) before expiring; `park_capacity`
+  /// bounds memory, evicting oldest-first.
+  SimTime park_ttl = SimTime::seconds(10);
+  std::size_t park_capacity = 128;
 };
 
 /// Counters exposed for benches and tests.
@@ -56,9 +63,14 @@ struct GdsNodeStats {
   std::uint64_t reparents = 0;
 };
 
+// Note: store-and-forward counters (parked/flushed/expired/evicted) live
+// in transport::ParkStats, exposed via GdsServer::park_stats().
+
 class GdsServer : public sim::Node {
  public:
-  explicit GdsServer(GdsConfig config) : config_(config) {}
+  explicit GdsServer(GdsConfig config) : config_(config) {
+    parked_.set_policy({config_.park_ttl, config_.park_capacity});
+  }
 
   /// Wire the tree (done by the builder before Network::start). The
   /// ancestor list is ordered: [parent, grandparent, ..., root]; on parent
@@ -91,6 +103,9 @@ class GdsServer : public sim::Node {
   std::uint16_t stratum() const { return config_.stratum; }
   NodeId parent() const { return parent_; }
   const GdsNodeStats& stats() const { return stats_; }
+  /// Store-and-forward queue depth / counters (transport.park.*).
+  std::size_t parked_count() const { return parked_.size(); }
+  const transport::ParkStats& park_stats() const { return parked_.stats(); }
   /// Export stats under `gds.*{node=<name>}` (see docs/OBSERVABILITY.md).
   void collect_metrics(obs::MetricsRegistry& registry) const;
   std::size_t registered_count() const { return local_servers_.size(); }
@@ -102,6 +117,18 @@ class GdsServer : public sim::Node {
     bool local = false;
     NodeId via;  // child to forward towards (when !local)
   };
+
+  /// Forward a relay envelope (already trace-restamped by the caller's
+  /// scope) towards `dst`: local delivery, a child route, the parent —
+  /// or park it with `park_expiry` custody when no hop exists.
+  void route_relay(NodeId from, wire::Envelope env, RelayBody body,
+                   SimTime park_expiry);
+  /// Re-route every parked envelope waiting on `dst` (name registered or
+  /// advertised by a child).
+  void flush_parked(const std::string& dst);
+  /// Re-route the whole parking lot (a parent appeared via re-parent or
+  /// adoption — unknown names now have an upward hop).
+  void flush_all_parked();
 
   void handle_register(NodeId from, const wire::Envelope& env);
   void handle_unregister(const wire::Envelope& env);
@@ -150,6 +177,7 @@ class GdsServer : public sim::Node {
   std::unordered_map<std::string, NodeId> resolve_backpaths_;
 
   std::uint64_t next_msg_id_ = 1;
+  transport::ParkingLot parked_;
   GdsNodeStats stats_;
   DeliveryObserver delivery_observer_;
 };

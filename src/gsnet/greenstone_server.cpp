@@ -9,13 +9,6 @@
 
 namespace gsalert::gsnet {
 
-namespace {
-/// High bit marks a collection-request timeout; second-highest bit a
-/// search-request timeout. The rest of the token is the request id.
-constexpr std::uint64_t kTimeoutFlag = 1ULL << 63;
-constexpr std::uint64_t kSearchTimeoutFlag = 1ULL << 62;
-}  // namespace
-
 // --- administration ----------------------------------------------------
 
 Status GreenstoneServer::add_collection(docmodel::CollectionConfig config,
@@ -214,6 +207,15 @@ void GreenstoneServer::send_to(NodeId to, const wire::Envelope& env) {
   network().send(id(), to, env.pack());
 }
 
+void GreenstoneServer::ensure_endpoint() {
+  // Network::start only schedules on_start; a resolve issued before the
+  // scheduler runs (test setup code does this) must self-attach.
+  if (!endpoint_.attached()) {
+    endpoint_.attach(&network(), id(), name(), kEndpointTag,
+                     0x65E47BADC0FFEEULL ^ id().value());
+  }
+}
+
 // --- sim::Node -------------------------------------------------------------------------
 
 void GreenstoneServer::on_start() {
@@ -223,49 +225,21 @@ void GreenstoneServer::on_start() {
     gds_.attach(&network(), id(), name(), gds_.gds_node());
     gds_.start();
   }
+  ensure_endpoint();
   if (extension_) extension_->on_started();
 }
 
 void GreenstoneServer::on_restart() {
   // Collections are durable (on disk in real Greenstone); pending protocol
   // state is volatile.
-  pending_.clear();
-  pending_searches_.clear();
+  endpoint_.cancel_all();
   if (gds_.attached()) gds_.restart();
   if (extension_) extension_->on_restarted();
 }
 
 void GreenstoneServer::on_timer(std::uint64_t token) {
-  if (token == gds::GdsClient::kRefreshTimer) {
-    gds_.on_refresh_timer();
-    return;
-  }
-  if (token & kTimeoutFlag) {
-    const std::uint64_t request_id = token & ~kTimeoutFlag;
-    const auto it = pending_.find(request_id);
-    if (it != pending_.end()) {
-      auto done = std::move(it->second);
-      pending_.erase(it);
-      CollResult result;
-      result.ok = false;
-      result.error = "timeout waiting for sub-collection response";
-      done(std::move(result));
-    }
-    return;
-  }
-  if (token & kSearchTimeoutFlag) {
-    const std::uint64_t request_id = token & ~kSearchTimeoutFlag;
-    const auto it = pending_searches_.find(request_id);
-    if (it != pending_searches_.end()) {
-      auto done = std::move(it->second);
-      pending_searches_.erase(it);
-      SearchResult result;
-      result.ok = false;
-      result.error = "timeout waiting for sub-collection search";
-      done(std::move(result));
-    }
-    return;
-  }
+  if (gds_.on_timer(token)) return;
+  if (endpoint_.on_timer(token)) return;
   if (extension_) extension_->on_timer_token(token);
 }
 
@@ -321,6 +295,7 @@ void GreenstoneServer::on_packet(NodeId from, const sim::Packet& packet) {
 void GreenstoneServer::resolve_collection(
     const std::string& coll_name, std::vector<std::string> chain,
     bool as_subcollection, std::function<void(CollResult)> done) {
+  ensure_endpoint();
   const auto it = collections_.find(coll_name);
   if (it == collections_.end()) {
     done(CollResult{.ok = false,
@@ -403,12 +378,31 @@ void GreenstoneServer::resolve_collection(
     wire::Envelope env = wire::make_envelope(
         wire::MessageType::kGsCollRequest, name(), sub.host,
         request.request_id, std::move(w));
-    pending_[request.request_id] = [agg](CollResult r) {
-      agg->branch_done(std::move(r));
-    };
-    network().set_timer(id(), config_.request_timeout,
-                        kTimeoutFlag | request.request_id);
-    send_to(remote, env);
+    endpoint_.request(
+        request.request_id, std::move(env),
+        {.policy = {.deadline = config_.request_timeout}, .to = remote},
+        [agg](const wire::Envelope* reply) {
+          if (reply == nullptr) {
+            agg->branch_done(CollResult{
+                .ok = false,
+                .error = "timeout waiting for sub-collection response"});
+            return;
+          }
+          auto response = CollResponseBody::decode(reply->body);
+          if (!response.ok()) {
+            agg->branch_done(CollResult{
+                .ok = false, .error = "malformed sub-collection response"});
+            return;
+          }
+          CollResponseBody body = std::move(response).take();
+          CollResult r;
+          r.ok = body.ok;
+          r.error = std::move(body.error);
+          r.docs = std::move(body.docs);
+          r.hops = body.hops;
+          r.servers_contacted = body.servers_contacted;
+          agg->branch_done(std::move(r));
+        });
   }
   agg->dispatch_complete();
 }
@@ -418,6 +412,7 @@ void GreenstoneServer::resolve_search(const std::string& coll_name,
                                       std::vector<std::string> chain,
                                       bool as_subcollection,
                                       std::function<void(SearchResult)> done) {
+  ensure_endpoint();
   const auto it = collections_.find(coll_name);
   if (it == collections_.end()) {
     done(SearchResult{.ok = false,
@@ -499,12 +494,35 @@ void GreenstoneServer::resolve_search(const std::string& coll_name,
     wire::Envelope env = wire::make_envelope(
         wire::MessageType::kGsSearchRequest, name(), sub.host,
         request.request_id, std::move(w));
-    pending_searches_[request.request_id] = [agg](SearchResult r) {
-      agg->branch_done(std::move(r), /*network_hop=*/true);
-    };
-    network().set_timer(id(), config_.request_timeout,
-                        kSearchTimeoutFlag | request.request_id);
-    send_to(remote, env);
+    endpoint_.request(
+        request.request_id, std::move(env),
+        {.policy = {.deadline = config_.request_timeout}, .to = remote},
+        [agg](const wire::Envelope* reply) {
+          if (reply == nullptr) {
+            agg->branch_done(
+                SearchResult{.ok = false,
+                             .error =
+                                 "timeout waiting for sub-collection search"},
+                /*network_hop=*/true);
+            return;
+          }
+          auto response = SearchResponseBody::decode(reply->body);
+          if (!response.ok()) {
+            agg->branch_done(
+                SearchResult{.ok = false,
+                             .error = "malformed sub-collection search"},
+                /*network_hop=*/true);
+            return;
+          }
+          SearchResponseBody body = std::move(response).take();
+          SearchResult r;
+          r.ok = body.ok;
+          r.error = std::move(body.error);
+          r.hits = std::move(body.hits);
+          r.hops = body.hops;
+          r.servers_contacted = body.servers_contacted;
+          agg->branch_done(std::move(r), /*network_hop=*/true);
+        });
   }
   agg->finish_one();
 }
@@ -536,18 +554,7 @@ void GreenstoneServer::handle_search_request(NodeId from,
 void GreenstoneServer::handle_search_response(const wire::Envelope& env) {
   auto decoded = SearchResponseBody::decode(env.body);
   if (!decoded.ok()) return;
-  SearchResponseBody response = std::move(decoded).take();
-  const auto it = pending_searches_.find(response.request_id);
-  if (it == pending_searches_.end()) return;
-  auto done = std::move(it->second);
-  pending_searches_.erase(it);
-  SearchResult result;
-  result.ok = response.ok;
-  result.error = std::move(response.error);
-  result.hits = std::move(response.hits);
-  result.hops = response.hops;
-  result.servers_contacted = response.servers_contacted;
-  done(std::move(result));
+  endpoint_.complete(decoded.value().request_id, env);
 }
 
 void GreenstoneServer::handle_coll_request(NodeId from,
@@ -577,18 +584,7 @@ void GreenstoneServer::handle_coll_request(NodeId from,
 void GreenstoneServer::handle_coll_response(const wire::Envelope& env) {
   auto decoded = CollResponseBody::decode(env.body);
   if (!decoded.ok()) return;
-  CollResponseBody response = std::move(decoded).take();
-  const auto it = pending_.find(response.request_id);
-  if (it == pending_.end()) return;  // already timed out
-  auto done = std::move(it->second);
-  pending_.erase(it);
-  CollResult result;
-  result.ok = response.ok;
-  result.error = std::move(response.error);
-  result.docs = std::move(response.docs);
-  result.hops = response.hops;
-  result.servers_contacted = response.servers_contacted;
-  done(std::move(result));
+  endpoint_.complete(decoded.value().request_id, env);
 }
 
 }  // namespace gsalert::gsnet

@@ -25,6 +25,7 @@
 #include "retrieval/engine.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "transport/endpoint.h"
 
 namespace gsalert::gsnet {
 
@@ -88,6 +89,11 @@ class GreenstoneServer : public sim::Node {
   void set_extension(std::unique_ptr<ServerExtension> extension);
   ServerExtension* extension() const { return extension_.get(); }
 
+  /// Retransmit/timeout counters for server-to-server requests.
+  const transport::EndpointStats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
+
   /// Allocate the next event sequence number (per-origin unique).
   std::uint64_t next_event_seq() { return event_seq_++; }
   /// Allocate a request/message id.
@@ -110,6 +116,7 @@ class GreenstoneServer : public sim::Node {
     retrieval::Engine engine;
   };
 
+  void ensure_endpoint();
   void handle_coll_request(NodeId from, const wire::Envelope& env);
   void handle_coll_response(const wire::Envelope& env);
   void handle_search_request(NodeId from, const wire::Envelope& env);
@@ -119,6 +126,10 @@ class GreenstoneServer : public sim::Node {
                              std::vector<docmodel::Document> docs);
   void emit(const docmodel::Event& event);
 
+  /// Endpoint tag for our request timers (the embedded GdsClient uses
+  /// tag 2 on the same node, so resolve timers stay distinguishable).
+  static constexpr std::uint8_t kEndpointTag = 1;
+
   ServerConfig config_;
   std::map<std::string, Entry> collections_;
   std::unordered_map<std::string, NodeId> host_refs_;
@@ -127,11 +138,9 @@ class GreenstoneServer : public sim::Node {
   std::uint64_t event_seq_ = 1;
   std::uint64_t msg_id_ = 1;
 
-  // Outstanding server-to-server requests: id -> completion.
-  std::unordered_map<std::uint64_t, std::function<void(CollResult)>>
-      pending_;
-  std::unordered_map<std::uint64_t, std::function<void(SearchResult)>>
-      pending_searches_;
+  // Outstanding server-to-server requests (collection + search): retries,
+  // backoff and the request_timeout deadline all live in the endpoint.
+  transport::Endpoint endpoint_;
 };
 
 }  // namespace gsalert::gsnet

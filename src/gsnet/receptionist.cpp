@@ -6,8 +6,20 @@ void Receptionist::add_host(const std::string& host, NodeId server) {
   hosts_[host] = server;
 }
 
+void Receptionist::on_start() { ensure_endpoint(); }
+
+void Receptionist::ensure_endpoint() {
+  // Network::start only schedules on_start; requests issued before the
+  // scheduler runs (test setup code does this) must self-attach.
+  if (!endpoint_.attached()) {
+    endpoint_.attach(&network(), id(), name(), kEndpointTag,
+                     0x2ECE971051ULL ^ id().value());
+  }
+}
+
 void Receptionist::open_collection(const CollectionRef& ref,
                                    std::function<void(CollResult)> done) {
+  ensure_endpoint();
   const auto host = hosts_.find(ref.host);
   if (host == hosts_.end()) {
     done(CollResult{.ok = false,
@@ -24,14 +36,34 @@ void Receptionist::open_collection(const CollectionRef& ref,
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kGsCollRequest, name(), ref.host,
       request.request_id, std::move(w));
-  pending_[request.request_id] = std::move(done);
-  network().set_timer(id(), request_timeout_, request.request_id);
-  network().send(id(), host->second, env.pack());
+  endpoint_.request(
+      request.request_id, std::move(env),
+      {.policy = {.deadline = request_timeout_}, .to = host->second},
+      [done = std::move(done)](const wire::Envelope* reply) {
+        if (reply == nullptr) {
+          done(CollResult{.ok = false, .error = "request timed out"});
+          return;
+        }
+        auto body = CollResponseBody::decode(reply->body);
+        if (!body.ok()) {
+          done(CollResult{.ok = false, .error = "malformed response"});
+          return;
+        }
+        CollResponseBody response = std::move(body).take();
+        CollResult result;
+        result.ok = response.ok;
+        result.error = std::move(response.error);
+        result.docs = std::move(response.docs);
+        result.hops = response.hops;
+        result.servers_contacted = response.servers_contacted;
+        done(std::move(result));
+      });
 }
 
 void Receptionist::search_collection(const CollectionRef& ref,
                                      const std::string& query_text,
                                      std::function<void(SearchResult)> done) {
+  ensure_endpoint();
   const auto host = hosts_.find(ref.host);
   if (host == hosts_.end()) {
     done(SearchResult{.ok = false,
@@ -48,9 +80,28 @@ void Receptionist::search_collection(const CollectionRef& ref,
   wire::Envelope env = wire::make_envelope(
       wire::MessageType::kGsSearchRequest, name(), ref.host,
       request.request_id, std::move(w));
-  pending_searches_[request.request_id] = std::move(done);
-  network().set_timer(id(), request_timeout_, request.request_id);
-  network().send(id(), host->second, env.pack());
+  endpoint_.request(
+      request.request_id, std::move(env),
+      {.policy = {.deadline = request_timeout_}, .to = host->second},
+      [done = std::move(done)](const wire::Envelope* reply) {
+        if (reply == nullptr) {
+          done(SearchResult{.ok = false, .error = "request timed out"});
+          return;
+        }
+        auto body = SearchResponseBody::decode(reply->body);
+        if (!body.ok()) {
+          done(SearchResult{.ok = false, .error = "malformed response"});
+          return;
+        }
+        SearchResponseBody response = std::move(body).take();
+        SearchResult result;
+        result.ok = response.ok;
+        result.error = std::move(response.error);
+        result.hits = std::move(response.hits);
+        result.hops = response.hops;
+        result.servers_contacted = response.servers_contacted;
+        done(std::move(result));
+      });
 }
 
 void Receptionist::on_packet(NodeId /*from*/, const sim::Packet& packet) {
@@ -60,53 +111,18 @@ void Receptionist::on_packet(NodeId /*from*/, const sim::Packet& packet) {
   if (env.type == wire::MessageType::kGsCollResponse) {
     auto body = CollResponseBody::decode(env.body);
     if (!body.ok()) return;
-    CollResponseBody response = std::move(body).take();
-    const auto it = pending_.find(response.request_id);
-    if (it == pending_.end()) return;
-    auto done = std::move(it->second);
-    pending_.erase(it);
-    CollResult result;
-    result.ok = response.ok;
-    result.error = std::move(response.error);
-    result.docs = std::move(response.docs);
-    result.hops = response.hops;
-    result.servers_contacted = response.servers_contacted;
-    done(std::move(result));
+    endpoint_.complete(body.value().request_id, env);
     return;
   }
   if (env.type == wire::MessageType::kGsSearchResponse) {
     auto body = SearchResponseBody::decode(env.body);
     if (!body.ok()) return;
-    SearchResponseBody response = std::move(body).take();
-    const auto it = pending_searches_.find(response.request_id);
-    if (it == pending_searches_.end()) return;
-    auto done = std::move(it->second);
-    pending_searches_.erase(it);
-    SearchResult result;
-    result.ok = response.ok;
-    result.error = std::move(response.error);
-    result.hits = std::move(response.hits);
-    result.hops = response.hops;
-    result.servers_contacted = response.servers_contacted;
-    done(std::move(result));
+    endpoint_.complete(body.value().request_id, env);
   }
 }
 
 void Receptionist::on_timer(std::uint64_t token) {
-  // Request ids are shared between data and search requests, so the token
-  // identifies exactly one of the two maps.
-  if (const auto it = pending_.find(token); it != pending_.end()) {
-    auto done = std::move(it->second);
-    pending_.erase(it);
-    done(CollResult{.ok = false, .error = "request timed out"});
-    return;
-  }
-  if (const auto it = pending_searches_.find(token);
-      it != pending_searches_.end()) {
-    auto done = std::move(it->second);
-    pending_searches_.erase(it);
-    done(SearchResult{.ok = false, .error = "request timed out"});
-  }
+  endpoint_.on_timer(token);
 }
 
 }  // namespace gsalert::gsnet

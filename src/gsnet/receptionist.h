@@ -14,6 +14,7 @@
 #include "gsnet/messages.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "transport/endpoint.h"
 #include "wire/envelope.h"
 
 namespace gsalert::gsnet {
@@ -42,15 +43,25 @@ class Receptionist : public sim::Node {
                          const std::string& query_text,
                          std::function<void(SearchResult)> done);
 
+  /// Retransmit/timeout counters for user-facing requests.
+  const transport::EndpointStats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
+
+  void on_start() override;
   void on_packet(NodeId from, const sim::Packet& packet) override;
   void on_timer(std::uint64_t token) override;
 
  private:
+  static constexpr std::uint8_t kEndpointTag = 1;
+
+  void ensure_endpoint();
+
   SimTime request_timeout_;
   std::unordered_map<std::string, NodeId> hosts_;
-  std::unordered_map<std::uint64_t, std::function<void(CollResult)>> pending_;
-  std::unordered_map<std::uint64_t, std::function<void(SearchResult)>>
-      pending_searches_;
+  // Outstanding requests (data + search share the id space) live in the
+  // endpoint, which retransmits with backoff until request_timeout_.
+  transport::Endpoint endpoint_;
   std::uint64_t next_request_ = 1;
 };
 

@@ -1,0 +1,173 @@
+#include "transport/channel.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace gsalert::transport {
+
+void ChannelSet::attach(sim::Network* net, NodeId self,
+                        std::string self_name, TransmitFn transmit,
+                        std::uint64_t jitter_seed) {
+  net_ = net;
+  self_ = self;
+  self_name_ = std::move(self_name);
+  transmit_ = std::move(transmit);
+  rng_ = Rng{jitter_seed};
+}
+
+void ChannelSet::stamp_and_transmit(const std::string& peer,
+                                    PeerState& state, std::uint64_t seq,
+                                    Unacked& entry) {
+  entry.env.msg_id = seq;
+  // chan_base re-stamped on every (re)transmit: acks may have advanced
+  // the window since the original send. Header-only mutation — the body
+  // frame stays aliased.
+  entry.env.chan_base =
+      state.unacked.empty() ? seq : state.unacked.begin()->first;
+  transmit_(peer, entry.env);
+}
+
+SimTime ChannelSet::earliest_due() const {
+  SimTime best = SimTime::micros(std::numeric_limits<std::int64_t>::max());
+  bool any = false;
+  for (const auto& [peer, state] : peers_) {
+    for (const auto& [seq, entry] : state.unacked) {
+      if (!any || entry.due < best) best = entry.due;
+      any = true;
+    }
+  }
+  return any ? best : SimTime::micros(-1);
+}
+
+void ChannelSet::arm(SimTime due) {
+  if (armed_ && timer_target_ <= due) return;
+  armed_ = true;
+  timer_target_ = due;
+  const SimTime now = net_->now();
+  const SimTime delay = due > now ? due - now : SimTime::micros(1);
+  net_->set_timer(self_, delay, kTimerToken);
+}
+
+std::uint64_t ChannelSet::send(const std::string& peer, wire::Envelope env) {
+  PeerState& state = peers_[peer];
+  const std::uint64_t seq = state.next_seq++;
+  Unacked entry;
+  entry.env = std::move(env);
+  entry.rto = policy_.initial_rto;
+  entry.due = net_->now() + jittered(entry.rto, policy_.jitter, rng_);
+  stats_.sends += 1;
+  // Insert before stamping so chan_base sees this entry as outstanding.
+  auto [it, inserted] = state.unacked.emplace(seq, std::move(entry));
+  (void)inserted;
+  stamp_and_transmit(peer, state, seq, it->second);
+  arm(it->second.due);
+  return seq;
+}
+
+bool ChannelSet::on_ack(const std::string& peer, std::uint64_t seq) {
+  const auto peer_it = peers_.find(peer);
+  if (peer_it == peers_.end()) return false;
+  if (peer_it->second.unacked.erase(seq) == 0) return false;
+  stats_.acked += 1;
+  return true;
+}
+
+ChannelSet::Incoming ChannelSet::on_data(const wire::Envelope& env) {
+  Incoming incoming;
+  PeerState& state = peers_[env.src];
+  const std::uint64_t seq = env.msg_id;
+  // Adopt the sender's window base as our floor: everything below
+  // `chan_base` was acked by us in the past (or predates this channel),
+  // so base - 1 is a safe "already handled" horizon even on first
+  // contact with a retransmitted backlog.
+  if (env.chan_base > 0 && env.chan_base - 1 > state.floor) {
+    state.floor = env.chan_base - 1;
+    // Entries at or below the new floor were acked while buffered;
+    // deliver them now rather than dropping (ordering over omission).
+    while (!state.reorder.empty() &&
+           state.reorder.begin()->first <= state.floor) {
+      incoming.deliver.push_back(std::move(state.reorder.begin()->second));
+      state.reorder.erase(state.reorder.begin());
+      stats_.delivered += 1;
+    }
+  }
+  if (seq <= state.floor || state.reorder.count(seq)) {
+    stats_.dup_drops += 1;
+    incoming.duplicate = true;
+    return incoming;
+  }
+  if (seq == state.floor + 1) {
+    incoming.deliver.push_back(env);
+    state.floor = seq;
+    stats_.delivered += 1;
+    while (!state.reorder.empty() &&
+           state.reorder.begin()->first == state.floor + 1) {
+      incoming.deliver.push_back(std::move(state.reorder.begin()->second));
+      state.reorder.erase(state.reorder.begin());
+      state.floor += 1;
+      stats_.delivered += 1;
+    }
+    return incoming;
+  }
+  // Gap: hold for in-order delivery, bounded. On overflow flush in seq
+  // order — delivery order degrades but nothing is lost.
+  state.reorder.emplace(seq, env);
+  stats_.reorder_buffered += 1;
+  if (state.reorder.size() > kReorderCap) {
+    stats_.reorder_overflows += 1;
+    for (auto& [s, held] : state.reorder) {
+      incoming.deliver.push_back(std::move(held));
+      state.floor = s;
+      stats_.delivered += 1;
+    }
+    state.reorder.clear();
+  }
+  return incoming;
+}
+
+bool ChannelSet::on_timer(std::uint64_t token) {
+  if (token != kTimerToken) return false;
+  armed_ = false;
+  const SimTime now = net_->now();
+  for (auto& [peer, state] : peers_) {
+    for (auto& [seq, entry] : state.unacked) {
+      if (entry.due > now) continue;
+      stats_.retransmits += 1;
+      if (obs::active()) {
+        // The stored envelope keeps its original trace stamps, so the
+        // retry span hangs off the span that first sent it.
+        obs::emit_span_under(
+            obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                              entry.env.hop},
+            "retry", self_name_, now,
+            {{"host", peer}, {"msg_id", std::to_string(seq)}});
+      }
+      stamp_and_transmit(peer, state, seq, entry);
+      if (retransmit_hook_) retransmit_hook_(peer, entry.env);
+      entry.rto = grow_rto(entry.rto, policy_.backoff, policy_.max_rto);
+      entry.due = now + jittered(entry.rto, policy_.jitter, rng_);
+    }
+  }
+  const SimTime next = earliest_due();
+  if (next.as_micros() >= 0) arm(next);
+  return true;
+}
+
+void ChannelSet::on_restart() {
+  armed_ = false;
+  const SimTime next = earliest_due();
+  if (next.as_micros() >= 0) {
+    arm(std::max(next, net_->now() + SimTime::micros(1)));
+  }
+}
+
+std::size_t ChannelSet::unacked_total() const {
+  std::size_t total = 0;
+  for (const auto& [peer, state] : peers_) total += state.unacked.size();
+  return total;
+}
+
+}  // namespace gsalert::transport

@@ -1,0 +1,125 @@
+#include "transport/endpoint.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace gsalert::transport {
+
+void Endpoint::attach(sim::Network* net, NodeId self, std::string self_name,
+                      std::uint8_t tag, std::uint64_t jitter_seed) {
+  net_ = net;
+  self_ = self;
+  self_name_ = std::move(self_name);
+  tag_bits_ = (static_cast<std::uint64_t>(tag) & 0x3) << kTagShift;
+  rng_ = Rng{jitter_seed};
+}
+
+void Endpoint::transmit(const Pending& entry) {
+  if (entry.options.send) {
+    entry.options.send(entry.env);
+  } else {
+    net_->send(self_, entry.options.to, entry.env.pack());
+  }
+}
+
+void Endpoint::arm(std::uint64_t key, Pending& entry, SimTime delay) {
+  entry.timer_seq = next_timer_++;
+  timers_[entry.timer_seq] = key;
+  net_->set_timer(self_, delay, kTimerBit | tag_bits_ | entry.timer_seq);
+}
+
+void Endpoint::request(std::uint64_t key, wire::Envelope env,
+                       Options options, ReplyCallback cb) {
+  stats_.requests += 1;
+  Pending entry;
+  entry.env = std::move(env);
+  entry.options = std::move(options);
+  entry.cb = std::move(cb);
+  const SimTime now = net_->now();
+  entry.deadline = now + entry.options.policy.deadline;
+  entry.rto = entry.options.policy.initial_rto;
+  transmit(entry);
+  const SimTime first = std::min(
+      jittered(entry.rto, entry.options.policy.jitter, rng_),
+      entry.options.policy.deadline);
+  auto [it, inserted] = pending_.insert_or_assign(key, std::move(entry));
+  (void)inserted;
+  arm(key, it->second, first);
+}
+
+bool Endpoint::complete(std::uint64_t key, const wire::Envelope& reply) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    stats_.late_replies += 1;
+    return false;
+  }
+  ReplyCallback cb = std::move(it->second.cb);
+  timers_.erase(it->second.timer_seq);
+  pending_.erase(it);
+  stats_.replies += 1;
+  if (cb) cb(&reply);
+  return true;
+}
+
+bool Endpoint::on_timer(std::uint64_t token) {
+  constexpr std::uint64_t kTagMask = 0x3ULL << kTagShift;
+  if (!net_ || (token & (kTimerBit | kTagMask)) != (kTimerBit | tag_bits_)) {
+    return false;
+  }
+  const std::uint64_t seq = token & ((1ULL << kTagShift) - 1);
+  const auto timer_it = timers_.find(seq);
+  if (timer_it == timers_.end()) return true;  // stale: request completed
+  const std::uint64_t key = timer_it->second;
+  timers_.erase(timer_it);
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.timer_seq != seq) return true;
+  Pending& entry = it->second;
+  const SimTime now = net_->now();
+  const RetryPolicy& policy = entry.options.policy;
+
+  if (now >= entry.deadline) {
+    ReplyCallback cb = std::move(entry.cb);
+    if (obs::active()) {
+      obs::emit_span_under(
+          obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                            entry.env.hop},
+          "transport-timeout", self_name_, now,
+          {{"key", std::to_string(key)},
+           {"retransmits", std::to_string(entry.retransmits)}});
+    }
+    pending_.erase(it);
+    stats_.timeouts += 1;
+    if (cb) cb(nullptr);
+    return true;
+  }
+
+  if (entry.retransmits < policy.max_retransmits) {
+    entry.retransmits += 1;
+    stats_.retransmits += 1;
+    if (obs::active()) {
+      obs::emit_span_under(
+          obs::TraceContext{entry.env.trace_id, entry.env.span_id,
+                            entry.env.hop},
+          "retry", self_name_, now,
+          {{"key", std::to_string(key)},
+           {"attempt", std::to_string(entry.retransmits)}});
+    }
+    transmit(entry);  // header re-encoded; body frame aliased
+    entry.rto = grow_rto(entry.rto, policy.backoff, policy.max_rto);
+  }
+  SimTime next = entry.deadline - now;
+  if (entry.retransmits < policy.max_retransmits) {
+    next = std::min(next, jittered(entry.rto, policy.jitter, rng_));
+  }
+  arm(key, entry, next);
+  return true;
+}
+
+void Endpoint::cancel_all() {
+  stats_.cancelled += pending_.size();
+  pending_.clear();
+  timers_.clear();
+}
+
+}  // namespace gsalert::transport

@@ -1,0 +1,95 @@
+#include "transport/parking.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gsalert::transport {
+
+void ParkingLot::evict_oldest() {
+  auto oldest = by_key_.end();
+  for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
+    if (it->second.empty()) continue;
+    if (oldest == by_key_.end() ||
+        it->second.front().order < oldest->second.front().order) {
+      oldest = it;
+    }
+  }
+  if (oldest == by_key_.end()) return;
+  oldest->second.pop_front();
+  if (oldest->second.empty()) by_key_.erase(oldest);
+  size_ -= 1;
+  stats_.evicted += 1;
+}
+
+void ParkingLot::park(const std::string& key, wire::Envelope env,
+                      SimTime now) {
+  park_until(key, std::move(env), now + policy_.ttl);
+}
+
+void ParkingLot::park_until(const std::string& key, wire::Envelope env,
+                            SimTime expires_at) {
+  while (size_ >= policy_.capacity && size_ > 0) evict_oldest();
+  if (policy_.capacity == 0) return;
+  by_key_[key].push_back(
+      Parked{std::move(env), expires_at, next_order_++});
+  size_ += 1;
+  stats_.parked += 1;
+}
+
+std::vector<ParkingLot::Entry> ParkingLot::take(const std::string& key,
+                                                SimTime now) {
+  std::vector<Entry> out;
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) return out;
+  for (auto& parked : it->second) {
+    size_ -= 1;
+    if (parked.expires_at <= now) {
+      stats_.expired += 1;
+      continue;
+    }
+    stats_.flushed += 1;
+    out.push_back(Entry{std::move(parked.env), parked.expires_at});
+  }
+  by_key_.erase(it);
+  return out;
+}
+
+std::vector<ParkingLot::Entry> ParkingLot::take_all(SimTime now) {
+  std::vector<Parked> all;
+  for (auto& [key, queue] : by_key_) {
+    for (auto& parked : queue) all.push_back(std::move(parked));
+  }
+  by_key_.clear();
+  size_ = 0;
+  std::sort(all.begin(), all.end(), [](const Parked& a, const Parked& b) {
+    return a.order < b.order;
+  });
+  std::vector<Entry> out;
+  for (auto& parked : all) {
+    if (parked.expires_at <= now) {
+      stats_.expired += 1;
+      continue;
+    }
+    stats_.flushed += 1;
+    out.push_back(Entry{std::move(parked.env), parked.expires_at});
+  }
+  return out;
+}
+
+void ParkingLot::expire(SimTime now) {
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    auto& queue = it->second;
+    for (auto entry = queue.begin(); entry != queue.end();) {
+      if (entry->expires_at <= now) {
+        stats_.expired += 1;
+        size_ -= 1;
+        entry = queue.erase(entry);
+      } else {
+        ++entry;
+      }
+    }
+    it = queue.empty() ? by_key_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace gsalert::transport

@@ -1,0 +1,77 @@
+// Store-and-forward parking: bounded, TTL'd custody for messages whose
+// next hop is unknown right now (paper §4.1: the GDS offers
+// "store-and-forward messaging"; §6.2: a relay target may simply not be
+// registered *yet*). A GDS node parks instead of dropping, and flushes
+// when the name registers, a child advertises it, or the node acquires
+// a parent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "transport/policy.h"
+#include "wire/envelope.h"
+
+namespace gsalert::transport {
+
+struct ParkStats {
+  std::uint64_t parked = 0;
+  std::uint64_t flushed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t evicted = 0;  // capacity pressure: oldest dropped first
+};
+
+class ParkingLot {
+ public:
+  struct Entry {
+    wire::Envelope env;
+    SimTime expires_at;
+  };
+
+  explicit ParkingLot(ParkPolicy policy = {}) : policy_(policy) {}
+  void set_policy(ParkPolicy policy) { policy_ = policy; }
+
+  /// Park `env` under `key` (the unresolved destination name). At
+  /// capacity the globally oldest entry is evicted first (FIFO across
+  /// keys), so a hot unknown name cannot starve the rest.
+  void park(const std::string& key, wire::Envelope env, SimTime now);
+  /// Same, preserving an existing expiry (re-park after a failed flush).
+  void park_until(const std::string& key, wire::Envelope env,
+                  SimTime expires_at);
+
+  /// Remove and return every live entry for `key`, oldest first.
+  /// Entries already past their TTL are counted expired and dropped.
+  std::vector<Entry> take(const std::string& key, SimTime now);
+  /// Remove and return every live entry across all keys, oldest first
+  /// (flush-to-new-parent after a re-parent).
+  std::vector<Entry> take_all(SimTime now);
+
+  /// Drop entries past their TTL (periodic sweep, e.g. per heartbeat).
+  void expire(SimTime now);
+
+  void clear() { by_key_.clear(); size_ = 0; }
+  bool has(const std::string& key) const { return by_key_.count(key) > 0; }
+  std::size_t size() const { return size_; }
+  const ParkStats& stats() const { return stats_; }
+
+ private:
+  struct Parked {
+    wire::Envelope env;
+    SimTime expires_at;
+    std::uint64_t order;  // global FIFO position for eviction
+  };
+
+  void evict_oldest();
+
+  ParkPolicy policy_;
+  std::map<std::string, std::deque<Parked>> by_key_;
+  std::size_t size_ = 0;
+  std::uint64_t next_order_ = 0;
+  ParkStats stats_;
+};
+
+}  // namespace gsalert::transport

@@ -1,0 +1,62 @@
+// Retry/backoff policy shared by the transport primitives (paper §4.1,
+// §7: recovery makes messages "delayed, not lost"). One policy object
+// describes how a sender paces retransmits: exponential backoff from
+// `initial_rto` up to `max_rto`, each interval scaled by a deterministic
+// downward jitter so independent senders desynchronize instead of
+// bursting in lockstep after a partition heals.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace gsalert::transport {
+
+/// Pacing for request/reply retransmits (Endpoint). `deadline` bounds
+/// the whole exchange: when it passes without a reply the callback
+/// fires exactly once with a timeout.
+struct RetryPolicy {
+  SimTime deadline = SimTime::seconds(5);   // overall give-up
+  SimTime initial_rto = SimTime::seconds(1);
+  double backoff = 2.0;                     // rto multiplier per attempt
+  SimTime max_rto = SimTime::seconds(4);
+  double jitter = 0.25;                     // interval *= U[1-jitter, 1]
+  int max_retransmits = 8;                  // cap within the deadline
+};
+
+/// Pacing for reliable-channel retransmits (Channel). No deadline — a
+/// channel entry is retried until acked (delivery is at-least-once; the
+/// receiver's dedup window makes it exactly-once).
+struct ChannelPolicy {
+  SimTime initial_rto = SimTime::seconds(1);
+  double backoff = 1.5;
+  SimTime max_rto = SimTime::millis(1500);
+  double jitter = 0.25;
+};
+
+/// Bounds for a store-and-forward parking queue.
+struct ParkPolicy {
+  SimTime ttl = SimTime::seconds(10);
+  std::size_t capacity = 128;  // entries across all keys; FIFO eviction
+};
+
+/// Next backoff step: grow by `backoff`, clamp to `max_rto`.
+inline SimTime grow_rto(SimTime rto, double backoff, SimTime max_rto) {
+  const auto grown = SimTime::micros(static_cast<std::int64_t>(
+      static_cast<double>(rto.as_micros()) * backoff));
+  return std::min(grown, max_rto);
+}
+
+/// Apply downward jitter: interval * U[1-jitter, 1]. Jittering downward
+/// keeps the worst-case retransmit gap at `rto` (recovery latency stays
+/// bounded) while still spreading independent senders apart.
+inline SimTime jittered(SimTime rto, double jitter, Rng& rng) {
+  if (jitter <= 0) return rto;
+  const double scale = 1.0 - rng.uniform() * jitter;
+  return SimTime::micros(static_cast<std::int64_t>(
+      static_cast<double>(rto.as_micros()) * scale));
+}
+
+}  // namespace gsalert::transport

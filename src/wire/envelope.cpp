@@ -9,8 +9,9 @@ namespace gsalert::wire {
 namespace {
 
 // Fixed header cost: type(2) + 2 string length prefixes (4+4) + msg_id(8)
-// + ttl(2) + trace_id(8) + span_id(8) + hop(2) + body length(4).
-constexpr std::size_t kHeaderFixed = 42;
+// + ttl(2) + chan_base(8) + trace_id(8) + span_id(8) + hop(2) + body
+// length(4).
+constexpr std::size_t kHeaderFixed = 50;
 
 void encode_header(Writer& w, const Envelope& env) {
   w.u16(static_cast<std::uint16_t>(env.type));
@@ -18,6 +19,7 @@ void encode_header(Writer& w, const Envelope& env) {
   w.str(env.dst);
   w.u64(env.msg_id);
   w.u16(env.ttl);
+  w.u64(env.chan_base);
   w.u64(env.trace_id);
   w.u64(env.span_id);
   w.u16(env.hop);
@@ -31,6 +33,7 @@ std::uint32_t decode_header(Reader& r, Envelope& env) {
   env.dst = r.str();
   env.msg_id = r.u64();
   env.ttl = r.u16();
+  env.chan_base = r.u64();
   env.trace_id = r.u64();
   env.span_id = r.u64();
   env.hop = r.u16();

@@ -23,6 +23,10 @@ struct Envelope {
   std::string dst;            // logical destination name ("" = hop-local)
   std::uint64_t msg_id = 0;   // per-sender unique id (dedup / acks)
   std::uint16_t ttl = 64;     // hop budget; decremented by forwarders
+  // Reliable-channel window base (transport/channel.h): the sender's
+  // lowest unacked sequence, 0 on non-channel traffic. Re-stamped per
+  // retransmit — a header field so the body frame stays immutable.
+  std::uint64_t chan_base = 0;
   // Trace context (see obs/trace.h): which logical event this packet
   // belongs to and which span caused it. All zero when untraced.
   std::uint64_t trace_id = 0;

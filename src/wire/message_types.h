@@ -57,6 +57,7 @@ enum class MessageType : std::uint16_t {
   kRvUnsubscribe = 121,
   kRvPublish = 122,         // B3: event -> rendezvous node
   kRvNotify = 123,
+  kRvAck = 124,             // B1/B3: broker acks a (un)subscribe control msg
   kGsFlood = 130,           // B4: naive flooding on the GS network
 };
 

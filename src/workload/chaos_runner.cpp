@@ -324,6 +324,18 @@ class PostHealCompletenessChecker : public sim::InvariantChecker {
                         " unacked message(s)"});
       }
     }
+    // Store-and-forward custody: once the directory re-converged, every
+    // parked relay must have been flushed to a route (or expired and then
+    // re-parked/delivered off a sender retransmit; either way the lots
+    // must be empty at quiescence).
+    for (gds::GdsServer* node : scenario_.gds_tree().nodes) {
+      if (node->parked_count() > 0) {
+        out.push_back(sim::Violation{
+            name(), "gds node " + node->name() + " still parks " +
+                        std::to_string(node->parked_count()) +
+                        " relay(s) after heal"});
+      }
+    }
   }
 
  private:

@@ -462,6 +462,28 @@ void Scenario::collect_metrics(obs::MetricsRegistry& registry) const {
   for (const alerting::AlertingService* service : gsalert_) {
     service->collect_metrics(registry);
   }
+  // Request/reply endpoints (see docs/TRANSPORT.md): each server hosts
+  // its own correlator plus its GDS client's; alerting clients one each.
+  const auto endpoint_metrics = [&registry](
+                                    const std::string& node,
+                                    const transport::EndpointStats& st) {
+    const obs::Labels labels{{"node", node}};
+    registry.counter("transport.endpoint.requests", labels) += st.requests;
+    registry.counter("transport.endpoint.replies", labels) += st.replies;
+    registry.counter("transport.endpoint.retransmits", labels) +=
+        st.retransmits;
+    registry.counter("transport.endpoint.timeouts", labels) += st.timeouts;
+    registry.counter("transport.endpoint.cancelled", labels) += st.cancelled;
+    registry.counter("transport.endpoint.late_replies", labels) +=
+        st.late_replies;
+  };
+  for (gsnet::GreenstoneServer* server : servers_) {
+    endpoint_metrics(server->name(), server->endpoint_stats());
+    endpoint_metrics(server->name(), server->gds().endpoint_stats());
+  }
+  for (const alerting::Client* client : clients_) {
+    endpoint_metrics(client->name(), client->endpoint_stats());
+  }
   registry.counter("scenario.events_published") = events_published_;
   registry.gauge("scenario.servers") =
       static_cast<double>(servers_.size());

@@ -180,6 +180,60 @@ TEST(GdsRelayTest, UnknownTargetCountedUnroutable) {
   EXPECT_EQ(unroutable, 1u);
 }
 
+TEST(GdsRelayTest, RegisterAfterRelayDeliversExactlyOnce) {
+  World w;
+  w.build(2, 2, 2);
+  auto* late = w.net.make_node<FakeServer>("late-server");
+  late->attach_gds(w.tree.leaf_for(0)->id());
+
+  // The target is not registered anywhere yet: the relay climbs to the
+  // root and parks there (counted unroutable-for-now) instead of dropping.
+  w.servers[0]->client().relay("late-server", kTestPayload, {});
+  w.net.run_until(SimTime::seconds(1));
+  EXPECT_TRUE(late->deliveries.empty());
+  std::uint64_t parked = 0;
+  for (auto* node : w.tree.nodes) parked += node->parked_count();
+  EXPECT_EQ(parked, 1u);
+
+  // Registration propagates the name up the tree and flushes the parked
+  // relay back down — delivered exactly once, within the park TTL.
+  late->on_start();
+  w.net.run_until(SimTime::seconds(5));
+  ASSERT_EQ(late->deliveries.size(), 1u);
+  EXPECT_EQ(late->deliveries[0], "server-1/0");
+  parked = 0;
+  std::uint64_t flushed = 0;
+  for (auto* node : w.tree.nodes) {
+    parked += node->parked_count();
+    flushed += node->park_stats().flushed;
+  }
+  EXPECT_EQ(parked, 0u);
+  EXPECT_GE(flushed, 1u);
+}
+
+TEST(GdsRelayTest, ParkedRelayExpiresByTtl) {
+  GdsConfig config;
+  config.park_ttl = SimTime::seconds(2);
+  World w;
+  w.build(2, 2, 2, config);
+  w.servers[0]->client().relay("never-registers", kTestPayload, {});
+  w.net.run_until(SimTime::seconds(1));
+  std::uint64_t parked = 0;
+  for (auto* node : w.tree.nodes) parked += node->parked_count();
+  EXPECT_EQ(parked, 1u);
+
+  // Nothing registers the name: the heartbeat sweep expires the custody.
+  w.net.run_until(SimTime::seconds(10));
+  parked = 0;
+  std::uint64_t expired = 0;
+  for (auto* node : w.tree.nodes) {
+    parked += node->parked_count();
+    expired += node->park_stats().expired;
+  }
+  EXPECT_EQ(parked, 0u);
+  EXPECT_EQ(expired, 1u);
+}
+
 TEST(GdsMulticastTest, OnlyTargetsReceive) {
   World w;
   w.build(2, 3, 8);

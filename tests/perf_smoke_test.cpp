@@ -24,6 +24,7 @@
 #include "sim/network.h"
 #include "wire/codec.h"
 #include "wire/envelope.h"
+#include "workload/scenario.h"
 
 namespace gsalert {
 namespace {
@@ -224,6 +225,69 @@ TEST(PerfSmokeTest, FilterMatchingStaysWithinBudget) {
   EXPECT_LE(max_evals, budget.at("max_residual_evals_per_event"))
       << "per-event residual work exceeds the distinct-predicate budget — "
          "did predicate sharing or memoization regress?";
+}
+
+// Transport steady-state budget: on a healthy (zero-loss) network the
+// retry machinery must stay silent — every request is answered within
+// its first RTO and every channel entry acked on the first attempt. A
+// nonzero count here means the transport layer burns bandwidth even
+// when nothing is wrong (e.g. an RTO tighter than the reply RTT, or an
+// ack path that went missing).
+TEST(PerfSmokeTest, TransportSteadyStateHasNoRetransmits) {
+  const auto budget = load_budget(GSALERT_PERF_BUDGET_FILE);
+  ASSERT_FALSE(budget.empty());
+  for (const char* key : {"steady_events", "max_steady_retransmits",
+                          "max_steady_timeouts"}) {
+    ASSERT_TRUE(budget.count(key)) << "budget file missing key: " << key;
+  }
+  const int events = static_cast<int>(budget.at("steady_events"));
+
+  workload::ScenarioConfig config;
+  config.n_servers = 6;
+  config.seed = 11;
+  workload::Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.setup_distributed(3);  // exercise aux-profile channels too
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(2));
+  for (int i = 0; i < events; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(300));
+  }
+  scenario.settle(SimTime::seconds(5));
+
+  std::uint64_t retransmits = 0, timeouts = 0, requests = 0, sends = 0;
+  for (gsnet::GreenstoneServer* s : scenario.servers()) {
+    retransmits += s->endpoint_stats().retransmits +
+                   s->gds().endpoint_stats().retransmits;
+    timeouts += s->endpoint_stats().timeouts +
+                s->gds().endpoint_stats().timeouts;
+    requests += s->endpoint_stats().requests +
+                s->gds().endpoint_stats().requests;
+  }
+  for (const alerting::Client* c : scenario.clients()) {
+    retransmits += c->endpoint_stats().retransmits;
+    timeouts += c->endpoint_stats().timeouts;
+    requests += c->endpoint_stats().requests;
+  }
+  for (const alerting::AlertingService* svc : scenario.gsalert()) {
+    retransmits += svc->channel_stats().retransmits;
+    sends += svc->channel_stats().sends;
+  }
+  std::printf(
+      "perf-smoke transport: endpoint_requests=%llu channel_sends=%llu "
+      "retransmits=%llu timeouts=%llu\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(sends),
+      static_cast<unsigned long long>(retransmits),
+      static_cast<unsigned long long>(timeouts));
+  ASSERT_GT(requests + sends, 0u);  // the transport path actually ran
+
+  EXPECT_LE(retransmits, budget.at("max_steady_retransmits"))
+      << "transport retransmits on a zero-loss network — an RTO is "
+         "tighter than the reply RTT, or an ack path regressed";
+  EXPECT_LE(timeouts, budget.at("max_steady_timeouts"))
+      << "transport deadlines expired on a zero-loss network";
 }
 
 }  // namespace
