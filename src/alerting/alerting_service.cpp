@@ -10,6 +10,22 @@
 namespace gsalert::alerting {
 
 namespace {
+// Journal record types (64..254 are extension records; see
+// gsnet::ServerExtension and docs/DURABILITY.md).
+constexpr std::uint8_t kJSubAdd = 64;        // id u64, client u32, text str
+constexpr std::uint8_t kJSubCancel = 65;     // id u64
+constexpr std::uint8_t kJSubRequest = 66;    // client u32, msg_id u64, sub u64
+constexpr std::uint8_t kJAuxInAdd = 67;      // sub str, super host+name str
+constexpr std::uint8_t kJAuxInRemove = 68;   // sub str, super host+name str
+constexpr std::uint8_t kJAuxOutReplace = 69; // coll str, n u32, refs
+constexpr std::uint8_t kJEventSeen = 70;     // origin str, seq u64
+constexpr std::uint8_t kJForwardProcessed = 71;  // key str
+constexpr std::uint8_t kJChanSend = 72;      // peer str, seq u64, env bytes
+constexpr std::uint8_t kJChanAck = 73;       // peer str, seq u64
+constexpr std::uint8_t kJChanFloor = 74;     // peer str, floor u64
+
+std::size_t str_wire(const std::string& s) { return 4 + s.size(); }
+
 std::string forward_key(const docmodel::EventId& id,
                         const CollectionRef& super) {
   return id.str() + "->" + super.str();
@@ -37,6 +53,13 @@ Result<SubscriptionId> AlertingService::subscribe_local(
     return s.error();
   }
   subs_[id] = Subscription{client, profile_text};
+  journal_append(kJSubAdd, 8 + 4 + str_wire(profile_text),
+                 [&](wire::Writer& w) {
+                   w.u64(id);
+                   w.u32(client.value());
+                   w.str(profile_text);
+                 });
+  if (server_) server_->commit_journal();
   return id;
 }
 
@@ -46,6 +69,8 @@ Status AlertingService::cancel_local(SubscriptionId id) {
     return Status{ErrorCode::kNotFound, "unknown subscription"};
   }
   subs_.erase(it);
+  journal_append(kJSubCancel, 8, [&](wire::Writer& w) { w.u64(id); });
+  if (server_) server_->commit_journal();
   return index_.remove(id);
 }
 
@@ -56,6 +81,28 @@ std::vector<CollectionRef> AlertingService::aux_profiles_for(
   return {it->second.begin(), it->second.end()};
 }
 
+std::vector<SubscriptionId> AlertingService::subscription_ids() const {
+  std::vector<SubscriptionId> out;
+  out.reserve(subs_.size());
+  for (const auto& [id, sub] : subs_) out.push_back(id);
+  return out;  // subs_ is an ordered map: already sorted
+}
+
+std::vector<std::string> AlertingService::seen_event_keys() const {
+  std::vector<std::string> out;
+  out.reserve(seen_events_.size());
+  for (const docmodel::EventId& id : seen_events_) out.push_back(id.str());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> AlertingService::processed_forward_keys() const {
+  std::vector<std::string> out{processed_forwards_.begin(),
+                               processed_forwards_.end()};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 // --- extension lifecycle ---------------------------------------------------
 
 void AlertingService::attach(gsnet::GreenstoneServer& server) {
@@ -64,13 +111,30 @@ void AlertingService::attach(gsnet::GreenstoneServer& server) {
 
 void AlertingService::on_started() { ensure_channels(); }
 
-void AlertingService::on_restarted() {
-  // Profile store, aux registries and the channel state are durable
-  // (Greenstone keeps profiles on disk); only the retry timer needs
-  // re-arming. A pending batch is in-memory build state and did not
-  // survive the crash.
+void AlertingService::on_recovered() {
+  // A pending batch is in-memory build state and did not survive the
+  // crash; drop it on both the journaled and the legacy path.
   batch_.clear();
   build_depth_ = 0;
+  if (!server_ || !server_->durable()) return;
+  // Journaled: wipe everything the journal covers, then the server's
+  // recovery feeds the snapshot + records back in through
+  // recover_durable / replay_journal. Channels must be attached before
+  // replay restores their unacked entries.
+  subs_.clear();
+  index_ = profiles::ProfileIndex{};
+  aux_in_.clear();
+  aux_out_.clear();
+  seen_events_.clear();
+  processed_forwards_.clear();
+  sub_requests_.clear();
+  channels_.clear_peers();
+  ensure_channels();
+}
+
+void AlertingService::on_restarted() {
+  // Rejoin phase: state is already recovered (journal replay, or kept in
+  // memory on the legacy path); only the retry timer needs re-arming.
   channels_.on_restart();
 }
 
@@ -218,6 +282,11 @@ void AlertingService::process_event(const docmodel::Event& event,
     }
     return;
   }
+  journal_append(kJEventSeen, str_wire(event.id.origin) + 8,
+                 [&](wire::Writer& w) {
+                   w.str(event.id.origin);
+                   w.u64(event.id.seq);
+                 });
   stats_.events_received += 1;
   // Root of the event's trace for local builds; for renamed events the
   // rename span is already active and this nests beneath it.
@@ -301,6 +370,11 @@ void AlertingService::receive_flooded_event(const docmodel::Event& event) {
     }
     return;
   }
+  journal_append(kJEventSeen, str_wire(event.id.origin) + 8,
+                 [&](wire::Writer& w) {
+                   w.str(event.id.origin);
+                   w.u64(event.id.seq);
+                 });
   stats_.events_received += 1;
   filter_and_notify(event);
 }
@@ -340,6 +414,29 @@ void AlertingService::sync_aux_profiles(const docmodel::Collection& coll) {
   } else {
     previous = std::move(current);
   }
+  journal_aux_out(coll.config.name);
+}
+
+void AlertingService::journal_aux_out(const std::string& coll) {
+  const auto it = aux_out_.find(coll);
+  std::size_t payload = str_wire(coll) + 4;
+  if (it != aux_out_.end()) {
+    for (const CollectionRef& ref : it->second) {
+      payload += str_wire(ref.host) + str_wire(ref.name);
+    }
+  }
+  journal_append(kJAuxOutReplace, payload, [&](wire::Writer& w) {
+    w.str(coll);
+    if (it == aux_out_.end()) {
+      w.u32(0);
+    } else {
+      w.u32(static_cast<std::uint32_t>(it->second.size()));
+      for (const CollectionRef& ref : it->second) {
+        w.str(ref.host);
+        w.str(ref.name);
+      }
+    }
+  });
 }
 
 void AlertingService::on_collection_configured(
@@ -360,6 +457,7 @@ void AlertingService::on_collection_removed(const CollectionRef& ref) {
                                       std::move(w)));
   }
   aux_out_.erase(it);
+  journal_aux_out(ref.name);
 }
 
 // --- message handling ---------------------------------------------------------------
@@ -406,6 +504,11 @@ void AlertingService::handle_subscribe(NodeId from,
       ack.ok = true;
       ack.subscription_id = sub.value();
       sub_requests_[request] = sub.value();
+      journal_append(kJSubRequest, 4 + 8 + 8, [&](wire::Writer& w) {
+        w.u32(from.value());
+        w.u64(env.msg_id);
+        w.u64(sub.value());
+      });
     } else {
       ack.error = sub.error().str();
     }
@@ -470,7 +573,17 @@ void AlertingService::receive_channel_data(NodeId from,
 void AlertingService::apply_aux_add(const wire::Envelope& env) {
   auto body = AuxProfileBody::decode(env.body);
   if (!body.ok()) return;
-  aux_in_[body.value().sub.name].insert(body.value().super);
+  const CollectionRef& super = body.value().super;
+  if (aux_in_[body.value().sub.name].insert(super).second) {
+    journal_append(kJAuxInAdd,
+                   str_wire(body.value().sub.name) + str_wire(super.host) +
+                       str_wire(super.name),
+                   [&](wire::Writer& w) {
+                     w.str(body.value().sub.name);
+                     w.str(super.host);
+                     w.str(super.name);
+                   });
+  }
 }
 
 void AlertingService::apply_aux_remove(const wire::Envelope& env) {
@@ -478,7 +591,17 @@ void AlertingService::apply_aux_remove(const wire::Envelope& env) {
   if (!body.ok()) return;
   const auto it = aux_in_.find(body.value().sub.name);
   if (it != aux_in_.end()) {
-    it->second.erase(body.value().super);
+    const CollectionRef& super = body.value().super;
+    if (it->second.erase(super) > 0) {
+      journal_append(kJAuxInRemove,
+                     str_wire(body.value().sub.name) + str_wire(super.host) +
+                         str_wire(super.name),
+                     [&](wire::Writer& w) {
+                       w.str(body.value().sub.name);
+                       w.str(super.host);
+                       w.str(super.name);
+                     });
+    }
     if (it->second.empty()) aux_in_.erase(it);
   }
 }
@@ -490,8 +613,8 @@ void AlertingService::apply_event_forward(const wire::Envelope& env) {
   // Belt and braces on top of the channel's dedup window: a migrated
   // profile snapshot can make a second sender forward the same (event,
   // super) pair over a different channel.
-  if (!processed_forwards_.insert(forward_key(body.event.id, body.super))
-           .second) {
+  const std::string fwd_key = forward_key(body.event.id, body.super);
+  if (!processed_forwards_.insert(fwd_key).second) {
     if (obs::active()) {
       obs::emit_span("forward-dup-drop", server_->name(),
                      server_->net().now(),
@@ -499,6 +622,8 @@ void AlertingService::apply_event_forward(const wire::Envelope& env) {
     }
     return;  // duplicate retransmission
   }
+  journal_append(kJForwardProcessed, str_wire(fwd_key),
+                 [&](wire::Writer& w) { w.str(fwd_key); });
   if (body.super.host != server_->name() ||
       server_->collection(body.super.name) == nullptr) {
     // Stale aux profile: the super-collection moved or vanished. Per §7
@@ -610,12 +735,224 @@ Status AlertingService::restore_state(
   if (!r.done()) {
     return Status{ErrorCode::kDecodeFailure, "malformed profile snapshot"};
   }
-  next_sub_ = next_sub;
+  next_sub_ = std::max(next_sub_, next_sub);
   subs_ = std::move(subs);
   index_ = std::move(index);
   aux_in_ = std::move(aux_in);
   aux_out_ = std::move(aux_out);
+  // Migration replaces the profile database wholesale; fold the new state
+  // into a fresh journal snapshot so a crash right after the restore does
+  // not resurrect the old profiles.
+  if (journal::Journal* j = server_ ? server_->journal() : nullptr) {
+    j->compact();
+  }
   return Status::ok();
+}
+
+// --- write-ahead journal (server-owned; see docs/DURABILITY.md) --------------
+
+void AlertingService::restore_subscription(SubscriptionId id, NodeId client,
+                                           std::string text) {
+  auto parsed = profiles::parse_profile(text);
+  if (!parsed.ok()) return;  // journal predates a grammar change; skip
+  parsed.value().id = id;
+  if (!index_.add(std::move(parsed).take()).is_ok()) return;
+  subs_[id] = Subscription{client, std::move(text)};
+  if (id >= next_sub_) next_sub_ = id + 1;
+}
+
+void AlertingService::encode_durable(wire::Writer& w) const {
+  w.u64(next_sub_);
+  w.u32(static_cast<std::uint32_t>(subs_.size()));
+  for (const auto& [id, sub] : subs_) {
+    w.u64(id);
+    w.u32(sub.client.value());
+    w.str(sub.profile_text);
+  }
+  const auto write_aux =
+      [&w](const std::map<std::string, std::set<CollectionRef>>& table) {
+        w.u32(static_cast<std::uint32_t>(table.size()));
+        for (const auto& [key, refs] : table) {
+          w.str(key);
+          w.u32(static_cast<std::uint32_t>(refs.size()));
+          for (const CollectionRef& ref : refs) {
+            w.str(ref.host);
+            w.str(ref.name);
+          }
+        }
+      };
+  write_aux(aux_in_);
+  write_aux(aux_out_);
+  // Hash sets are sorted so equal state snapshots to equal bytes.
+  std::vector<docmodel::EventId> seen(seen_events_.begin(),
+                                      seen_events_.end());
+  std::sort(seen.begin(), seen.end());
+  w.u32(static_cast<std::uint32_t>(seen.size()));
+  for (const docmodel::EventId& id : seen) {
+    w.str(id.origin);
+    w.u64(id.seq);
+  }
+  std::vector<std::string> forwards(processed_forwards_.begin(),
+                                    processed_forwards_.end());
+  std::sort(forwards.begin(), forwards.end());
+  w.u32(static_cast<std::uint32_t>(forwards.size()));
+  for (const std::string& key : forwards) w.str(key);
+  w.u32(static_cast<std::uint32_t>(sub_requests_.size()));
+  for (const auto& [request, sub] : sub_requests_) {
+    w.u32(request.first);
+    w.u64(request.second);
+    w.u64(sub);
+  }
+  channels_.encode_state(w);
+}
+
+void AlertingService::recover_durable(wire::Reader& r) {
+  next_sub_ = std::max(next_sub_, r.u64());
+  const std::uint32_t n_subs = r.u32();
+  for (std::uint32_t i = 0; i < n_subs && r.ok(); ++i) {
+    const SubscriptionId id = r.u64();
+    const NodeId client{r.u32()};
+    std::string text = r.str();
+    if (!r.ok()) break;
+    restore_subscription(id, client, std::move(text));
+  }
+  const auto read_aux =
+      [&r](std::map<std::string, std::set<CollectionRef>>& out) {
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+          std::string key = r.str();
+          const std::uint32_t m = r.u32();
+          if (!r.ok()) break;
+          std::set<CollectionRef>& refs = out[key];
+          for (std::uint32_t j = 0; j < m && r.ok(); ++j) {
+            CollectionRef ref;
+            ref.host = r.str();
+            ref.name = r.str();
+            if (r.ok()) refs.insert(std::move(ref));
+          }
+        }
+      };
+  read_aux(aux_in_);
+  read_aux(aux_out_);
+  const std::uint32_t n_seen = r.u32();
+  for (std::uint32_t i = 0; i < n_seen && r.ok(); ++i) {
+    docmodel::EventId id;
+    id.origin = r.str();
+    id.seq = r.u64();
+    if (r.ok()) seen_events_.insert(std::move(id));
+  }
+  const std::uint32_t n_forwards = r.u32();
+  for (std::uint32_t i = 0; i < n_forwards && r.ok(); ++i) {
+    std::string key = r.str();
+    if (r.ok()) processed_forwards_.insert(std::move(key));
+  }
+  const std::uint32_t n_requests = r.u32();
+  for (std::uint32_t i = 0; i < n_requests && r.ok(); ++i) {
+    const std::uint32_t client = r.u32();
+    const std::uint64_t msg_id = r.u64();
+    const std::uint64_t sub = r.u64();
+    if (r.ok()) sub_requests_[{client, msg_id}] = sub;
+  }
+  ensure_channels();
+  channels_.decode_state(r);
+}
+
+bool AlertingService::replay_journal(std::uint8_t type, wire::Reader& r) {
+  // Replay mutates local state only — no sends, no acks, no broadcasts;
+  // the rest of the world already saw those effects before the crash.
+  switch (type) {
+    case kJSubAdd: {
+      const SubscriptionId id = r.u64();
+      const NodeId client{r.u32()};
+      std::string text = r.str();
+      if (r.ok()) restore_subscription(id, client, std::move(text));
+      return true;
+    }
+    case kJSubCancel: {
+      const SubscriptionId id = r.u64();
+      if (!r.ok()) return true;
+      if (subs_.erase(id) > 0) (void)index_.remove(id);
+      return true;
+    }
+    case kJSubRequest: {
+      const std::uint32_t client = r.u32();
+      const std::uint64_t msg_id = r.u64();
+      const std::uint64_t sub = r.u64();
+      if (r.ok()) sub_requests_[{client, msg_id}] = sub;
+      return true;
+    }
+    case kJAuxInAdd:
+    case kJAuxInRemove: {
+      std::string sub_name = r.str();
+      CollectionRef super;
+      super.host = r.str();
+      super.name = r.str();
+      if (!r.ok()) return true;
+      if (type == kJAuxInAdd) {
+        aux_in_[sub_name].insert(std::move(super));
+      } else if (const auto it = aux_in_.find(sub_name);
+                 it != aux_in_.end()) {
+        it->second.erase(super);
+        if (it->second.empty()) aux_in_.erase(it);
+      }
+      return true;
+    }
+    case kJAuxOutReplace: {
+      std::string coll = r.str();
+      const std::uint32_t n = r.u32();
+      std::set<CollectionRef> refs;
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        CollectionRef ref;
+        ref.host = r.str();
+        ref.name = r.str();
+        if (r.ok()) refs.insert(std::move(ref));
+      }
+      if (!r.ok()) return true;
+      if (refs.empty()) {
+        aux_out_.erase(coll);
+      } else {
+        aux_out_[coll] = std::move(refs);
+      }
+      return true;
+    }
+    case kJEventSeen: {
+      docmodel::EventId id;
+      id.origin = r.str();
+      id.seq = r.u64();
+      if (r.ok()) seen_events_.insert(std::move(id));
+      return true;
+    }
+    case kJForwardProcessed: {
+      std::string key = r.str();
+      if (r.ok()) processed_forwards_.insert(std::move(key));
+      return true;
+    }
+    case kJChanSend: {
+      const std::string peer = r.str();
+      const std::uint64_t seq = r.u64();
+      const std::vector<std::byte> flat = r.bytes();
+      if (!r.ok()) return true;
+      ensure_channels();
+      if (auto env = wire::unpack(flat)) {
+        channels_.restore_unacked(peer, seq, std::move(env).take());
+      }
+      return true;
+    }
+    case kJChanAck: {
+      const std::string peer = r.str();
+      const std::uint64_t seq = r.u64();
+      if (r.ok()) channels_.restore_ack(peer, seq);
+      return true;
+    }
+    case kJChanFloor: {
+      const std::string peer = r.str();
+      const std::uint64_t floor = r.u64();
+      if (r.ok()) channels_.restore_floor(peer, floor);
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 // --- reliable outbox ----------------------------------------------------------------
@@ -647,6 +984,34 @@ void AlertingService::ensure_channels() {
       [this](const std::string&, const wire::Envelope&) {
         stats_.retries += 1;
       });
+  channels_.set_persist_hooks(transport::ChannelSet::PersistHooks{
+      .on_send =
+          [this](const std::string& peer, std::uint64_t seq,
+                 const wire::Envelope& env) {
+            const std::vector<std::byte> flat = env.flatten();
+            journal_append(kJChanSend, str_wire(peer) + 8 + 4 + flat.size(),
+                           [&](wire::Writer& w) {
+                             w.str(peer);
+                             w.u64(seq);
+                             w.bytes(flat);
+                           });
+          },
+      .on_acked =
+          [this](const std::string& peer, std::uint64_t seq) {
+            journal_append(kJChanAck, str_wire(peer) + 8,
+                           [&](wire::Writer& w) {
+                             w.str(peer);
+                             w.u64(seq);
+                           });
+          },
+      .on_floor =
+          [this](const std::string& peer, std::uint64_t floor) {
+            journal_append(kJChanFloor, str_wire(peer) + 8,
+                           [&](wire::Writer& w) {
+                             w.str(peer);
+                             w.u64(floor);
+                           });
+          }});
   channels_.attach(
       &server_->net(), server_->id(), server_->name(),
       [this](const std::string& host, const wire::Envelope& env) {

@@ -92,6 +92,16 @@ class AlertingService : public gsnet::ServerExtension {
   /// Unacknowledged reliable messages across all peer channels (the old
   /// outbox depth; invariant checkers assert it drains after a heal).
   std::size_t outbox_size() const { return channels_.unacked_total(); }
+  /// --- durable-state views (crash-durability checker) -------------------
+  /// Live subscription ids, sorted. Across a crash-restart this set may
+  /// only shrink by explicit cancellations.
+  std::vector<SubscriptionId> subscription_ids() const;
+  /// Event-dedup state as sorted "origin#seq" keys; grows monotonically
+  /// across crash-restarts under honest fsync.
+  std::vector<std::string> seen_event_keys() const;
+  /// Rename-dedup keys for processed EventForwards, sorted; also
+  /// monotone across crash-restarts.
+  std::vector<std::string> processed_forward_keys() const;
   const transport::ChannelStats& channel_stats() const {
     return channels_.stats();
   }
@@ -128,6 +138,10 @@ class AlertingService : public gsnet::ServerExtension {
   void on_started() override;
   void on_restarted() override;
   void on_timer_token(std::uint64_t token) override;
+  void on_recovered() override;
+  void encode_durable(wire::Writer& w) const override;
+  void recover_durable(wire::Reader& r) override;
+  bool replay_journal(std::uint8_t type, wire::Reader& r) override;
 
  private:
   struct Subscription {
@@ -181,6 +195,26 @@ class AlertingService : public gsnet::ServerExtension {
 
   /// Sync aux_out_ for one collection against its current remote subs.
   void sync_aux_profiles(const docmodel::Collection& coll);
+
+  /// Append one record (types 64..74) to the owning server's journal.
+  /// No-op when the server is absent or non-durable; `payload_size`
+  /// must upper-bound the encoded payload (exact reserves keep the
+  /// Writer grow budget green).
+  template <typename Fn>
+  void journal_append(std::uint8_t type, std::size_t payload_size,
+                      Fn&& encode) {
+    journal::Journal* j = server_ ? server_->journal() : nullptr;
+    if (!j) return;
+    wire::Writer w;
+    w.reserve(payload_size);
+    encode(w);
+    j->append(type, std::move(w));
+  }
+  /// Journal the full replacement value of aux_out_[coll].
+  void journal_aux_out(const std::string& coll);
+  /// Install or re-parse one subscription during recovery/replay.
+  void restore_subscription(SubscriptionId id, NodeId client,
+                            std::string text);
 
   AlertingConfig config_;
   profiles::ProfileIndex index_;

@@ -1,6 +1,7 @@
 #include "gds/gds_server.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.h"
 #include "obs/metrics_registry.h"
@@ -11,6 +12,25 @@ namespace gsalert::gds {
 namespace {
 constexpr std::uint64_t kHeartbeatTimer = 1;
 
+// Journal record types (payloads in the comments; snapshot is type 255).
+constexpr std::uint8_t kJRegister = 1;     // server str, node u32
+constexpr std::uint8_t kJUnregister = 2;   // server str
+constexpr std::uint8_t kJRouteAdd = 3;     // name str, via u32
+constexpr std::uint8_t kJRouteRemove = 4;  // name str
+constexpr std::uint8_t kJChildUp = 5;      // node u32
+constexpr std::uint8_t kJChildDown = 6;    // node u32
+constexpr std::uint8_t kJAdopt = 7;        // parent u32
+constexpr std::uint8_t kJSeen = 8;         // origin str, seq u64
+constexpr std::uint8_t kJPark = 9;         // order u64, key str, expires i64, env bytes
+constexpr std::uint8_t kJUnpark = 10;      // order u64
+constexpr std::uint8_t kSnapshotVersion = 1;
+// Envelope msg-ids restart past a generous gap after recovery so ids
+// minted before the crash are never reused (snapshots lag the live
+// counter by up to one compaction interval).
+constexpr std::uint64_t kMsgIdStride = 1ULL << 20;
+
+std::size_t str_wire(const std::string& s) { return 4 + s.size(); }
+
 std::string resolve_key(const std::string& origin, std::uint64_t query_id) {
   return origin + "#" + std::to_string(query_id);
 }
@@ -18,11 +38,12 @@ std::string resolve_key(const std::string& origin, std::uint64_t query_id) {
 
 void GdsServer::set_ancestors(std::vector<NodeId> ancestors) {
   ancestors_ = std::move(ancestors);
+  config_ancestors_ = ancestors_;
   ancestor_index_ = 0;
   parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
 }
 
-void GdsServer::adopt_parent(NodeId new_parent) {
+void GdsServer::apply_adopt_ancestors(NodeId new_parent) {
   std::vector<NodeId> ancestors{new_parent};
   for (NodeId old : ancestors_) {
     if (old != new_parent) ancestors.push_back(old);
@@ -32,33 +53,55 @@ void GdsServer::adopt_parent(NodeId new_parent) {
   parent_ = new_parent;
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
+}
+
+void GdsServer::adopt_parent(NodeId new_parent) {
+  apply_adopt_ancestors(new_parent);
+  journal_append(kJAdopt, 4,
+                 [&](wire::Writer& w) { w.u32(new_parent.value()); });
   send_child_hello(/*full=*/true, subtree_names(), {});
   flush_all_parked();
+  commit_journal();
 }
 
 void GdsServer::on_start() {
+  ensure_journal();
   if (parent_.valid()) {
     send_child_hello(/*full=*/true, subtree_names(), {});
   }
   network().set_timer(id(), config_.heartbeat_interval, kHeartbeatTimer);
+  commit_journal();
 }
 
-void GdsServer::on_restart() {
-  // Registrations and routes are volatile: a restarted GDS node rejoins the
-  // tree empty; GS servers re-register on their refresh timer.
+void GdsServer::clear_state(bool reset_ancestors_to_config) {
   local_servers_.clear();
   name_routes_.clear();
   children_.clear();
   seen_.clear();
   resolve_backpaths_.clear();
-  parked_.clear();  // custody is soft state too: a crash loses the lot
+  parked_.clear();
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
-  heartbeats_since_hello_ = 0;
   ancestor_index_ = 0;
+  if (reset_ancestors_to_config) ancestors_ = config_ancestors_;
   parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
-  on_start();
 }
+
+void GdsServer::on_recover() {
+  if (config_.durable) {
+    // Wipe memory, reopen the journal and replay: registrations, routes,
+    // children, dedup state and parked custody all come back from disk.
+    clear_state(/*reset_ancestors_to_config=*/true);
+    journal_.reset();
+    ensure_journal();
+  } else {
+    // Legacy amnesia (pre-journal semantics, kept as an ablation): the
+    // node rejoins the tree empty and GS servers re-register.
+    clear_state(/*reset_ancestors_to_config=*/false);
+  }
+}
+
+void GdsServer::on_rejoin() { on_start(); }
 
 void GdsServer::send_envelope(NodeId to, const wire::Envelope& env) {
   network().send(id(), to, env.pack());
@@ -112,6 +155,10 @@ void GdsServer::on_packet(NodeId from, const sim::Packet& packet) {
            "unexpected message type ",
            static_cast<unsigned>(env.type));
   }
+  // Group commit: one fsync per handled packet, however many records the
+  // handlers above appended. Crashes only happen between sim events, so
+  // this is the durability boundary.
+  commit_journal();
 }
 
 void GdsServer::on_timer(std::uint64_t token) {
@@ -126,13 +173,6 @@ void GdsServer::on_timer(std::uint64_t token) {
         wire::Writer{});
     send_envelope(parent_, hb);
     heartbeat_outstanding_ = true;
-    // Soft-state refresh: a parent that restarted forgets its children and
-    // their routes, yet still acks heartbeats, so the loss is invisible
-    // from below. Periodically re-assert the edge and the subtree names.
-    if (++heartbeats_since_hello_ >= config_.hello_refresh_every) {
-      heartbeats_since_hello_ = 0;
-      send_child_hello(/*full=*/true, subtree_names(), {});
-    }
   }
   prune_dead_children();
   const std::uint64_t expired_before = parked_.stats().expired;
@@ -143,6 +183,7 @@ void GdsServer::on_timer(std::uint64_t token) {
                                              expired_before)}});
   }
   network().set_timer(id(), config_.heartbeat_interval, kHeartbeatTimer);
+  commit_journal();
 }
 
 // --- registration ----------------------------------------------------------
@@ -151,9 +192,17 @@ void GdsServer::handle_register(NodeId from, const wire::Envelope& env) {
   auto body = RegisterBody::decode(env.body);
   if (!body.ok()) return;
   const std::string& server = body.value().server_name;
-  const bool is_new = !local_servers_.contains(server);
+  const auto existing = local_servers_.find(server);
+  const bool is_new = existing == local_servers_.end();
+  const bool changed = is_new || existing->second != from;
   local_servers_[server] = from;
   name_routes_[server] = Route{.local = true, .via = NodeId::invalid()};
+  if (changed) {
+    journal_append(kJRegister, str_wire(server) + 4, [&](wire::Writer& w) {
+      w.str(server);
+      w.u32(from.value());
+    });
+  }
   if (is_new) advertise_up({server}, {});
   wire::Envelope ack = wire::make_envelope(
       wire::MessageType::kGdsRegisterAck, name(), server, env.msg_id,
@@ -169,6 +218,8 @@ void GdsServer::handle_unregister(const wire::Envelope& env) {
   const std::string& server = body.value().server_name;
   if (local_servers_.erase(server) > 0) {
     name_routes_.erase(server);
+    journal_append(kJUnregister, str_wire(server),
+                   [&](wire::Writer& w) { w.str(server); });
     advertise_up({}, {server});
   }
 }
@@ -177,7 +228,13 @@ void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
   auto decoded = ChildHelloBody::decode(env.body);
   if (!decoded.ok()) return;
   const ChildHelloBody& body = decoded.value();
-  children_[from] = network().now();
+  const auto [child_it, child_new] =
+      children_.insert_or_assign(from, network().now());
+  (void)child_it;
+  if (child_new) {
+    journal_append(kJChildUp, 4,
+                   [&](wire::Writer& w) { w.u32(from.value()); });
+  }
 
   std::vector<std::string> new_adds;
   std::vector<std::string> new_removes;
@@ -185,6 +242,8 @@ void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
     // Drop everything previously routed via this child, then re-learn.
     for (auto it = name_routes_.begin(); it != name_routes_.end();) {
       if (!it->second.local && it->second.via == from) {
+        journal_append(kJRouteRemove, str_wire(it->first),
+                       [&](wire::Writer& w) { w.str(it->first); });
         new_removes.push_back(it->first);
         it = name_routes_.erase(it);
       } else {
@@ -195,14 +254,23 @@ void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
   for (const auto& name_added : body.adds) {
     auto [it, inserted] = name_routes_.try_emplace(
         name_added, Route{.local = false, .via = from});
+    bool route_set = inserted;
     if (!inserted) {
       // Never clobber a local registration: with sibling-ring fallback
       // parents, advertisements can travel a cycle and come back to us.
       if (!it->second.local) {
+        route_set = it->second.via != from;
         it->second = Route{.local = false, .via = from};
       }
     } else {
       new_adds.push_back(name_added);
+    }
+    if (route_set) {
+      journal_append(kJRouteAdd, str_wire(name_added) + 4,
+                     [&](wire::Writer& w) {
+                       w.str(name_added);
+                       w.u32(from.value());
+                     });
     }
     // If this name was just re-added after a full reset, cancel the remove.
     std::erase(new_removes, name_added);
@@ -212,6 +280,8 @@ void GdsServer::handle_child_hello(NodeId from, const wire::Envelope& env) {
     if (it != name_routes_.end() && !it->second.local &&
         it->second.via == from) {
       name_routes_.erase(it);
+      journal_append(kJRouteRemove, str_wire(name_removed),
+                     [&](wire::Writer& w) { w.str(name_removed); });
       new_removes.push_back(name_removed);
     }
   }
@@ -226,7 +296,12 @@ void GdsServer::handle_heartbeat(NodeId from, const wire::Envelope& env) {
   // it doubles as child liveness — including children we forgot across a
   // restart (their routes return with the next periodic full hello). A
   // stale entry from a child that re-parented away ages out in the prune.
-  children_[from] = network().now();
+  const auto [hb_it, hb_new] = children_.insert_or_assign(from, network().now());
+  (void)hb_it;
+  if (hb_new) {
+    journal_append(kJChildUp, 4,
+                   [&](wire::Writer& w) { w.u32(from.value()); });
+  }
   wire::Envelope ack = wire::make_envelope(
       wire::MessageType::kGdsHeartbeatAck, name(), env.src, env.msg_id,
       wire::Writer{});
@@ -268,12 +343,16 @@ void GdsServer::prune_dead_children() {
       const NodeId dead = it->first;
       for (auto rit = name_routes_.begin(); rit != name_routes_.end();) {
         if (!rit->second.local && rit->second.via == dead) {
+          journal_append(kJRouteRemove, str_wire(rit->first),
+                         [&](wire::Writer& w) { w.str(rit->first); });
           removed_names.push_back(rit->first);
           rit = name_routes_.erase(rit);
         } else {
           ++rit;
         }
       }
+      journal_append(kJChildDown, 4,
+                     [&](wire::Writer& w) { w.u32(dead.value()); });
       it = children_.erase(it);
     } else {
       ++it;
@@ -314,7 +393,14 @@ void GdsServer::advertise_up(std::vector<std::string> adds,
 
 bool GdsServer::is_duplicate(const std::string& origin, std::uint64_t seq) {
   if (!config_.dedup_enabled) return false;
-  return !seen_[origin].insert(seq).second;
+  const bool fresh = seen_[origin].insert(seq).second;
+  if (fresh) {
+    journal_append(kJSeen, str_wire(origin) + 8, [&](wire::Writer& w) {
+      w.str(origin);
+      w.u64(seq);
+    });
+  }
+  return !fresh;
 }
 
 void GdsServer::deliver_frame(NodeId server, wire::Frame body_frame) {
@@ -469,13 +555,31 @@ void GdsServer::route_relay(NodeId from, wire::Envelope env, RelayBody body,
                      {{"dst", body.dst_server},
                       {"depth", std::to_string(parked_.size() + 1)}});
     }
-    parked_.park_until(body.dst_server, std::move(env), park_expiry);
+    // Flatten for the journal before custody moves the envelope; the
+    // eviction hook may journal unparks inside park_until, so append the
+    // park record after it to keep the log causally ordered.
+    std::vector<std::byte> flat;
+    if (journal_ && config_.park_capacity > 0) flat = env.flatten();
+    const std::uint64_t order =
+        parked_.park_until(body.dst_server, std::move(env), park_expiry);
+    if (journal_ && config_.park_capacity > 0) {
+      journal_append(
+          kJPark, 8 + str_wire(body.dst_server) + 8 + 4 + flat.size(),
+          [&](wire::Writer& w) {
+            w.u64(order);
+            w.str(body.dst_server);
+            w.i64(park_expiry.as_micros());
+            w.bytes(flat);
+          });
+    }
   }
 }
 
 void GdsServer::flush_parked(const std::string& dst) {
   if (!parked_.has(dst)) return;
   for (auto& entry : parked_.take(dst, network().now())) {
+    journal_append(kJUnpark, 8,
+                   [&](wire::Writer& w) { w.u64(entry.order); });
     auto decoded = RelayBody::decode(entry.env.body);
     if (!decoded.ok()) continue;
     // Re-enter routing under a flush span chained to the parked
@@ -495,6 +599,8 @@ void GdsServer::flush_parked(const std::string& dst) {
 
 void GdsServer::flush_all_parked() {
   for (auto& entry : parked_.take_all(network().now())) {
+    journal_append(kJUnpark, 8,
+                   [&](wire::Writer& w) { w.u64(entry.order); });
     auto decoded = RelayBody::decode(entry.env.body);
     if (!decoded.ok()) continue;
     RelayBody body = std::move(decoded).take();
@@ -638,6 +744,269 @@ bool GdsServer::knows_name(const std::string& name_queried) const {
   return name_routes_.contains(name_queried);
 }
 
+std::vector<std::string> GdsServer::registered_names() const {
+  std::vector<std::string> names;
+  names.reserve(local_servers_.size());
+  for (const auto& [server, node] : local_servers_) names.push_back(server);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> GdsServer::broadcast_seen_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [origin, seqs] : seen_) {
+    for (const std::uint64_t seq : seqs) {
+      keys.push_back(origin + "#" + std::to_string(seq));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// --- durability --------------------------------------------------------------
+
+void GdsServer::ensure_journal() {
+  if (!config_.durable || journal_) return;
+  journal_ = std::make_unique<journal::Journal>(
+      network().storage(id()), "gds", name(), config_.journal);
+  journal_->set_clock([this] { return network().now(); });
+  journal_->set_snapshot_writer(
+      [this](wire::Writer& w) { encode_snapshot(w); });
+  journal_->recover(
+      [this](wire::Reader& r) { load_snapshot(r); },
+      [this](std::uint8_t type, wire::Reader& r, std::uint64_t /*lsn*/) {
+        replay_record(type, r);
+      });
+  next_msg_id_ += kMsgIdStride;
+  // Custody the lot drops on its own (TTL expiry, capacity eviction) is
+  // journaled here; entries handed back by take()/take_all() are
+  // journaled by the flush paths, which see their custody ids.
+  parked_.set_removal_hook([this](std::uint64_t order) {
+    journal_append(kJUnpark, 8, [&](wire::Writer& w) { w.u64(order); });
+  });
+}
+
+void GdsServer::encode_snapshot(wire::Writer& w) const {
+  // Containers are hash maps: sort every section so identical state
+  // always snapshots to identical bytes (recovery-idempotence tests
+  // compare snapshots directly).
+  w.u8(kSnapshotVersion);
+  w.u64(next_msg_id_);
+  w.u32(static_cast<std::uint32_t>(ancestors_.size()));
+  for (const NodeId a : ancestors_) w.u32(a.value());
+
+  std::vector<std::string> names = registered_names();
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& server : names) {
+    w.str(server);
+    w.u32(local_servers_.at(server).value());
+  }
+
+  std::vector<std::string> routed;
+  for (const auto& [route_name, route] : name_routes_) {
+    if (!route.local) routed.push_back(route_name);
+  }
+  std::sort(routed.begin(), routed.end());
+  w.u32(static_cast<std::uint32_t>(routed.size()));
+  for (const auto& route_name : routed) {
+    w.str(route_name);
+    w.u32(name_routes_.at(route_name).via.value());
+  }
+
+  std::vector<std::uint32_t> child_ids;
+  for (const auto& [child, last_seen] : children_) {
+    child_ids.push_back(child.value());
+  }
+  std::sort(child_ids.begin(), child_ids.end());
+  w.u32(static_cast<std::uint32_t>(child_ids.size()));
+  for (const std::uint32_t child : child_ids) w.u32(child);
+
+  std::vector<std::string> origins;
+  for (const auto& [origin, seqs] : seen_) origins.push_back(origin);
+  std::sort(origins.begin(), origins.end());
+  w.u32(static_cast<std::uint32_t>(origins.size()));
+  for (const auto& origin : origins) {
+    w.str(origin);
+    std::vector<std::uint64_t> seqs(seen_.at(origin).begin(),
+                                    seen_.at(origin).end());
+    std::sort(seqs.begin(), seqs.end());
+    w.u32(static_cast<std::uint32_t>(seqs.size()));
+    for (const std::uint64_t seq : seqs) w.u64(seq);
+  }
+
+  struct ParkRow {
+    std::string key;
+    SimTime expires_at;
+    std::uint64_t order;
+    std::vector<std::byte> flat;
+  };
+  std::vector<ParkRow> rows;
+  parked_.for_each([&](const std::string& key,
+                       const transport::ParkingLot::Entry& entry) {
+    rows.push_back(
+        ParkRow{key, entry.expires_at, entry.order, entry.env.flatten()});
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const ParkRow& a, const ParkRow& b) { return a.order < b.order; });
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const ParkRow& row : rows) {
+    w.u64(row.order);
+    w.str(row.key);
+    w.i64(row.expires_at.as_micros());
+    w.bytes(row.flat);
+  }
+}
+
+void GdsServer::load_snapshot(wire::Reader& r) {
+  if (r.u8() != kSnapshotVersion) {
+    r.fail();
+    return;
+  }
+  next_msg_id_ = std::max(next_msg_id_, r.u64());
+  const std::uint32_t n_ancestors = r.u32();
+  if (!r.ok()) return;
+  std::vector<NodeId> ancestors;
+  for (std::uint32_t i = 0; i < n_ancestors && r.ok(); ++i) {
+    ancestors.push_back(NodeId{r.u32()});
+  }
+  if (!ancestors.empty()) {
+    ancestors_ = std::move(ancestors);
+    ancestor_index_ = 0;
+    parent_ = ancestors_.front();
+  }
+  const std::uint32_t n_local = r.u32();
+  for (std::uint32_t i = 0; i < n_local && r.ok(); ++i) {
+    const std::string server = r.str();
+    const NodeId node{r.u32()};
+    if (!r.ok()) break;
+    local_servers_[server] = node;
+    name_routes_[server] = Route{.local = true, .via = NodeId::invalid()};
+  }
+  const std::uint32_t n_routes = r.u32();
+  for (std::uint32_t i = 0; i < n_routes && r.ok(); ++i) {
+    const std::string route_name = r.str();
+    const NodeId via{r.u32()};
+    if (!r.ok()) break;
+    if (const auto it = name_routes_.find(route_name);
+        it == name_routes_.end() || !it->second.local) {
+      name_routes_[route_name] = Route{.local = false, .via = via};
+    }
+  }
+  const std::uint32_t n_children = r.u32();
+  for (std::uint32_t i = 0; i < n_children && r.ok(); ++i) {
+    // Liveness timestamps are not durable state: a recovered child gets a
+    // fresh lease and must heartbeat again before the next prune cutoff.
+    children_[NodeId{r.u32()}] = network().now();
+  }
+  const std::uint32_t n_origins = r.u32();
+  for (std::uint32_t i = 0; i < n_origins && r.ok(); ++i) {
+    const std::string origin = r.str();
+    const std::uint32_t n_seqs = r.u32();
+    if (!r.ok()) break;
+    auto& seqs = seen_[origin];
+    for (std::uint32_t j = 0; j < n_seqs && r.ok(); ++j) seqs.insert(r.u64());
+  }
+  const std::uint32_t n_parked = r.u32();
+  for (std::uint32_t i = 0; i < n_parked && r.ok(); ++i) {
+    const std::uint64_t order = r.u64();
+    const std::string key = r.str();
+    const SimTime expires_at = SimTime::micros(r.i64());
+    const std::vector<std::byte> flat = r.bytes();
+    if (!r.ok()) break;
+    if (auto env = wire::unpack(flat)) {
+      parked_.restore(key, std::move(env).take(), expires_at, order);
+    }
+  }
+}
+
+void GdsServer::replay_record(std::uint8_t type, wire::Reader& r) {
+  // Replay mutates containers only: no sends, no observers, no spans —
+  // the rest of the world already saw these effects before the crash.
+  switch (type) {
+    case kJRegister: {
+      const std::string server = r.str();
+      const NodeId node{r.u32()};
+      if (!r.ok()) return;
+      local_servers_[server] = node;
+      name_routes_[server] = Route{.local = true, .via = NodeId::invalid()};
+      break;
+    }
+    case kJUnregister: {
+      const std::string server = r.str();
+      if (!r.ok()) return;
+      local_servers_.erase(server);
+      name_routes_.erase(server);
+      break;
+    }
+    case kJRouteAdd: {
+      const std::string route_name = r.str();
+      const NodeId via{r.u32()};
+      if (!r.ok()) return;
+      // Mirror the live never-clobber-local guard.
+      if (const auto it = name_routes_.find(route_name);
+          it == name_routes_.end() || !it->second.local) {
+        name_routes_[route_name] = Route{.local = false, .via = via};
+      }
+      break;
+    }
+    case kJRouteRemove: {
+      const std::string route_name = r.str();
+      if (!r.ok()) return;
+      if (const auto it = name_routes_.find(route_name);
+          it != name_routes_.end() && !it->second.local) {
+        name_routes_.erase(it);
+      }
+      break;
+    }
+    case kJChildUp: {
+      const NodeId child{r.u32()};
+      if (!r.ok()) return;
+      children_[child] = network().now();
+      break;
+    }
+    case kJChildDown: {
+      const NodeId child{r.u32()};
+      if (!r.ok()) return;
+      children_.erase(child);
+      break;
+    }
+    case kJAdopt: {
+      const NodeId new_parent{r.u32()};
+      if (!r.ok()) return;
+      apply_adopt_ancestors(new_parent);
+      break;
+    }
+    case kJSeen: {
+      const std::string origin = r.str();
+      const std::uint64_t seq = r.u64();
+      if (!r.ok()) return;
+      seen_[origin].insert(seq);
+      break;
+    }
+    case kJPark: {
+      const std::uint64_t order = r.u64();
+      const std::string key = r.str();
+      const SimTime expires_at = SimTime::micros(r.i64());
+      const std::vector<std::byte> flat = r.bytes();
+      if (!r.ok()) return;
+      if (auto env = wire::unpack(flat)) {
+        parked_.restore(key, std::move(env).take(), expires_at, order);
+      }
+      break;
+    }
+    case kJUnpark: {
+      const std::uint64_t order = r.u64();
+      if (!r.ok()) return;
+      parked_.remove_order(order);
+      break;
+    }
+    default:
+      // Unknown record type: a newer writer's record surviving a
+      // downgrade. Ignore rather than fail the whole replay.
+      break;
+  }
+}
+
 void GdsServer::collect_metrics(obs::MetricsRegistry& registry) const {
   const obs::Labels labels{{"node", name()}};
   registry.counter("gds.broadcasts_seen", labels) = stats_.broadcasts_seen;
@@ -660,6 +1029,7 @@ void GdsServer::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("transport.park.evicted", labels) = park.evicted;
   registry.gauge("transport.park.depth", labels) =
       static_cast<double>(parked_.size());
+  if (journal_) journal_->collect_metrics(registry);
 }
 
 }  // namespace gsalert::gds

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,6 +25,7 @@
 
 #include "common/types.h"
 #include "gds/messages.h"
+#include "journal/journal.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "transport/parking.h"
@@ -37,14 +39,18 @@ struct GdsConfig {
   SimTime heartbeat_interval = SimTime::millis(500);
   /// Consecutive unanswered heartbeats before re-parenting.
   int heartbeat_miss_limit = 3;
-  /// Send a full child-hello (subtree name refresh) every N heartbeats.
-  /// The tree is soft state: a restarted parent acks heartbeats but has
-  /// forgotten its children, so without a periodic refresh downward
-  /// broadcast flooding would stay severed. (Found by the chaos sweep:
-  /// `chaos_test --seed=9009` before this existed.)
-  int hello_refresh_every = 4;
   /// Duplicate suppression for broadcasts (ablation switch for bench E7).
   bool dedup_enabled = true;
+  /// Journal registrations, routes, children, dedup state and parked
+  /// custody to the node's sim storage; crash-restart replays the journal
+  /// instead of forgetting. The durable child registry is what lets a
+  /// restarted parent keep routing downward without the periodic
+  /// full-hello refresh the pre-journal tree needed (the old
+  /// `hello_refresh_every` soft-state patch, found by `chaos_test
+  /// --seed=9009`). When false the node keeps the PR-1 amnesia
+  /// semantics: rejoin empty, rely on re-registration.
+  bool durable = true;
+  journal::JournalPolicy journal;
   /// Store-and-forward custody for relays whose target is unknown here
   /// (paper §4.1): parked messages wait up to `park_ttl` for the name to
   /// register (or a parent to appear) before expiring; `park_capacity`
@@ -86,7 +92,8 @@ class GdsServer : public sim::Node {
   void adopt_parent(NodeId new_parent);
 
   void on_start() override;
-  void on_restart() override;
+  void on_recover() override;
+  void on_rejoin() override;
   void on_packet(NodeId from, const sim::Packet& packet) override;
   void on_timer(std::uint64_t token) override;
 
@@ -111,6 +118,13 @@ class GdsServer : public sim::Node {
   std::size_t registered_count() const { return local_servers_.size(); }
   std::size_t known_names() const { return name_routes_.size(); }
   bool knows_name(const std::string& name) const;
+  /// Locally registered server names, sorted (durability checker).
+  std::vector<std::string> registered_names() const;
+  /// Broadcast dedup state as sorted "origin#seq" keys (durability
+  /// checker: this set may only grow across a crash-restart).
+  std::vector<std::string> broadcast_seen_keys() const;
+  /// The node's journal, when durable and started (tests, metrics).
+  const journal::Journal* journal() const { return journal_.get(); }
 
  private:
   struct Route {
@@ -158,13 +172,40 @@ class GdsServer : public sim::Node {
   std::vector<std::string> subtree_names() const;
   bool is_duplicate(const std::string& origin, std::uint64_t seq);
 
+  /// --- durability -------------------------------------------------------
+  /// Open the journal over the node's storage and replay it (no-op when
+  /// !config_.durable or already open).
+  void ensure_journal();
+  /// Frame-and-append helper; `payload_size` must be an upper bound on
+  /// the encoded payload (exact reserves keep Writer grow budgets green).
+  template <typename Fn>
+  void journal_append(std::uint8_t type, std::size_t payload_size,
+                      Fn&& encode) {
+    if (!journal_) return;
+    wire::Writer w;
+    w.reserve(payload_size);
+    encode(w);
+    journal_->append(type, std::move(w));
+  }
+  void commit_journal() {
+    if (journal_) journal_->commit();
+  }
+  void encode_snapshot(wire::Writer& w) const;
+  void load_snapshot(wire::Reader& r);
+  void replay_record(std::uint8_t type, wire::Reader& r);
+  /// Ancestor-list mutation shared by adopt_parent and its replay.
+  void apply_adopt_ancestors(NodeId new_parent);
+  void clear_state(bool reset_ancestors_to_config);
+
   GdsConfig config_;
   NodeId parent_;                       // invalid at root
   std::vector<NodeId> ancestors_;
+  /// Builder-time ancestor ring (set_ancestors), before runtime
+  /// adoptions. Recovery resets to this, then replays adopt records.
+  std::vector<NodeId> config_ancestors_;
   std::size_t ancestor_index_ = 0;
   int heartbeat_misses_ = 0;
   bool heartbeat_outstanding_ = false;
-  int heartbeats_since_hello_ = 0;
 
   std::unordered_map<std::string, NodeId> local_servers_;
   std::unordered_map<std::string, Route> name_routes_;
@@ -178,6 +219,7 @@ class GdsServer : public sim::Node {
 
   std::uint64_t next_msg_id_ = 1;
   transport::ParkingLot parked_;
+  std::unique_ptr<journal::Journal> journal_;
   GdsNodeStats stats_;
   DeliveryObserver delivery_observer_;
 };

@@ -29,6 +29,7 @@ Status GreenstoneServer::add_collection(docmodel::CollectionConfig config,
   if (extension_) extension_->on_collection_configured(coll);
   emit(make_event(docmodel::EventType::kCollectionBuilt, coll,
                   coll.data.docs()));
+  commit_journal();
   return Status::ok();
 }
 
@@ -76,6 +77,7 @@ Status GreenstoneServer::rebuild_collection(const std::string& coll_name,
                     entry.collection, std::move(removed)));
   }
   if (extension_) extension_->on_build_complete();
+  commit_journal();
   return Status::ok();
 }
 
@@ -94,6 +96,7 @@ Status GreenstoneServer::add_documents(
   entry.collection.build_version += 1;
   emit(make_event(docmodel::EventType::kDocumentsAdded, entry.collection,
                   std::move(docs)));
+  commit_journal();
   return Status::ok();
 }
 
@@ -108,6 +111,7 @@ Status GreenstoneServer::remove_collection(const std::string& coll_name) {
   collections_.erase(it);
   if (extension_) extension_->on_collection_removed(ref);
   emit(event);
+  commit_journal();
   return Status::ok();
 }
 
@@ -123,6 +127,7 @@ Status GreenstoneServer::add_sub_collection(const std::string& super_name,
   }
   subs.push_back(sub);
   if (extension_) extension_->on_collection_configured(it->second.collection);
+  commit_journal();
   return Status::ok();
 }
 
@@ -139,6 +144,7 @@ Status GreenstoneServer::remove_sub_collection(const std::string& super_name,
   }
   subs.erase(pos);
   if (extension_) extension_->on_collection_configured(it->second.collection);
+  commit_journal();
   return Status::ok();
 }
 
@@ -216,9 +222,44 @@ void GreenstoneServer::ensure_endpoint() {
   }
 }
 
+journal::Journal* GreenstoneServer::journal() {
+  ensure_journal();
+  return journal_.get();
+}
+
+void GreenstoneServer::ensure_journal() {
+  if (!config_.durable || journal_ || !has_network()) return;
+  journal_ = std::make_unique<journal::Journal>(
+      network().storage(id()), "node", name(), config_.journal);
+  journal_->set_clock([this] { return network().now(); });
+  journal_->set_snapshot_writer([this](wire::Writer& w) {
+    w.u64(event_seq_);
+    w.u64(msg_id_);
+    wire::Writer ext;
+    if (extension_) extension_->encode_durable(ext);
+    w.bytes(ext.buffer());
+  });
+  journal_->recover(
+      [this](wire::Reader& r) {
+        // The id counters are modeled durable-in-memory; max-merge so a
+        // snapshot that lags the live counters never winds them back.
+        event_seq_ = std::max(event_seq_, r.u64());
+        msg_id_ = std::max(msg_id_, r.u64());
+        const std::vector<std::byte> blob = r.bytes();
+        if (r.ok() && extension_) {
+          wire::Reader ext{blob};
+          extension_->recover_durable(ext);
+        }
+      },
+      [this](std::uint8_t type, wire::Reader& r, std::uint64_t /*lsn*/) {
+        if (type >= 64 && extension_) extension_->replay_journal(type, r);
+      });
+}
+
 // --- sim::Node -------------------------------------------------------------------------
 
 void GreenstoneServer::on_start() {
+  ensure_journal();
   // attach_gds is called before Network::start, but the client needs the
   // network reference which is only valid once registered; re-attach here.
   if (gds_.attached()) {
@@ -227,23 +268,50 @@ void GreenstoneServer::on_start() {
   }
   ensure_endpoint();
   if (extension_) extension_->on_started();
+  commit_journal();
 }
 
-void GreenstoneServer::on_restart() {
+void GreenstoneServer::on_recover() {
   // Collections are durable (on disk in real Greenstone); pending protocol
-  // state is volatile.
+  // state (endpoint requests, reorder buffers) is volatile.
   endpoint_.cancel_all();
+  if (config_.durable) {
+    // Reopen and replay: the extension wipes its journaled state first,
+    // then the recovery below feeds the snapshot + records back into it.
+    journal_.reset();
+    if (extension_) extension_->on_recovered();
+    ensure_journal();
+  } else if (extension_) {
+    extension_->on_recovered();
+  }
+}
+
+void GreenstoneServer::on_rejoin() {
   if (gds_.attached()) gds_.restart();
   if (extension_) extension_->on_restarted();
 }
 
 void GreenstoneServer::on_timer(std::uint64_t token) {
-  if (gds_.on_timer(token)) return;
-  if (endpoint_.on_timer(token)) return;
+  if (gds_.on_timer(token)) {
+    commit_journal();
+    return;
+  }
+  if (endpoint_.on_timer(token)) {
+    commit_journal();
+    return;
+  }
   if (extension_) extension_->on_timer_token(token);
+  commit_journal();
 }
 
 void GreenstoneServer::on_packet(NodeId from, const sim::Packet& packet) {
+  dispatch_packet(from, packet);
+  // Group commit: one fsync per handled packet, however many journal
+  // records the handlers (or the extension) appended above.
+  commit_journal();
+}
+
+void GreenstoneServer::dispatch_packet(NodeId from, const sim::Packet& packet) {
   auto decoded = wire::unpack(packet);
   if (!decoded.ok()) {
     logf(LogLevel::kWarn, network().now(), name(), "malformed packet");

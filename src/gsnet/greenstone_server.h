@@ -21,6 +21,7 @@
 #include "docmodel/event.h"
 #include "gds/gds_client.h"
 #include "gsnet/messages.h"
+#include "journal/journal.h"
 #include "gsnet/server_extension.h"
 #include "retrieval/engine.h"
 #include "sim/network.h"
@@ -32,6 +33,13 @@ namespace gsalert::gsnet {
 struct ServerConfig {
   /// How long a server-to-server collection request may stay unanswered.
   SimTime request_timeout = SimTime::seconds(5);
+  /// Write-ahead journal for the server's extension state (profiles,
+  /// aux registries, channel custody). Collections and the event/msg id
+  /// counters are modeled durable-in-memory (real Greenstone keeps them
+  /// on disk) and only max-merged from snapshots. When false, restart
+  /// keeps the legacy keep-everything-in-memory semantics.
+  bool durable = true;
+  journal::JournalPolicy journal;
 };
 
 class GreenstoneServer : public sim::Node {
@@ -89,6 +97,18 @@ class GreenstoneServer : public sim::Node {
   void set_extension(std::unique_ptr<ServerExtension> extension);
   ServerExtension* extension() const { return extension_.get(); }
 
+  /// The node's write-ahead journal, opened lazily over its sim storage.
+  /// Null when the server is non-durable or not yet on a network. The
+  /// extension appends records (types 64..254) here; the server group
+  /// commits once per sim event.
+  journal::Journal* journal();
+  bool durable() const { return config_.durable; }
+  /// Flush buffered journal records (one fsync). No-op when clean —
+  /// extensions call this from their own public entry points.
+  void commit_journal() {
+    if (journal_) journal_->commit();
+  }
+
   /// Retransmit/timeout counters for server-to-server requests.
   const transport::EndpointStats& endpoint_stats() const {
     return endpoint_.stats();
@@ -106,7 +126,8 @@ class GreenstoneServer : public sim::Node {
 
   // --- sim::Node -------------------------------------------------------------
   void on_start() override;
-  void on_restart() override;
+  void on_recover() override;
+  void on_rejoin() override;
   void on_packet(NodeId from, const sim::Packet& packet) override;
   void on_timer(std::uint64_t token) override;
 
@@ -117,6 +138,8 @@ class GreenstoneServer : public sim::Node {
   };
 
   void ensure_endpoint();
+  void ensure_journal();
+  void dispatch_packet(NodeId from, const sim::Packet& packet);
   void handle_coll_request(NodeId from, const wire::Envelope& env);
   void handle_coll_response(const wire::Envelope& env);
   void handle_search_request(NodeId from, const wire::Envelope& env);
@@ -137,6 +160,7 @@ class GreenstoneServer : public sim::Node {
   std::unique_ptr<ServerExtension> extension_;
   std::uint64_t event_seq_ = 1;
   std::uint64_t msg_id_ = 1;
+  std::unique_ptr<journal::Journal> journal_;
 
   // Outstanding server-to-server requests (collection + search): retries,
   // backoff and the request_timeout deadline all live in the endpoint.

@@ -10,6 +10,7 @@
 #include "common/types.h"
 #include "docmodel/collection.h"
 #include "docmodel/event.h"
+#include "wire/codec.h"
 #include "wire/envelope.h"
 
 namespace gsalert::gsnet {
@@ -56,6 +57,24 @@ class ServerExtension {
   virtual void on_started() {}
   virtual void on_restarted() {}
   virtual void on_timer_token(std::uint64_t /*token*/) {}
+
+  /// --- durability (server write-ahead journal) --------------------------
+  /// The extension journals its own records (types 64..254) through
+  /// GreenstoneServer::journal(); the server owns the file, the group
+  /// commit and the snapshot cadence. Restart phase 1 calls on_recovered
+  /// (wipe journaled state, re-attach channels) before the server replays
+  /// the journal back through recover_durable / replay_journal; phase 2
+  /// still calls on_restarted to re-announce and re-arm timers.
+  virtual void on_recovered() {}
+  /// Serialize full durable state into a journal snapshot.
+  virtual void encode_durable(wire::Writer&) const {}
+  /// Load state from a snapshot written by encode_durable.
+  virtual void recover_durable(wire::Reader&) {}
+  /// Replay one journal record (types 64..254). Return false for unknown
+  /// types (ignored — forward compatibility).
+  virtual bool replay_journal(std::uint8_t /*type*/, wire::Reader&) {
+    return false;
+  }
 
  protected:
   GreenstoneServer* server_ = nullptr;

@@ -1,0 +1,44 @@
+#include "journal/crc32c.h"
+
+#include <array>
+
+namespace gsalert::journal {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32c::update_byte(std::uint8_t b) {
+  state_ = kTable[(state_ ^ b) & 0xFFu] ^ (state_ >> 8);
+}
+
+void Crc32c::update(std::span<const std::byte> bytes) {
+  for (const std::byte b : bytes) {
+    update_byte(static_cast<std::uint8_t>(b));
+  }
+}
+
+std::uint32_t crc32c(std::span<const std::byte> bytes) {
+  Crc32c crc;
+  crc.update(bytes);
+  return crc.value();
+}
+
+}  // namespace gsalert::journal

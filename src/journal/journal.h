@@ -1,0 +1,194 @@
+// Append-only write-ahead journal over sim::Storage, with group-commit
+// batching, periodic snapshot + compaction, and replay-on-restart.
+//
+// Record framing (all little-endian, encoded with wire::Writer):
+//
+//   u32  magic        'GSJL'
+//   u32  payload_len
+//   u64  lsn          strictly increasing, never reused
+//   u8   type         owner-defined record type
+//   ...  payload      payload_len bytes
+//   u32  crc32c       over (payload_len, lsn, type, payload)
+//
+// Files on the owning node's Storage, named from the journal name:
+//
+//   <name>.log        the record stream; appends buffer in the storage's
+//                     pending tail, commit() flushes them in one fsync
+//                     (group commit — one durable write per sim event,
+//                     however many records the handler produced)
+//   <name>.snap       one snapshot record (same framing, type 255) whose
+//                     lsn says which log prefix it covers
+//   <name>.snap.tmp   compaction scratch; ignored and deleted by recovery
+//
+// Compaction: when the durable log crosses the policy threshold, the
+// owner's snapshot writer serializes full state into <name>.snap.tmp,
+// which is flushed, atomically renamed over <name>.snap, and only then is
+// the log truncated. A crash at ANY point in that sequence recovers: the
+// old snapshot + full log before the rename, the new snapshot + a log
+// whose records are all covered (and skipped by lsn) after it.
+//
+// Recovery: load the snapshot if its CRC holds, then scan the log for the
+// longest valid record prefix — stopping at the first bad magic, bad
+// length, CRC mismatch, or non-increasing lsn — replaying records whose
+// lsn exceeds the snapshot's. The invalid tail is truncated so future
+// appends never interleave with garbage. Recovery is idempotent: running
+// it twice over the same storage yields the same state and the same
+// RecoveryResult.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+#include "sim/storage.h"
+#include "wire/codec.h"
+
+namespace gsalert::obs {
+class MetricsRegistry;
+}  // namespace gsalert::obs
+
+namespace gsalert::journal {
+
+inline constexpr std::uint32_t kMagic = 0x4C4A5347u;  // "GSJL"
+inline constexpr std::uint8_t kSnapshotType = 255;
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 1;
+inline constexpr std::size_t kTrailerBytes = 4;
+
+/// Total framed size of a record with `payload` payload bytes — callers
+/// reserve this (plus their payload) so journal writes never reallocate
+/// mid-encode (the perf budget counts Writer grows).
+constexpr std::size_t record_wire_size(std::size_t payload) {
+  return kHeaderBytes + payload + kTrailerBytes;
+}
+
+struct JournalPolicy {
+  /// Compact (snapshot + truncate) when the durable log crosses this.
+  /// 0 disables size-triggered compaction.
+  std::size_t compact_threshold_bytes = 64 * 1024;
+  /// Emit per-append / per-fsync spans. Off by default: one fsync per
+  /// sim event would crowd useful history out of the bounded flight
+  /// recorder. Replay and compaction always get spans (they are rare).
+  bool trace_io = false;
+};
+
+struct JournalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t commits = 0;         // fsyncs (group commits)
+  std::uint64_t compactions = 0;
+  std::uint64_t snapshot_bytes = 0;  // size of the latest snapshot record
+  std::uint64_t recoveries = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t records_skipped = 0;     // covered by the snapshot
+  std::uint64_t torn_bytes_dropped = 0;  // invalid tails truncated away
+};
+
+struct RecoveryResult {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_lsn = 0;
+  std::uint64_t last_lsn = 0;  // highest lsn recovered (snapshot or log)
+  std::uint64_t records_applied = 0;
+  std::uint64_t records_skipped = 0;
+  std::uint64_t torn_bytes_dropped = 0;
+};
+
+/// Result of walking a byte buffer as a record stream.
+struct ScanResult {
+  std::uint64_t records = 0;
+  std::size_t valid_bytes = 0;  // length of the longest valid prefix
+  std::uint64_t first_lsn = 0;
+  std::uint64_t last_lsn = 0;
+};
+
+/// Walk `bytes` as framed records, invoking `fn` for each valid one and
+/// stopping at the first invalid frame. Total on arbitrary input — this
+/// is the decoder the fuzz harness drives.
+ScanResult scan_records(
+    std::span<const std::byte> bytes,
+    const std::function<void(std::uint8_t type,
+                             std::span<const std::byte> payload,
+                             std::uint64_t lsn)>& fn = nullptr);
+
+class Journal {
+ public:
+  using ReplayFn = std::function<void(std::uint8_t type, wire::Reader& payload,
+                                      std::uint64_t lsn)>;
+  using SnapshotWriter = std::function<void(wire::Writer&)>;
+  using SnapshotLoader = std::function<void(wire::Reader&)>;
+
+  /// `name` prefixes the storage file names; `node` labels spans and
+  /// metrics with the owning node.
+  Journal(sim::Storage& storage, std::string name, std::string node,
+          JournalPolicy policy = {});
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Frame and append one record. The payload Writer should have been
+  /// reserved to its exact encoded size. Buffered (not durable) until
+  /// commit().
+  void append(std::uint8_t type, wire::Writer payload);
+
+  /// Group commit: one fsync covering every append since the last commit.
+  /// May trigger compaction afterwards. No-op when clean.
+  void commit();
+
+  bool dirty() const { return dirty_; }
+
+  /// Owner callback that serializes full durable state for compaction.
+  /// Compaction is skipped (the log grows without bound) until this set.
+  void set_snapshot_writer(SnapshotWriter fn) {
+    snapshot_writer_ = std::move(fn);
+  }
+
+  /// Clock used to timestamp spans; defaults to SimTime::zero() so
+  /// storage-only unit tests need no network.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  /// Force a snapshot + log truncation now (commit() auto-compacts when
+  /// the log crosses the policy threshold).
+  void compact();
+
+  /// Load snapshot (if valid), replay the longest valid log prefix,
+  /// truncate any invalid tail. Replay calls `replay` only for records
+  /// past the snapshot's lsn; `load` sees the snapshot payload.
+  RecoveryResult recover(const SnapshotLoader& load, const ReplayFn& replay);
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  std::uint64_t snapshot_lsn() const { return snapshot_lsn_; }
+  /// Durable + pending log bytes (the growth the soak test bounds).
+  std::size_t log_bytes() const;
+
+  const JournalStats& stats() const { return stats_; }
+  const std::string& log_file() const { return log_; }
+  const std::string& snapshot_file() const { return snap_; }
+
+  /// Export under journal.*{node=...} (see docs/OBSERVABILITY.md).
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  void append_record_to(const std::string& file, std::uint8_t type,
+                        std::uint64_t lsn,
+                        std::span<const std::byte> payload);
+  void maybe_compact();
+  SimTime now() const { return clock_ ? clock_() : SimTime::zero(); }
+
+  sim::Storage& storage_;
+  std::string name_;
+  std::string node_;
+  JournalPolicy policy_;
+  std::string log_;
+  std::string snap_;
+  std::string tmp_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t snapshot_lsn_ = 0;
+  bool dirty_ = false;
+  SnapshotWriter snapshot_writer_;
+  std::function<SimTime()> clock_;
+  JournalStats stats_;
+};
+
+}  // namespace gsalert::journal

@@ -62,7 +62,17 @@ const PathConfig& Network::path_for(NodeId a, NodeId b) const {
 
 void Network::crash(NodeId node) {
   assert(node.value() >= 1 && node.value() <= nodes_.size());
+  if (crash_observer_) crash_observer_(node);
   up_[node.value() - 1] = false;
+  const auto it = storages_.find(node.value());
+  if (it != storages_.end()) it->second->on_crash(rng_, storage_faults_);
+}
+
+Storage& Network::storage(NodeId node) {
+  assert(node.value() >= 1 && node.value() <= nodes_.size());
+  auto& slot = storages_[node.value()];
+  if (!slot) slot = std::make_unique<Storage>();
+  return *slot;
 }
 
 void Network::restart(NodeId node) {

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +19,7 @@
 #include "common/types.h"
 #include "sim/node.h"
 #include "sim/scheduler.h"
+#include "sim/storage.h"
 
 namespace gsalert::obs {
 class MetricsRegistry;
@@ -105,11 +108,36 @@ class Network {
   void set_path(NodeId a, NodeId b, PathConfig config);
 
   /// --- Failure injection ------------------------------------------------
-  /// Crash: node stops sending/receiving; in-flight packets to it drop.
+  /// Crash: node stops sending/receiving; in-flight packets to it drop,
+  /// its storage (if any) loses pending writes per the fault knobs.
   void crash(NodeId node);
   /// Restart a crashed node (on_restart is invoked).
   void restart(NodeId node);
   bool is_up(NodeId node) const;
+
+  /// --- Stable storage -----------------------------------------------------
+  /// The node's simulated disk, created on first use. Survives crashes
+  /// (minus whatever the crash semantics destroy) for the network's
+  /// lifetime.
+  Storage& storage(NodeId node);
+  bool has_storage(NodeId node) const {
+    return storages_.contains(node.value());
+  }
+  /// Crash-time misbehavior applied to every node's storage (torn writes,
+  /// bit flips). Defaults to honest fsync; chaos scenarios raise it.
+  StorageFaults& storage_faults() { return storage_faults_; }
+  /// Every storage instantiated so far, in id order (invariant checkers
+  /// and soak tests scan log sizes through this).
+  const std::map<std::uint32_t, std::unique_ptr<Storage>>& storages() const {
+    return storages_;
+  }
+
+  /// Observer invoked at the instant a node crashes, before storage fault
+  /// semantics apply — the durability checker snapshots the node's
+  /// in-memory state here. One observer; empty function detaches.
+  void set_crash_observer(std::function<void(NodeId)> fn) {
+    crash_observer_ = std::move(fn);
+  }
 
   /// Block/unblock communication between an unordered pair.
   void block_pair(NodeId a, NodeId b);
@@ -177,6 +205,9 @@ class Network {
   std::unordered_set<std::uint64_t> blocked_;
   std::unordered_map<std::uint32_t, int> partition_group_;  // id -> group
   bool partition_active_ = false;
+  std::map<std::uint32_t, std::unique_ptr<Storage>> storages_;
+  StorageFaults storage_faults_;
+  std::function<void(NodeId)> crash_observer_;
   PathConfig default_path_;
   NetChaosKnobs chaos_;
   std::uint64_t in_flight_ = 0;

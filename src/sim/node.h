@@ -46,15 +46,33 @@ class Node {
   /// A timer set via Network::set_timer fired.
   virtual void on_timer(std::uint64_t /*token*/) {}
 
-  /// The node was restarted after a crash. Volatile state was NOT cleared
-  /// automatically — subclasses model their own durability semantics.
-  virtual void on_restart() {}
+  /// The node was restarted after a crash. The default sequences the two
+  /// phases every stateful node shares: first recover durable state
+  /// (reopen the journal, replay), then rejoin the network (hellos,
+  /// timers, retransmits). Stateless test doubles may still override
+  /// on_restart wholesale; production nodes override the phases so the
+  /// restart path is uniform across node types.
+  virtual void on_restart() {
+    on_recover();
+    on_rejoin();
+  }
+
+  /// Phase 1 of restart: rebuild in-memory state from stable storage.
+  /// Volatile state is NOT cleared automatically — subclasses model
+  /// their own durability semantics. Must not send packets.
+  virtual void on_recover() {}
+
+  /// Phase 2 of restart: re-announce to peers and re-arm timers.
+  virtual void on_rejoin() {}
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
 
  protected:
   Network& network() const { return *network_; }
+  /// Registered with a network yet? Lazy storage-backed members (journals)
+  /// must wait until the node is added to one.
+  bool has_network() const { return network_ != nullptr; }
 
  private:
   friend class Network;

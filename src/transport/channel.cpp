@@ -63,6 +63,7 @@ std::uint64_t ChannelSet::send(const std::string& peer, wire::Envelope env) {
   auto [it, inserted] = state.unacked.emplace(seq, std::move(entry));
   (void)inserted;
   stamp_and_transmit(peer, state, seq, it->second);
+  if (persist_.on_send) persist_.on_send(peer, seq, it->second.env);
   arm(it->second.due);
   return seq;
 }
@@ -72,12 +73,23 @@ bool ChannelSet::on_ack(const std::string& peer, std::uint64_t seq) {
   if (peer_it == peers_.end()) return false;
   if (peer_it->second.unacked.erase(seq) == 0) return false;
   stats_.acked += 1;
+  if (persist_.on_acked) persist_.on_acked(peer, seq);
   return true;
 }
 
 ChannelSet::Incoming ChannelSet::on_data(const wire::Envelope& env) {
-  Incoming incoming;
   PeerState& state = peers_[env.src];
+  const std::uint64_t floor_before = state.floor;
+  Incoming incoming = on_data_apply(state, env);
+  if (persist_.on_floor && state.floor > floor_before) {
+    persist_.on_floor(env.src, state.floor);
+  }
+  return incoming;
+}
+
+ChannelSet::Incoming ChannelSet::on_data_apply(PeerState& state,
+                                               const wire::Envelope& env) {
+  Incoming incoming;
   const std::uint64_t seq = env.msg_id;
   // Adopt the sender's window base as our floor: everything below
   // `chan_base` was acked by us in the past (or predates this channel),
@@ -154,6 +166,64 @@ bool ChannelSet::on_timer(std::uint64_t token) {
   const SimTime next = earliest_due();
   if (next.as_micros() >= 0) arm(next);
   return true;
+}
+
+void ChannelSet::restore_unacked(const std::string& peer, std::uint64_t seq,
+                                 wire::Envelope env) {
+  PeerState& state = peers_[peer];
+  Unacked entry;
+  entry.env = std::move(env);
+  entry.rto = policy_.initial_rto;
+  entry.due = (net_ ? net_->now() : SimTime::zero()) +
+              jittered(entry.rto, policy_.jitter, rng_);
+  state.unacked.insert_or_assign(seq, std::move(entry));
+  if (seq >= state.next_seq) state.next_seq = seq + 1;
+}
+
+void ChannelSet::restore_ack(const std::string& peer, std::uint64_t seq) {
+  const auto it = peers_.find(peer);
+  if (it != peers_.end()) it->second.unacked.erase(seq);
+}
+
+void ChannelSet::restore_floor(const std::string& peer, std::uint64_t floor) {
+  PeerState& state = peers_[peer];
+  if (floor > state.floor) state.floor = floor;
+}
+
+void ChannelSet::encode_state(wire::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(peers_.size()));
+  for (const auto& [peer, state] : peers_) {
+    w.str(peer);
+    w.u64(state.next_seq);
+    w.u64(state.floor);
+    w.u32(static_cast<std::uint32_t>(state.unacked.size()));
+    for (const auto& [seq, entry] : state.unacked) {
+      w.u64(seq);
+      w.bytes(entry.env.flatten());
+    }
+  }
+}
+
+void ChannelSet::decode_state(wire::Reader& r) {
+  const std::uint32_t n_peers = r.u32();
+  for (std::uint32_t i = 0; i < n_peers && r.ok(); ++i) {
+    const std::string peer = r.str();
+    const std::uint64_t next_seq = r.u64();
+    const std::uint64_t floor = r.u64();
+    const std::uint32_t n_unacked = r.u32();
+    if (!r.ok()) break;
+    PeerState& state = peers_[peer];
+    state.next_seq = std::max(state.next_seq, next_seq);
+    state.floor = std::max(state.floor, floor);
+    for (std::uint32_t j = 0; j < n_unacked && r.ok(); ++j) {
+      const std::uint64_t seq = r.u64();
+      const std::vector<std::byte> flat = r.bytes();
+      if (!r.ok()) break;
+      if (auto env = wire::unpack(flat)) {
+        restore_unacked(peer, seq, std::move(env).take());
+      }
+    }
+  }
 }
 
 void ChannelSet::on_restart() {

@@ -12,9 +12,14 @@
 // (peer name, seq). Retransmits re-stamp headers only; the body frame
 // is aliased across attempts (zero-copy).
 //
-// Durability: channel state mirrors the outbox it replaces — it
-// survives node restarts (the owner persists it implicitly by keeping
-// the ChannelSet member); only the retry timer is re-armed.
+// Durability: channel state mirrors the outbox it replaces. Durable
+// owners journal it through the persist hooks (one record per send /
+// ack / floor advance, full state in snapshots via encode_state) and
+// rebuild it on recovery with clear_peers() + the restore_* calls;
+// non-durable owners keep the ChannelSet member across restarts and
+// only re-arm the retry timer. The receiver-side reorder buffer is
+// deliberately volatile: a crash drops it, the sender's retransmits
+// re-fill it, and the floor keeps redelivery duplicate-free.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +73,33 @@ class ChannelSet {
     retransmit_hook_ = std::move(hook);
   }
 
+  /// Durability taps: fired at every durable-state mutation so the owner
+  /// can journal it. on_send sees the envelope with its seq stamped;
+  /// on_floor fires once per on_data() that advanced the floor.
+  struct PersistHooks {
+    std::function<void(const std::string& peer, std::uint64_t seq,
+                       const wire::Envelope& env)>
+        on_send;
+    std::function<void(const std::string& peer, std::uint64_t seq)> on_acked;
+    std::function<void(const std::string& peer, std::uint64_t floor)> on_floor;
+  };
+  void set_persist_hooks(PersistHooks hooks) { persist_ = std::move(hooks); }
+
+  /// --- Recovery (journal replay) ---------------------------------------
+  /// Drop all per-peer state; replay rebuilds it from the records below.
+  void clear_peers() { peers_.clear(); }
+  /// Re-insert an unacked send with its original seq (due/rto reset to
+  /// the policy's initial values; call after attach()).
+  void restore_unacked(const std::string& peer, std::uint64_t seq,
+                       wire::Envelope env);
+  /// Re-apply an ack / raise a receiver floor from the journal.
+  void restore_ack(const std::string& peer, std::uint64_t seq);
+  void restore_floor(const std::string& peer, std::uint64_t floor);
+  /// Full durable state (sender seqs + unacked envelopes + receiver
+  /// floors; no reorder buffer) for journal snapshots.
+  void encode_state(wire::Writer& w) const;
+  void decode_state(wire::Reader& r);
+
   /// Stamp (seq, chan_base) onto `env`, store it for retransmission and
   /// transmit. Returns the assigned sequence number.
   std::uint64_t send(const std::string& peer, wire::Envelope env);
@@ -109,6 +141,7 @@ class ChannelSet {
     std::map<std::uint64_t, wire::Envelope> reorder;
   };
 
+  Incoming on_data_apply(PeerState& state, const wire::Envelope& env);
   void stamp_and_transmit(const std::string& peer, PeerState& state,
                           std::uint64_t seq, Unacked& entry);
   void arm(SimTime due);
@@ -119,6 +152,7 @@ class ChannelSet {
   std::string self_name_;
   TransmitFn transmit_;
   RetransmitHook retransmit_hook_;
+  PersistHooks persist_;
   ChannelPolicy policy_;
   Rng rng_{0};
   std::map<std::string, PeerState> peers_;

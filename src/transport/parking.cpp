@@ -15,25 +15,57 @@ void ParkingLot::evict_oldest() {
     }
   }
   if (oldest == by_key_.end()) return;
+  if (removal_hook_) removal_hook_(oldest->second.front().order);
   oldest->second.pop_front();
   if (oldest->second.empty()) by_key_.erase(oldest);
   size_ -= 1;
   stats_.evicted += 1;
 }
 
-void ParkingLot::park(const std::string& key, wire::Envelope env,
-                      SimTime now) {
-  park_until(key, std::move(env), now + policy_.ttl);
+std::uint64_t ParkingLot::park(const std::string& key, wire::Envelope env,
+                               SimTime now) {
+  return park_until(key, std::move(env), now + policy_.ttl);
 }
 
-void ParkingLot::park_until(const std::string& key, wire::Envelope env,
-                            SimTime expires_at) {
+std::uint64_t ParkingLot::park_until(const std::string& key,
+                                     wire::Envelope env, SimTime expires_at) {
   while (size_ >= policy_.capacity && size_ > 0) evict_oldest();
-  if (policy_.capacity == 0) return;
-  by_key_[key].push_back(
-      Parked{std::move(env), expires_at, next_order_++});
+  if (policy_.capacity == 0) return next_order_++;
+  const std::uint64_t order = next_order_++;
+  by_key_[key].push_back(Parked{std::move(env), expires_at, order});
   size_ += 1;
   stats_.parked += 1;
+  return order;
+}
+
+void ParkingLot::restore(const std::string& key, wire::Envelope env,
+                         SimTime expires_at, std::uint64_t order) {
+  by_key_[key].push_back(Parked{std::move(env), expires_at, order});
+  size_ += 1;
+  if (order >= next_order_) next_order_ = order + 1;
+}
+
+bool ParkingLot::remove_order(std::uint64_t order) {
+  for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
+    auto& queue = it->second;
+    for (auto entry = queue.begin(); entry != queue.end(); ++entry) {
+      if (entry->order != order) continue;
+      queue.erase(entry);
+      size_ -= 1;
+      if (queue.empty()) by_key_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParkingLot::for_each(
+    const std::function<void(const std::string&, const Entry&)>& fn) const {
+  for (const auto& [key, queue] : by_key_) {
+    for (const auto& parked : queue) {
+      fn(key, Entry{parked.env, parked.expires_at, parked.order});
+    }
+  }
 }
 
 std::vector<ParkingLot::Entry> ParkingLot::take(const std::string& key,
@@ -45,10 +77,12 @@ std::vector<ParkingLot::Entry> ParkingLot::take(const std::string& key,
     size_ -= 1;
     if (parked.expires_at <= now) {
       stats_.expired += 1;
+      if (removal_hook_) removal_hook_(parked.order);
       continue;
     }
     stats_.flushed += 1;
-    out.push_back(Entry{std::move(parked.env), parked.expires_at});
+    out.push_back(Entry{std::move(parked.env), parked.expires_at,
+                        parked.order});
   }
   by_key_.erase(it);
   return out;
@@ -68,10 +102,12 @@ std::vector<ParkingLot::Entry> ParkingLot::take_all(SimTime now) {
   for (auto& parked : all) {
     if (parked.expires_at <= now) {
       stats_.expired += 1;
+      if (removal_hook_) removal_hook_(parked.order);
       continue;
     }
     stats_.flushed += 1;
-    out.push_back(Entry{std::move(parked.env), parked.expires_at});
+    out.push_back(Entry{std::move(parked.env), parked.expires_at,
+                        parked.order});
   }
   return out;
 }
@@ -83,6 +119,7 @@ void ParkingLot::expire(SimTime now) {
       if (entry->expires_at <= now) {
         stats_.expired += 1;
         size_ -= 1;
+        if (removal_hook_) removal_hook_(entry->order);
         entry = queue.erase(entry);
       } else {
         ++entry;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@ class ParkingLot {
   struct Entry {
     wire::Envelope env;
     SimTime expires_at;
+    std::uint64_t order = 0;  // global FIFO position; stable custody id
   };
 
   explicit ParkingLot(ParkPolicy policy = {}) : policy_(policy) {}
@@ -37,11 +39,33 @@ class ParkingLot {
 
   /// Park `env` under `key` (the unresolved destination name). At
   /// capacity the globally oldest entry is evicted first (FIFO across
-  /// keys), so a hot unknown name cannot starve the rest.
-  void park(const std::string& key, wire::Envelope env, SimTime now);
+  /// keys), so a hot unknown name cannot starve the rest. Returns the
+  /// entry's custody order id (journaled by durable owners).
+  std::uint64_t park(const std::string& key, wire::Envelope env, SimTime now);
   /// Same, preserving an existing expiry (re-park after a failed flush).
-  void park_until(const std::string& key, wire::Envelope env,
-                  SimTime expires_at);
+  std::uint64_t park_until(const std::string& key, wire::Envelope env,
+                           SimTime expires_at);
+
+  /// Re-insert an entry with its original custody id (journal replay).
+  /// Caller replays in order-id order; capacity is not re-enforced here
+  /// (the journal never holds more live parks than capacity allowed).
+  void restore(const std::string& key, wire::Envelope env, SimTime expires_at,
+               std::uint64_t order);
+
+  /// Remove the entry with custody id `order` (journal replay of an
+  /// unpark). No hook, no stats — replay bookkeeping only.
+  bool remove_order(std::uint64_t order);
+
+  /// Invoked with the custody id of every entry the lot drops on its own
+  /// (TTL expiry, capacity eviction) — NOT for entries handed back via
+  /// take/take_all. Durable owners journal the unpark here.
+  void set_removal_hook(std::function<void(std::uint64_t order)> fn) {
+    removal_hook_ = std::move(fn);
+  }
+
+  /// Visit every live entry (key order, FIFO within key) for snapshots.
+  void for_each(const std::function<void(const std::string& key,
+                                         const Entry& entry)>& fn) const;
 
   /// Remove and return every live entry for `key`, oldest first.
   /// Entries already past their TTL are counted expired and dropped.
@@ -71,6 +95,7 @@ class ParkingLot {
   std::map<std::string, std::deque<Parked>> by_key_;
   std::size_t size_ = 0;
   std::uint64_t next_order_ = 0;
+  std::function<void(std::uint64_t)> removal_hook_;
   ParkStats stats_;
 };
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/log.h"
@@ -344,6 +345,130 @@ class PostHealCompletenessChecker : public sim::InvariantChecker {
   std::unordered_map<std::string, std::uint64_t> snapshot_;
 };
 
+// --- crash-durability -------------------------------------------------------
+
+/// Snapshots a node's durable-by-contract state at the instant it
+/// crashes (via the network's crash observer, before storage fault
+/// semantics apply) and re-checks it at quiescence: under honest fsync
+/// every journaled fact committed before the crash must still be there
+/// after the restart. Registrations, broadcast/event dedup keys and
+/// processed forwards may only grow; subscriptions may shrink only by
+/// explicit cancellation. Only the latest crash per node is kept — each
+/// recovery must preserve the state of the most recent pre-crash commit.
+class DurabilityChecker : public sim::InvariantChecker {
+ public:
+  explicit DurabilityChecker(Scenario& scenario) : scenario_(scenario) {
+    scenario.net().set_crash_observer(
+        [this](NodeId node) { snapshot(node); });
+  }
+
+  std::string name() const override { return "crash-durability"; }
+
+  void check(std::vector<sim::Violation>& out) override {
+    for (gds::GdsServer* node : scenario_.gds_tree().nodes) {
+      const auto snap = gds_snaps_.find(node->id().value());
+      if (snap == gds_snaps_.end()) continue;
+      if (!scenario_.net().is_up(node->id())) continue;
+      require_superset(out, node->name() + " registration",
+                       snap->second.registered, node->registered_names());
+      require_superset(out, node->name() + " broadcast-dedup key",
+                       snap->second.seen, node->broadcast_seen_keys());
+    }
+    const auto& servers = scenario_.servers();
+    const auto& services = scenario_.gsalert();
+    for (std::size_t i = 0; i < servers.size() && i < services.size(); ++i) {
+      const auto snap = svc_snaps_.find(servers[i]->id().value());
+      if (snap == svc_snaps_.end()) continue;
+      if (!scenario_.net().is_up(servers[i]->id())) continue;
+      // A subscription may vanish only through an explicit cancel; the
+      // scenario's lifecycle records say which ids those are.
+      const auto cancelled = cancelled_ids(servers[i]->id());
+      std::vector<std::string> want;
+      for (const SubscriptionId id : snap->second.subs) {
+        if (!cancelled.contains(id)) want.push_back("#" + std::to_string(id));
+      }
+      std::vector<std::string> have;
+      for (const SubscriptionId id : services[i]->subscription_ids()) {
+        have.push_back("#" + std::to_string(id));
+      }
+      require_superset(out, servers[i]->name() + " subscription", want, have);
+      require_superset(out, servers[i]->name() + " seen-event",
+                       snap->second.seen, services[i]->seen_event_keys());
+      require_superset(out, servers[i]->name() + " processed-forward",
+                       snap->second.forwards,
+                       services[i]->processed_forward_keys());
+    }
+  }
+
+ private:
+  struct GdsSnap {
+    std::vector<std::string> registered;
+    std::vector<std::string> seen;
+  };
+  struct SvcSnap {
+    std::vector<SubscriptionId> subs;
+    std::vector<std::string> seen;
+    std::vector<std::string> forwards;
+  };
+
+  void snapshot(NodeId node) {
+    for (gds::GdsServer* g : scenario_.gds_tree().nodes) {
+      if (g->id() != node) continue;
+      gds_snaps_[node.value()] =
+          GdsSnap{g->registered_names(), g->broadcast_seen_keys()};
+      return;
+    }
+    const auto& servers = scenario_.servers();
+    const auto& services = scenario_.gsalert();
+    for (std::size_t i = 0; i < servers.size() && i < services.size(); ++i) {
+      if (servers[i]->id() != node) continue;
+      svc_snaps_[node.value()] =
+          SvcSnap{services[i]->subscription_ids(),
+                  services[i]->seen_event_keys(),
+                  services[i]->processed_forward_keys()};
+      return;
+    }
+  }
+
+  std::unordered_set<SubscriptionId> cancelled_ids(NodeId server) const {
+    std::unordered_set<SubscriptionId> out;
+    const auto& clients = scenario_.clients();
+    for (const Scenario::SubRecord& record : scenario_.sub_records()) {
+      if (record.active || record.id == 0) continue;
+      if (record.client_index >= clients.size()) continue;
+      if (clients[record.client_index]->home() == server) {
+        out.insert(record.id);
+      }
+    }
+    return out;
+  }
+
+  void require_superset(std::vector<sim::Violation>& out,
+                        const std::string& what,
+                        const std::vector<std::string>& want,
+                        const std::vector<std::string>& have) {
+    const std::unordered_set<std::string> present{have.begin(), have.end()};
+    std::size_t listed = 0;
+    for (const std::string& key : want) {
+      if (present.contains(key)) continue;
+      if (++listed <= kMaxListedViolations) {
+        out.push_back(sim::Violation{
+            name(), what + " " + key + " lost across crash-restart"});
+      }
+    }
+    if (listed > kMaxListedViolations) {
+      out.push_back(sim::Violation{
+          name(), "... and " +
+                      std::to_string(listed - kMaxListedViolations) +
+                      " more lost from " + what});
+    }
+  }
+
+  Scenario& scenario_;
+  std::unordered_map<std::uint32_t, GdsSnap> gds_snaps_;
+  std::unordered_map<std::uint32_t, SvcSnap> svc_snaps_;
+};
+
 // --- harness ----------------------------------------------------------------
 
 ChaosHarness::ChaosHarness(Scenario& scenario, ChaosHarnessOptions options)
@@ -370,6 +495,7 @@ ChaosHarness::ChaosHarness(Scenario& scenario, ChaosHarnessOptions options)
     post_heal_ =
         registry_.add(std::make_unique<PostHealCompletenessChecker>(
             scenario));
+    registry_.add(std::make_unique<DurabilityChecker>(scenario));
   }
   registry_.add(
       std::make_unique<sim::WireConservationChecker>(scenario.net()));
@@ -378,6 +504,7 @@ ChaosHarness::ChaosHarness(Scenario& scenario, ChaosHarnessOptions options)
 ChaosHarness::~ChaosHarness() {
   obs::remove_sink(&recorder_);
   set_log_observer(nullptr);
+  scenario_.net().set_crash_observer({});
   for (gds::GdsServer* node : scenario_.gds_tree().nodes) {
     node->set_delivery_observer({});
   }
@@ -458,8 +585,12 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   sc.clients_per_server = config.clients_per_server;
   sc.seed = config.seed;
   sc.gds_dedup = config.gds_dedup;
+  sc.journal_compact_bytes = config.journal_compact_bytes;
   Scenario scenario{sc};
-  ChaosHarness harness{scenario};
+  scenario.net().storage_faults() = config.storage_faults;
+  ChaosHarnessOptions harness_options;
+  harness_options.full_checks = config.full_checks;
+  ChaosHarness harness{scenario, harness_options};
 
   scenario.setup_collections();
   if (config.distributed_links > 0) {
@@ -516,6 +647,14 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   report.violations = harness.check();
   report.schedule = harness.schedule();
   report.outcome = scenario.outcome();
+  for (const auto& [node, storage] : scenario.net().storages()) {
+    for (const std::string& file : storage->files()) {
+      if (!file.ends_with(".log")) continue;
+      report.max_journal_log_bytes =
+          std::max<std::uint64_t>(report.max_journal_log_bytes,
+                                  storage->durable_size(file));
+    }
+  }
   std::ostringstream trace;
   trace << "seed=" << config.seed << " servers=" << config.n_servers
         << " fanout=" << config.gds_fanout

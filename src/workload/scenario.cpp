@@ -70,6 +70,10 @@ void Scenario::build_world() {
     depth = std::max(depth, 2);
     gds::GdsConfig gds_config;
     gds_config.dedup_enabled = config_.gds_dedup;
+    if (config_.journal_compact_bytes != 0) {
+      gds_config.journal.compact_threshold_bytes =
+          config_.journal_compact_bytes;
+    }
     gds_tree_ = gds::build_tree(net_, fanout, depth, gds_config);
   } else if (config_.strategy == Strategy::kCentralized) {
     central_ = net_.make_node<baselines::CentralServer>("central");
@@ -86,7 +90,13 @@ void Scenario::build_world() {
   for (int i = 0; i < n; ++i) {
     const std::string host = host_name(i);
     hosts_.push_back(host);
-    auto* server = net_.make_node<gsnet::GreenstoneServer>(host);
+    gsnet::ServerConfig server_config;
+    if (config_.journal_compact_bytes != 0) {
+      server_config.journal.compact_threshold_bytes =
+          config_.journal_compact_bytes;
+    }
+    auto* server =
+        net_.make_node<gsnet::GreenstoneServer>(host, server_config);
     switch (config_.strategy) {
       case Strategy::kGsAlert: {
         auto ext = std::make_unique<alerting::AlertingService>();

@@ -55,6 +55,10 @@ struct ScenarioConfig {
   std::optional<GsTopology> explicit_topology;
   std::uint64_t seed = 1;
   sim::PathConfig path{.latency = SimTime::millis(10)};
+  /// Journal compaction threshold for every durable node (0 = library
+  /// default). Small values force frequent compactions mid-run — the
+  /// crash-adjacent-to-compaction chaos class.
+  std::size_t journal_compact_bytes = 0;
   bool gds_dedup = true;            // ablation switch (E7); also B4 dedup
   bool b2_covering = false;         // ablation switch (E5): B2 merging
 };

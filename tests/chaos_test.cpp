@@ -1,5 +1,5 @@
 // Seed-sweep property tests: randomized topology x workload x fault
-// schedule, all five invariant checkers armed. Any failing seed is a
+// schedule, all six invariant checkers armed. Any failing seed is a
 // one-line repro:   ./tests/chaos_test --seed=N   (--no-dedup disables
 // GDS duplicate suppression; --root-crash pins the root-failover
 // schedule instead of the seed-derived one).
@@ -33,6 +33,10 @@ ChaosRunConfig config_for_seed(std::uint64_t seed) {
   config.chaos.loss_bursts = static_cast<int>((seed / 3) % 2);
   config.chaos.duplication_windows = static_cast<int>((seed / 5) % 2);
   config.chaos.reorder_windows = static_cast<int>((seed / 7) % 2);
+  // Every fifth seed shrinks the journal compaction threshold so the
+  // sweep crashes nodes right next to (and between) compaction cycles,
+  // with the strict crash-durability invariant still armed.
+  if (seed % 5 == 0) config.journal_compact_bytes = 4096;
   return config;
 }
 
@@ -146,6 +150,45 @@ TEST(ChaosInjectedBug, HealthyBuildSurvivesSameSchedule) {
       run_chaos_with(config, root_crash_schedule());
   EXPECT_TRUE(report.ok()) << sim::format_violations(report.violations)
                            << report.trace;
+}
+
+// Torn-write chaos class: every crash lands on a disk whose fsync lies
+// (random prefixes of unflushed appends survive, the last flushed batch
+// may tear back, and a bit near the tail can flip). The strict
+// crash-durability invariant is legally void here — an acked dedup key
+// can be torn out of the log — so full checks are off. What must still
+// hold: recovery never crashes a node (torn tails are repaired, not
+// fatal), wire conservation, and post-heal liveness (the final healthy
+// publishes still reach subscribers).
+TEST(ChaosTornWrites, RecoverySurvivesTornLogsAcrossSeeds) {
+  for (const std::uint64_t seed : {11ULL, 23ULL, 47ULL, 95ULL, 140ULL}) {
+    ChaosRunConfig config = config_for_seed(seed);
+    config.full_checks = false;
+    config.storage_faults.torn_write = 1.0;
+    config.storage_faults.bit_flip = 0.25;
+    config.journal_compact_bytes = 4096;  // tear near compactions too
+    config.chaos.crashes = 3;
+    const ChaosReport report = run_chaos(config);
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << " (wire conservation under torn writes):\n"
+        << sim::format_violations(report.violations) << report.trace;
+    EXPECT_GT(report.outcome.delivered_matching, 0u)
+        << "seed " << seed << " delivered nothing despite healing";
+  }
+}
+
+// Torn-write fault draws come from the network Rng, so even the
+// misbehaving-disk runs replay byte for byte from the seed.
+TEST(ChaosTornWrites, TornRunReplaysByteIdentical) {
+  ChaosRunConfig config = config_for_seed(13);
+  config.full_checks = false;
+  config.storage_faults.torn_write = 1.0;
+  config.storage_faults.bit_flip = 0.25;
+  config.journal_compact_bytes = 4096;
+  const ChaosReport first = run_chaos(config);
+  const ChaosReport second = run_chaos(config);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.ok(), second.ok());
 }
 
 TEST(ChaosMinimize, ShrinksFailingScheduleToCulprit) {

@@ -6,6 +6,7 @@
 //   gds-tree-well-formed directory tree reconnects after failures
 //   dangling-profile     cancelled profiles never notify (I1)
 //   post-heal-delivery   post-heal events delivered in full (I2/I3)
+//   crash-durability     journaled state survives crash-restarts
 //   wire-conservation    every packet accounted for
 //
 // Each parameter set is one seed-replayable world; on failure the trace
@@ -62,6 +63,38 @@ TEST_P(ChurnSoak, InvariantsHoldUnderChurn) {
   EXPECT_GT(report.outcome.expected_notifications, 0u);
   EXPECT_EQ(report.outcome.false_positives, 0u)
       << "I1: no false positives, ever";
+}
+
+// Journal growth: compaction must keep every node's durable log bounded
+// across a long churn run — the log is truncated behind each snapshot,
+// so its size can only reach the compaction threshold plus whatever one
+// event's commit appends on top. 4x the threshold is generous slack for
+// the burstiest commit (a full event batch of channel-send records) and
+// still fails immediately if compaction stops firing.
+TEST(JournalGrowthSoak, CompactionBoundsLogSize) {
+  ChaosRunConfig config;
+  config.seed = 808;
+  config.n_servers = 10;
+  config.gds_fanout = 2;
+  config.clients_per_server = 2;
+  config.profiles_per_client = 3;
+  config.distributed_links = 3;
+  config.warmup_publishes = 8;
+  config.chaos_steps = 20;
+  config.final_publishes = 8;
+  config.chaos.duration = SimTime::seconds(16);
+  config.chaos.crashes = 3;
+  config.chaos.blocks = 2;
+  config.journal_compact_bytes = 4096;
+
+  const ChaosReport report = run_chaos(config);
+  EXPECT_TRUE(report.ok()) << sim::format_violations(report.violations)
+                           << report.trace;
+  EXPECT_GT(report.max_journal_log_bytes, 0u)
+      << "no journal ever wrote a record — the soak idled";
+  EXPECT_LT(report.max_journal_log_bytes,
+            4u * config.journal_compact_bytes + 1024u)
+      << "journal logs grew past the compaction bound";
 }
 
 INSTANTIATE_TEST_SUITE_P(
