@@ -162,6 +162,7 @@ int main(int argc, char** argv) {
       total.outcome.false_negatives += r.outcome.false_negatives;
       total.outcome.false_positives += r.outcome.false_positives;
       total.outcome.messages_sent += r.outcome.messages_sent;
+      total.outcome.latency.merge(r.outcome.latency);
       total.orphan_notifications += r.orphan_notifications;
       total.orphan_profiles_left += r.orphan_profiles_left;
       if (!r.violations.empty()) {

@@ -9,6 +9,7 @@
 #include "docmodel/collection.h"
 #include "gsnet/greenstone_server.h"
 #include "gsnet/receptionist.h"
+#include "obs/latency.h"
 #include "obs/metrics_registry.h"
 #include "sim/network.h"
 #include "workload/metrics.h"
@@ -69,6 +70,11 @@ int main() {
       "latency_ms result");
   obs::MetricsRegistry reg;
   Histogram access_latency;
+  // No alerting pipeline here — the access round-trip IS the end-to-end
+  // latency, fed to the tracker by hand so this bench still carries the
+  // canonical latency.* schema the sentinel expects.
+  obs::LatencyTracker tracker;
+  const obs::ScopedSink tracker_sink{&tracker};
   auto probe = [&](gsnet::Receptionist* r, const CollectionRef& ref,
                    const char* kind) {
     net.reset_stats();
@@ -87,6 +93,8 @@ int main() {
     if (result->ok) {
       reg.counter("bench.hops", labels) = result->hops;
       access_latency.record((*done_at - start).as_millis());
+      tracker.record_e2e_ms((*done_at - start).as_millis());
+      tracker.breakdown().notify_hops.record(result->hops);
       std::snprintf(row, sizeof(row),
                     "%-17s %-20s %4zu %4u %7u %-8llu %10.1f %s", ref.str().c_str(),
                     kind, result->docs.size(), result->hops,
@@ -112,6 +120,7 @@ int main() {
       "\nshape check: distributed D costs 1 extra hop / 1 extra server; "
       "virtual C serves sub data only; G denied directly, served via F.\n");
   reg.histogram("bench.access_latency_ms") = access_latency;
+  tracker.breakdown().export_to(reg);
   net.collect_metrics(reg);
   workload::write_bench_json("fig1_scenario", reg);
   return 0;

@@ -12,6 +12,7 @@
 #include "gds/gds_client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/latency.h"
 #include "obs/metrics_registry.h"
 #include "sim/network.h"
 #include "wire/codec.h"
@@ -114,6 +115,10 @@ void sweep(obs::MetricsRegistry& reg, int fanout, std::size_t payload) {
 }  // namespace
 
 int main() {
+  // Armed for the whole run: the figure's broadcast exercises the real
+  // publish -> flood -> notify pipeline, so the spans carry e2e latency.
+  obs::LatencyTracker tracker;
+  const obs::ScopedSink tracker_sink{&tracker};
   sim::Network net{2};
   const SimTime hop = SimTime::millis(20);
   net.set_default_path({.latency = hop});
@@ -194,6 +199,7 @@ int main() {
   for (auto* n : tree.nodes) n->collect_metrics(reg);
   reg.counter("bench.servers_notified") = static_cast<std::uint64_t>(notified);
   reg.histogram("bench.notify_latency_ms") = latency;
+  tracker.breakdown().export_to(reg);
 
   workload::print_table_header(
       "fan-out / payload sweep — per-event copy volume on the GDS tree",

@@ -10,13 +10,20 @@
 #include "alerting/client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "journal/journal.h"
+#include "obs/latency.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "sim/network.h"
 #include "workload/metrics.h"
 
 using namespace gsalert;
 
 int main() {
+  obs::LatencyTracker tracker;
+  const obs::ScopedSink tracker_sink{&tracker};
+  obs::Profiler profiler;
+  profiler.enable();
   sim::Network net{3};
   net.set_default_path({.latency = SimTime::millis(20)});
   gds::GdsTree tree = gds::build_figure2_tree(net);
@@ -111,11 +118,24 @@ int main() {
   std::printf(
       "\nshape check: the super-collection notification pays the extra GS "
       "forward + rename, so it lands later than the sub's direct flood.\n");
+  profiler.disable();
   obs::MetricsRegistry reg;
   net.collect_metrics(reg);
   for (auto* n : tree.nodes) n->collect_metrics(reg);
   ham_stats->collect_metrics(reg);
   lon_stats->collect_metrics(reg);
+  obs::LatencyBreakdown breakdown = tracker.breakdown();
+  breakdown.match_cpu_us.merge(ham_stats->match_cpu_us());
+  breakdown.match_cpu_us.merge(lon_stats->match_cpu_us());
+  for (gsnet::GreenstoneServer* s : {hamilton, london, other}) {
+    if (const journal::Journal* j = s->journal()) {
+      breakdown.fsync_us.merge(j->fsync_us());
+    }
+  }
+  breakdown.export_to(reg);
+  profiler.export_to(reg);
+  std::printf("\nprofile (top-level frames):\n%s",
+              profiler.call_tree().c_str());
   reg.counter("bench.subscribers_correct") =
       (ok1 ? 1u : 0u) + (ok2 ? 1u : 0u);
   workload::write_bench_json("fig3_hybrid", reg);

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "journal/journal.h"
+#include "obs/latency.h"
 #include "obs/metrics_registry.h"
 #include "sim/storage.h"
 #include "wire/codec.h"
@@ -91,8 +92,11 @@ struct Measurement {
 };
 
 /// Build a journal of `records` history, then time recovery over it.
-/// `compact_threshold` 0 = never compact (pure log replay).
-Measurement measure(int records, std::size_t compact_threshold) {
+/// `compact_threshold` 0 = never compact (pure log replay). When
+/// `breakdown` is given, the write side's per-commit fsync cost and the
+/// measured recovery times are merged into it.
+Measurement measure(int records, std::size_t compact_threshold,
+                    obs::LatencyBreakdown* breakdown = nullptr) {
   sim::Storage storage;
   journal::JournalPolicy policy;
   policy.compact_threshold_bytes = compact_threshold;
@@ -102,6 +106,7 @@ Measurement measure(int records, std::size_t compact_threshold) {
     writer.set_snapshot_writer(
         [&](wire::Writer& w) { writer_state.snapshot(w); });
     produce(writer, writer_state, records);
+    if (breakdown != nullptr) breakdown->fsync_us.merge(writer.fsync_us());
   }
 
   Measurement m;
@@ -138,13 +143,18 @@ int main() {
       "journal recovery — replay cost vs history length",
       "records      mode  log_bytes  snap_bytes  replayed  recover_us");
   obs::MetricsRegistry reg;
+  // No notify pipeline here: "end to end" is restart-to-recovered, which
+  // is the latency a crashed node's subscribers actually wait out.
+  obs::LatencyBreakdown breakdown;
   bool compaction_bounds_recovery = true;
   double compacted_worst = 0;
   double log_worst = 0;
   for (const int records : {100, 1000, 5000, 20000}) {
     for (const bool compacted : {false, true}) {
       const Measurement m =
-          measure(records, compacted ? std::size_t{16 * 1024} : 0);
+          measure(records, compacted ? std::size_t{16 * 1024} : 0,
+                  &breakdown);
+      breakdown.e2e_ms.record(m.recover_micros / 1000.0);
       const char* mode = compacted ? "snapshot" : "log-only";
       const obs::Labels labels{{"records", std::to_string(records)},
                                {"mode", mode}};
@@ -188,6 +198,7 @@ int main() {
               compacted_worst);
   reg.counter("bench.compaction_bounds_recovery") =
       compaction_bounds_recovery ? 1 : 0;
+  breakdown.export_to(reg);
   workload::write_bench_json("journal_recovery", reg);
   return compaction_bounds_recovery ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "alerting/client.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/latency.h"
 #include "obs/metrics_registry.h"
 #include "sim/chaos.h"
 #include "sim/invariants.h"
@@ -119,6 +120,11 @@ int main(int argc, char** argv) {
       "partition_s notified delay_s  (delay ≈ partition + retry ≤ 1s + hops)");
   bool all_delivered = true;
   obs::MetricsRegistry reg;
+  // Spans from every measurement world land in one tracker: the e2e
+  // histogram then shows the partition-stretched tail, and the
+  // retransmit-delay stage shows the retry storm that carried it.
+  obs::LatencyTracker tracker;
+  const obs::ScopedSink tracker_sink{&tracker};
   for (const int seconds : {0, 1, 5, 20, 60}) {
     World world;
     sim::WireConservationChecker wire{world.net};
@@ -191,6 +197,7 @@ int main(int argc, char** argv) {
   reg.counter("bench.spurious_after_cancel") =
       world.user->notifications().size();
   reg.counter("bench.chaos_violations") = chaos_violations;
+  tracker.breakdown().export_to(reg);
   world.net.collect_metrics(reg);
   workload::write_bench_json("partition_recovery", reg);
   return all_delivered && world.user->notifications().empty() &&

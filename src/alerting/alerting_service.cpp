@@ -1,9 +1,11 @@
 #include "alerting/alerting_service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "profiles/event_context.h"
 
@@ -141,6 +143,7 @@ void AlertingService::on_restarted() {
 // --- event pipeline -----------------------------------------------------------
 
 void AlertingService::filter_and_notify(const docmodel::Event& event) {
+  GSALERT_PROFILE("alerting.filter_and_notify");
   profiles::EventContext ctx = profiles::EventContext::from(event);
   // §5: at the event's own host, query predicates run against the
   // collection's freshly rebuilt index instead of scanning documents.
@@ -149,8 +152,14 @@ void AlertingService::filter_and_notify(const docmodel::Event& event) {
   if (event.via.empty() && event.collection.host == server_->name()) {
     ctx.set_engine(server_->engine(event.collection.name));
   }
+  const auto match_t0 = std::chrono::steady_clock::now();
   const std::vector<profiles::ProfileId> hits =
       index_.match(ctx, &match_stats_);
+  match_cpu_us_.record(
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - match_t0)
+                              .count()) /
+      1000.0);
   stats_.filter_matches += hits.size();
   for (profiles::ProfileId id : hits) {
     const auto it = subs_.find(id);

@@ -29,6 +29,7 @@
 #include "common/types.h"
 #include "gsnet/greenstone_server.h"
 #include "gsnet/server_extension.h"
+#include "obs/latency.h"
 #include "obs/trace.h"
 #include "profiles/index.h"
 #include "profiles/parser.h"
@@ -81,6 +82,11 @@ class AlertingService : public gsnet::ServerExtension {
   /// Matcher instrumentation accumulated across every filtered event
   /// (eq probes, predicate/query cache hits, residual evaluations).
   const profiles::MatchStats& match_stats() const { return match_stats_; }
+  /// Wall-clock microseconds spent in index_.match per filtered event.
+  /// Deliberately NOT part of collect_metrics (seed-replay snapshots must
+  /// stay byte-identical); workload::Scenario merges it into the
+  /// Outcome's LatencyBreakdown instead.
+  const obs::LatencyHistogram& match_cpu_us() const { return match_cpu_us_; }
   const profiles::ProfileIndex& index() const { return index_; }
   /// Export stats under `alerting.*{server=<name>}` plus gauges for the
   /// live subscription/outbox sizes (see docs/OBSERVABILITY.md).
@@ -249,6 +255,7 @@ class AlertingService : public gsnet::ServerExtension {
       sub_requests_;
   AlertingStats stats_;
   profiles::MatchStats match_stats_;
+  obs::LatencyHistogram match_cpu_us_;
   NotificationObserver notification_observer_;
 };
 

@@ -9,6 +9,24 @@
 
 namespace gsalert {
 
+namespace {
+// 64 buckets cover (2^62, 2^63] — beyond any latency or byte count the
+// benches record; everything larger clamps into the last bucket.
+constexpr std::size_t kMaxLog2Buckets = 64;
+}  // namespace
+
+std::size_t log2_bucket_index(double value) {
+  if (!(value > 1.0)) return 0;  // <=1, 0, negatives and NaN
+  const std::size_t idx =
+      static_cast<std::size_t>(std::ceil(std::log2(value)));
+  return std::min(idx, kMaxLog2Buckets - 1);
+}
+
+double log2_bucket_bound(std::size_t index) {
+  return std::ldexp(1.0, static_cast<int>(
+                             std::min(index, kMaxLog2Buckets - 1)));
+}
+
 void Histogram::record(double value) {
   samples_.push_back(value);
   sorted_valid_ = false;
@@ -60,6 +78,17 @@ double Histogram::quantile(double q) const {
   return sorted_[std::min(idx, sorted_.size() - 1)];
 }
 
+std::vector<std::pair<double, std::uint64_t>> Histogram::log2_buckets()
+    const {
+  std::vector<std::uint64_t> counts(kMaxLog2Buckets, 0);
+  for (const double v : samples_) counts[log2_bucket_index(v)] += 1;
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kMaxLog2Buckets; ++i) {
+    if (counts[i] > 0) out.emplace_back(log2_bucket_bound(i), counts[i]);
+  }
+  return out;
+}
+
 void Histogram::clear() {
   samples_.clear();
   sorted_.clear();
@@ -68,11 +97,23 @@ void Histogram::clear() {
 
 std::string Histogram::summary() const {
   if (samples_.empty()) return "count=0";
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
-                "count=%zu min=%.6g mean=%.6g p50=%.6g p99=%.6g max=%.6g",
-                count(), min(), mean(), p50(), p99(), max());
-  return buf;
+                "count=%zu min=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g "
+                "p999=%.6g max=%.6g",
+                count(), min(), mean(), p50(), p95(), p99(), p999(), max());
+  std::string out = buf;
+  out += " buckets=[";
+  bool first = true;
+  for (const auto& [bound, n] : log2_buckets()) {
+    char b[48];
+    std::snprintf(b, sizeof b, "%s%.6g:%llu", first ? "" : ",", bound,
+                  static_cast<unsigned long long>(n));
+    out += b;
+    first = false;
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace gsalert

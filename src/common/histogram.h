@@ -1,13 +1,26 @@
 // A simple recording histogram for latency and size distributions.
 // Stores raw samples (benches here record at most a few hundred thousand
-// values) and computes exact quantiles on demand.
+// values) and computes exact quantiles on demand. For O(1) hot-path
+// recording with bounded memory see obs::LatencyHistogram, which shares
+// the log2 bucket boundaries defined here.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gsalert {
+
+/// Log2 bucket index for a non-negative value: bucket b holds values in
+/// (2^(b-1), 2^b], bucket 0 holds values <= 1 (including 0). Shared by
+/// Histogram::log2_buckets() and obs::LatencyHistogram so the two export
+/// identical bucket boundaries.
+std::size_t log2_bucket_index(double value);
+/// Upper bound (inclusive) of log2 bucket `index`: 2^index, with
+/// bucket 0 bounded at 1.
+double log2_bucket_bound(std::size_t index);
 
 class Histogram {
  public:
@@ -25,11 +38,18 @@ class Histogram {
   /// Exact quantile by nearest-rank; q in [0, 1].
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
+  /// Occupied log2 buckets as (inclusive upper bound, count) pairs,
+  /// ascending; empty buckets are skipped. The full distribution shape —
+  /// what summary() and the JSON export emit beyond point statistics.
+  std::vector<std::pair<double, std::uint64_t>> log2_buckets() const;
 
   /// One-line digest for metrics export, e.g.
-  /// "count=120 min=0.2 mean=3.1 p50=2.8 p99=9.6 max=12.0" ("count=0"
-  /// when empty).
+  /// "count=120 min=0.2 mean=3.1 p50=2.8 p95=8.1 p99=9.6 p999=11.8
+  ///  max=12.0 buckets=[1:4,2:30,...]" ("count=0" when empty).
   std::string summary() const;
 
   void clear();

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace gsalert::gds {
@@ -419,6 +420,7 @@ void GdsServer::deliver(NodeId server, const BroadcastBody& body) {
 }
 
 void GdsServer::handle_broadcast(NodeId from, const wire::Envelope& env) {
+  GSALERT_PROFILE("gds.handle_broadcast");
   // Peek the routing fields only — the payload stays inside the shared
   // body frame and is never copied on this path.
   auto peeked = BroadcastView::peek(env.body);
@@ -560,8 +562,8 @@ void GdsServer::route_relay(NodeId from, wire::Envelope env, RelayBody body,
     // park record after it to keep the log causally ordered.
     std::vector<std::byte> flat;
     if (journal_ && config_.park_capacity > 0) flat = env.flatten();
-    const std::uint64_t order =
-        parked_.park_until(body.dst_server, std::move(env), park_expiry);
+    const std::uint64_t order = parked_.park_until(
+        body.dst_server, std::move(env), park_expiry, network().now());
     if (journal_ && config_.park_capacity > 0) {
       journal_append(
           kJPark, 8 + str_wire(body.dst_server) + 8 + 4 + flat.size(),
@@ -589,7 +591,11 @@ void GdsServer::flush_parked(const std::string& dst) {
             ? obs::emit_span_under(
                   obs::TraceContext{entry.env.trace_id, entry.env.span_id,
                                     entry.env.hop},
-                  "gds-park-flush", name(), network().now(), {{"dst", dst}})
+                  "gds-park-flush", name(), network().now(),
+                  {{"dst", dst},
+                   {"dwell_ms",
+                    std::to_string((network().now() - entry.parked_at)
+                                       .as_millis())}})
             : obs::TraceContext{entry.env.trace_id, entry.env.span_id,
                                 entry.env.hop}};
     route_relay(NodeId::invalid(), std::move(entry.env),
@@ -610,7 +616,10 @@ void GdsServer::flush_all_parked() {
                   obs::TraceContext{entry.env.trace_id, entry.env.span_id,
                                     entry.env.hop},
                   "gds-park-flush", name(), network().now(),
-                  {{"dst", body.dst_server}})
+                  {{"dst", body.dst_server},
+                   {"dwell_ms",
+                    std::to_string((network().now() - entry.parked_at)
+                                       .as_millis())}})
             : obs::TraceContext{entry.env.trace_id, entry.env.span_id,
                                 entry.env.hop}};
     route_relay(NodeId::invalid(), std::move(entry.env), std::move(body),

@@ -1,10 +1,12 @@
 #include "journal/journal.h"
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "journal/crc32c.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace gsalert::journal {
@@ -106,7 +108,14 @@ void Journal::append(std::uint8_t type, wire::Writer payload) {
 
 void Journal::commit() {
   if (!dirty_) return;
+  GSALERT_PROFILE("journal.commit");
+  const auto t0 = std::chrono::steady_clock::now();
   storage_.flush(log_);
+  fsync_us_.record(
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count()) /
+      1000.0);
   dirty_ = false;
   stats_.commits += 1;
   if (policy_.trace_io && obs::active()) {
@@ -124,6 +133,7 @@ void Journal::maybe_compact() {
 
 void Journal::compact() {
   if (!snapshot_writer_ || next_lsn_ == 1) return;
+  GSALERT_PROFILE("journal.compact");
   if (dirty_) {
     storage_.flush(log_);
     dirty_ = false;
@@ -154,6 +164,7 @@ void Journal::compact() {
 
 RecoveryResult Journal::recover(const SnapshotLoader& load,
                                 const ReplayFn& replay) {
+  GSALERT_PROFILE("journal.recover");
   RecoveryResult result;
   stats_.recoveries += 1;
 
@@ -214,6 +225,10 @@ RecoveryResult Journal::recover(const SnapshotLoader& load,
 
 std::size_t Journal::log_bytes() const {
   return storage_.durable_size(log_) + storage_.pending_size(log_);
+}
+
+std::size_t Journal::pending_bytes() const {
+  return storage_.pending_size(log_);
 }
 
 void Journal::collect_metrics(obs::MetricsRegistry& registry) const {

@@ -43,6 +43,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "obs/latency.h"
 #include "sim/storage.h"
 #include "wire/codec.h"
 
@@ -161,6 +162,13 @@ class Journal {
   std::uint64_t snapshot_lsn() const { return snapshot_lsn_; }
   /// Durable + pending log bytes (the growth the soak test bounds).
   std::size_t log_bytes() const;
+  /// Bytes appended but not yet fsynced — the journal backlog a stalled
+  /// group commit would lose. Feeds the per-node health scoreboard.
+  std::size_t pending_bytes() const;
+  /// Wall-clock microseconds per group commit. Like match CPU, kept out
+  /// of collect_metrics (wall time would break seed-replay determinism);
+  /// workload::Scenario merges it into the Outcome's LatencyBreakdown.
+  const obs::LatencyHistogram& fsync_us() const { return fsync_us_; }
 
   const JournalStats& stats() const { return stats_; }
   const std::string& log_file() const { return log_; }
@@ -189,6 +197,7 @@ class Journal {
   SnapshotWriter snapshot_writer_;
   std::function<SimTime()> clock_;
   JournalStats stats_;
+  obs::LatencyHistogram fsync_us_;
 };
 
 }  // namespace gsalert::journal

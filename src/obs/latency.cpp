@@ -1,0 +1,190 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/histogram.h"
+#include "obs/metrics_registry.h"
+
+namespace gsalert::obs {
+
+// ---------- LatencyHistogram ------------------------------------------------
+
+void LatencyHistogram::record(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // negatives and NaN clamp to bucket 0
+  buckets_[log2_bucket_index(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The true max is a tighter bound than 2^63 when the top occupied
+      // bucket answers the quantile.
+      return std::min(log2_bucket_bound(i), std::max(max_, 1.0));
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  if (count_ == 0) return "count=0";
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu mean=%.6g p50=%.6g p95=%.6g p99=%.6g "
+                "p999=%.6g max=%.6g",
+                static_cast<unsigned long long>(count_), mean(), p50(), p95(),
+                p99(), p999(), max());
+  return buf;
+}
+
+std::string LatencyHistogram::json() const {
+  if (count_ == 0) return "{\"count\":0}";
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "{\"count\":%llu,\"mean\":%.6g,\"p50\":%.6g,\"p95\":%.6g,"
+                "\"p99\":%.6g,\"p999\":%.6g,\"max\":%.6g,\"buckets\":[",
+                static_cast<unsigned long long>(count_), mean(), p50(), p95(),
+                p99(), p999(), max());
+  std::string out = buf;
+  bool first = true;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    char b[64];
+    std::snprintf(b, sizeof b, "%s[%.6g,%llu]", first ? "" : ",",
+                  log2_bucket_bound(i),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += b;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+void LatencyHistogram::clear() { *this = LatencyHistogram{}; }
+
+// ---------- LatencyBreakdown ------------------------------------------------
+
+void LatencyBreakdown::merge(const LatencyBreakdown& other) {
+  e2e_ms.merge(other.e2e_ms);
+  flood_ms.merge(other.flood_ms);
+  park_dwell_ms.merge(other.park_dwell_ms);
+  retransmit_delay_ms.merge(other.retransmit_delay_ms);
+  match_cpu_us.merge(other.match_cpu_us);
+  fsync_us.merge(other.fsync_us);
+  notify_hops.merge(other.notify_hops);
+}
+
+void LatencyBreakdown::export_to(MetricsRegistry& registry,
+                                 const Labels& labels) const {
+  registry.latency("latency.e2e_ms", labels).merge(e2e_ms);
+  registry.latency("latency.stage.flood_ms", labels).merge(flood_ms);
+  registry.latency("latency.stage.park_dwell_ms", labels)
+      .merge(park_dwell_ms);
+  registry.latency("latency.stage.retransmit_delay_ms", labels)
+      .merge(retransmit_delay_ms);
+  registry.latency("latency.stage.match_cpu_us", labels).merge(match_cpu_us);
+  registry.latency("latency.stage.fsync_us", labels).merge(fsync_us);
+  registry.latency("latency.notify_hops", labels).merge(notify_hops);
+}
+
+// ---------- LatencyTracker --------------------------------------------------
+
+namespace {
+const std::string* find_arg(const Span& span, const char* key) {
+  for (const auto& [k, v] : span.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+}  // namespace
+
+double LatencyTracker::trace_start_ms(std::uint64_t trace_id,
+                                      bool* known) const {
+  const TraceStart& slot = starts_[trace_id % kMaxTraces];
+  *known = slot.trace_id == trace_id && trace_id != 0;
+  return slot.at_ms;
+}
+
+void LatencyTracker::on_span(const Span& span) {
+  if (span.trace_id == 0) return;
+  const double at_ms = span.at.as_millis();
+  if (span.name == "publish") {
+    // The first publish of a trace is the user-visible t0. Rename
+    // cascades re-publish under the same trace later — keep the origin.
+    TraceStart& slot = starts_[span.trace_id % kMaxTraces];
+    if (slot.trace_id != span.trace_id) {
+      slot.trace_id = span.trace_id;
+      slot.at_ms = at_ms;
+      traces_started_ += 1;
+    }
+    return;
+  }
+  if (span.name == "notify") {
+    bool known = false;
+    const double start = trace_start_ms(span.trace_id, &known);
+    if (!known) {
+      orphan_spans_ += 1;
+      return;
+    }
+    notifies_seen_ += 1;
+    breakdown_.e2e_ms.record(at_ms - start);
+    breakdown_.notify_hops.record(static_cast<double>(span.hop));
+    return;
+  }
+  if (span.name == "gds-deliver") {
+    bool known = false;
+    const double start = trace_start_ms(span.trace_id, &known);
+    if (known) {
+      breakdown_.flood_ms.record(at_ms - start);
+    } else {
+      orphan_spans_ += 1;
+    }
+    return;
+  }
+  if (span.name == "gds-park-flush") {
+    if (const std::string* dwell = find_arg(span, "dwell_ms")) {
+      breakdown_.park_dwell_ms.record(std::strtod(dwell->c_str(), nullptr));
+    }
+    return;
+  }
+  if (span.name == "retry") {
+    if (const std::string* since = find_arg(span, "since_ms")) {
+      breakdown_.retransmit_delay_ms.record(
+          std::strtod(since->c_str(), nullptr));
+    }
+    return;
+  }
+}
+
+void LatencyTracker::clear() {
+  starts_.fill(TraceStart{});
+  breakdown_ = LatencyBreakdown{};
+  traces_started_ = 0;
+  notifies_seen_ = 0;
+  orphan_spans_ = 0;
+}
+
+}  // namespace gsalert::obs

@@ -24,8 +24,17 @@ std::string histogram_json(const Histogram& h) {
      << ",\"mean\":" << fmt_double(h.mean())
      << ",\"p50\":" << fmt_double(h.p50())
      << ",\"p90\":" << fmt_double(h.quantile(0.90))
+     << ",\"p95\":" << fmt_double(h.p95())
      << ",\"p99\":" << fmt_double(h.p99())
-     << ",\"max\":" << fmt_double(h.max()) << "}";
+     << ",\"p999\":" << fmt_double(h.p999())
+     << ",\"max\":" << fmt_double(h.max()) << ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [bound, count] : h.log2_buckets()) {
+    os << (first ? "" : ",") << "[" << fmt_double(bound) << "," << count
+       << "]";
+    first = false;
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -51,7 +60,7 @@ std::string MetricsRegistry::series_key(std::string_view name,
 MetricsRegistry::Series& MetricsRegistry::find_or_create(
     std::string_view name, const Labels& labels, Kind kind) {
   const std::string key = series_key(name, labels);
-  auto [it, inserted] = series_.try_emplace(key, Series{kind, 0, 0.0, {}});
+  auto [it, inserted] = series_.try_emplace(key, Series{kind, 0, 0.0, {}, {}});
   // A name must keep one kind for its lifetime; mixing would silently
   // read the wrong union member.
   assert(it->second.kind == kind);
@@ -73,6 +82,11 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return find_or_create(name, labels, Kind::kHistogram).hist;
 }
 
+LatencyHistogram& MetricsRegistry::latency(std::string_view name,
+                                           const Labels& labels) {
+  return find_or_create(name, labels, Kind::kLatency).lat;
+}
+
 std::string MetricsRegistry::text_snapshot() const {
   std::ostringstream os;
   for (const auto& [key, series] : series_) {
@@ -86,6 +100,9 @@ std::string MetricsRegistry::text_snapshot() const {
         break;
       case Kind::kHistogram:
         os << series.hist.summary();
+        break;
+      case Kind::kLatency:
+        os << series.lat.summary();
         break;
     }
     os << "\n";
@@ -111,6 +128,11 @@ std::string MetricsRegistry::json() const {
       case Kind::kHistogram:
         histograms << (h1 ? "" : ",") << "\"" << detail::json_escape(key)
                    << "\":" << histogram_json(series.hist);
+        h1 = false;
+        break;
+      case Kind::kLatency:
+        histograms << (h1 ? "" : ",") << "\"" << detail::json_escape(key)
+                   << "\":" << series.lat.json();
         h1 = false;
         break;
     }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/profiler.h"
+
 namespace gsalert::sim {
 
 void Scheduler::schedule_after(SimTime delay, Action action) {
@@ -22,7 +24,10 @@ std::size_t Scheduler::run(std::size_t limit) {
     Entry entry = queue_.top();
     queue_.pop();
     now_ = entry.when;
-    entry.action();
+    {
+      GSALERT_PROFILE("sim.dispatch");
+      entry.action();
+    }
     ++executed;
   }
   return executed;
@@ -34,7 +39,10 @@ std::size_t Scheduler::run_until(SimTime deadline) {
     Entry entry = queue_.top();
     queue_.pop();
     now_ = entry.when;
-    entry.action();
+    {
+      GSALERT_PROFILE("sim.dispatch");
+      entry.action();
+    }
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;

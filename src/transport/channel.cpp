@@ -57,6 +57,7 @@ std::uint64_t ChannelSet::send(const std::string& peer, wire::Envelope env) {
   Unacked entry;
   entry.env = std::move(env);
   entry.rto = policy_.initial_rto;
+  entry.first_sent = net_->now();
   entry.due = net_->now() + jittered(entry.rto, policy_.jitter, rng_);
   stats_.sends += 1;
   // Insert before stamping so chan_base sees this entry as outstanding.
@@ -155,7 +156,10 @@ bool ChannelSet::on_timer(std::uint64_t token) {
             obs::TraceContext{entry.env.trace_id, entry.env.span_id,
                               entry.env.hop},
             "retry", self_name_, now,
-            {{"host", peer}, {"msg_id", std::to_string(seq)}});
+            {{"host", peer},
+             {"msg_id", std::to_string(seq)},
+             {"since_ms",
+              std::to_string((now - entry.first_sent).as_millis())}});
       }
       stamp_and_transmit(peer, state, seq, entry);
       if (retransmit_hook_) retransmit_hook_(peer, entry.env);
@@ -174,6 +178,7 @@ void ChannelSet::restore_unacked(const std::string& peer, std::uint64_t seq,
   Unacked entry;
   entry.env = std::move(env);
   entry.rto = policy_.initial_rto;
+  entry.first_sent = net_ ? net_->now() : SimTime::zero();
   entry.due = (net_ ? net_->now() : SimTime::zero()) +
               jittered(entry.rto, policy_.jitter, rng_);
   state.unacked.insert_or_assign(seq, std::move(entry));

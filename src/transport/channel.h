@@ -131,8 +131,10 @@ class ChannelSet {
  private:
   struct Unacked {
     wire::Envelope env;
-    SimTime due;       // next retransmit time
-    SimTime rto;       // current backoff interval
+    SimTime due;        // next retransmit time
+    SimTime rto;        // current backoff interval
+    SimTime first_sent; // original transmit time; retry spans report
+                        // since_ms = now - first_sent (retransmit delay)
   };
   struct PeerState {
     std::uint64_t next_seq = 1;              // sender side

@@ -39,6 +39,7 @@ void Endpoint::request(std::uint64_t key, wire::Envelope env,
   const SimTime now = net_->now();
   entry.deadline = now + entry.options.policy.deadline;
   entry.rto = entry.options.policy.initial_rto;
+  entry.first_sent = now;
   transmit(entry);
   const SimTime first = std::min(
       jittered(entry.rto, entry.options.policy.jitter, rng_),
@@ -103,7 +104,9 @@ bool Endpoint::on_timer(std::uint64_t token) {
                             entry.env.hop},
           "retry", self_name_, now,
           {{"key", std::to_string(key)},
-           {"attempt", std::to_string(entry.retransmits)}});
+           {"attempt", std::to_string(entry.retransmits)},
+           {"since_ms",
+            std::to_string((now - entry.first_sent).as_millis())}});
     }
     transmit(entry);  // header re-encoded; body frame aliased
     entry.rto = grow_rto(entry.rto, policy.backoff, policy.max_rto);

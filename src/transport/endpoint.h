@@ -92,6 +92,8 @@ class Endpoint {
     ReplyCallback cb;
     SimTime deadline;
     SimTime rto;          // current backoff interval
+    SimTime first_sent;   // original transmit time; retry spans report
+                          // since_ms = now - first_sent
     int retransmits = 0;
     std::uint64_t timer_seq = 0;  // only the latest timer is live
   };

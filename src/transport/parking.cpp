@@ -24,15 +24,16 @@ void ParkingLot::evict_oldest() {
 
 std::uint64_t ParkingLot::park(const std::string& key, wire::Envelope env,
                                SimTime now) {
-  return park_until(key, std::move(env), now + policy_.ttl);
+  return park_until(key, std::move(env), now + policy_.ttl, now);
 }
 
 std::uint64_t ParkingLot::park_until(const std::string& key,
-                                     wire::Envelope env, SimTime expires_at) {
+                                     wire::Envelope env, SimTime expires_at,
+                                     SimTime parked_at) {
   while (size_ >= policy_.capacity && size_ > 0) evict_oldest();
   if (policy_.capacity == 0) return next_order_++;
   const std::uint64_t order = next_order_++;
-  by_key_[key].push_back(Parked{std::move(env), expires_at, order});
+  by_key_[key].push_back(Parked{std::move(env), expires_at, parked_at, order});
   size_ += 1;
   stats_.parked += 1;
   return order;
@@ -40,7 +41,9 @@ std::uint64_t ParkingLot::park_until(const std::string& key,
 
 void ParkingLot::restore(const std::string& key, wire::Envelope env,
                          SimTime expires_at, std::uint64_t order) {
-  by_key_[key].push_back(Parked{std::move(env), expires_at, order});
+  const SimTime parked_at =
+      expires_at >= policy_.ttl ? expires_at - policy_.ttl : SimTime::zero();
+  by_key_[key].push_back(Parked{std::move(env), expires_at, parked_at, order});
   size_ += 1;
   if (order >= next_order_) next_order_ = order + 1;
 }
@@ -63,7 +66,8 @@ void ParkingLot::for_each(
     const std::function<void(const std::string&, const Entry&)>& fn) const {
   for (const auto& [key, queue] : by_key_) {
     for (const auto& parked : queue) {
-      fn(key, Entry{parked.env, parked.expires_at, parked.order});
+      fn(key, Entry{parked.env, parked.expires_at, parked.parked_at,
+                    parked.order});
     }
   }
 }
@@ -82,7 +86,7 @@ std::vector<ParkingLot::Entry> ParkingLot::take(const std::string& key,
     }
     stats_.flushed += 1;
     out.push_back(Entry{std::move(parked.env), parked.expires_at,
-                        parked.order});
+                        parked.parked_at, parked.order});
   }
   by_key_.erase(it);
   return out;
@@ -107,7 +111,7 @@ std::vector<ParkingLot::Entry> ParkingLot::take_all(SimTime now) {
     }
     stats_.flushed += 1;
     out.push_back(Entry{std::move(parked.env), parked.expires_at,
-                        parked.order});
+                        parked.parked_at, parked.order});
   }
   return out;
 }

@@ -31,6 +31,7 @@ class ParkingLot {
   struct Entry {
     wire::Envelope env;
     SimTime expires_at;
+    SimTime parked_at;        // custody start; flush spans report dwell
     std::uint64_t order = 0;  // global FIFO position; stable custody id
   };
 
@@ -43,12 +44,17 @@ class ParkingLot {
   /// entry's custody order id (journaled by durable owners).
   std::uint64_t park(const std::string& key, wire::Envelope env, SimTime now);
   /// Same, preserving an existing expiry (re-park after a failed flush).
+  /// `parked_at` marks custody start for dwell accounting.
   std::uint64_t park_until(const std::string& key, wire::Envelope env,
-                           SimTime expires_at);
+                           SimTime expires_at, SimTime parked_at);
 
   /// Re-insert an entry with its original custody id (journal replay).
   /// Caller replays in order-id order; capacity is not re-enforced here
   /// (the journal never holds more live parks than capacity allowed).
+  /// The journal record does not carry parked_at (format is frozen), so
+  /// custody start is approximated as expires_at - policy ttl — exact
+  /// whenever the entry was parked with the policy's own TTL, and
+  /// deterministic either way.
   void restore(const std::string& key, wire::Envelope env, SimTime expires_at,
                std::uint64_t order);
 
@@ -86,6 +92,7 @@ class ParkingLot {
   struct Parked {
     wire::Envelope env;
     SimTime expires_at;
+    SimTime parked_at;
     std::uint64_t order;  // global FIFO position for eviction
   };
 

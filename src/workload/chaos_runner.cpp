@@ -12,7 +12,9 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "workload/health.h"
 
 namespace gsalert::workload {
 
@@ -665,8 +667,15 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
         << harness.report();
   if (!report.violations.empty()) {
     // Turn the verdict into a causal narrative: each node's recent
-    // spans and log lines around the failure, hop by hop.
+    // spans and log lines around the failure, hop by hop — then the
+    // numeric state of the world: per-node health and the full metrics
+    // snapshot, so a dump answers "where was it wedged" on its own.
     trace << harness.flight_dump();
+    trace << health_scoreboard(scenario);
+    obs::MetricsRegistry snapshot;
+    scenario.collect_metrics(snapshot);
+    collect_health(scenario, snapshot);
+    trace << "metrics snapshot:\n" << snapshot.text_snapshot();
   }
   report.trace = trace.str();
   return report;

@@ -1,0 +1,117 @@
+#include "workload/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "journal/journal.h"
+#include "obs/metrics_registry.h"
+#include "workload/scenario.h"
+
+namespace gsalert::workload {
+
+namespace {
+
+struct NodeHealth {
+  std::string node;
+  std::string role;  // "server" | "gds" | "client"
+  std::uint64_t unacked = 0;     // reliable-channel outbox depth
+  std::uint64_t retransmits = 0; // endpoint + channel resends
+  std::uint64_t timeouts = 0;
+  std::uint64_t parked = 0;      // store-and-forward frames in custody
+  std::uint64_t journal_pending = 0;  // bytes appended, not yet fsynced
+  std::uint64_t journal_log = 0;      // total log bytes
+};
+
+std::vector<NodeHealth> gather(Scenario& scenario) {
+  std::vector<NodeHealth> rows;
+  const auto& services = scenario.gsalert();
+  const auto& servers = scenario.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    gsnet::GreenstoneServer* server = servers[i];
+    NodeHealth row;
+    row.node = server->name();
+    row.role = "server";
+    row.retransmits = server->endpoint_stats().retransmits +
+                      server->gds().endpoint_stats().retransmits;
+    row.timeouts = server->endpoint_stats().timeouts +
+                   server->gds().endpoint_stats().timeouts;
+    if (i < services.size()) {
+      row.unacked = services[i]->outbox_size();
+      row.retransmits += services[i]->channel_stats().retransmits;
+    }
+    if (const journal::Journal* j = server->journal()) {
+      row.journal_pending = j->pending_bytes();
+      row.journal_log = j->log_bytes();
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const gds::GdsServer* node : scenario.gds_tree().nodes) {
+    NodeHealth row;
+    row.node = node->name();
+    row.role = "gds";
+    row.parked = node->parked_count();
+    if (const journal::Journal* j = node->journal()) {
+      row.journal_pending = j->pending_bytes();
+      row.journal_log = j->log_bytes();
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const alerting::Client* client : scenario.clients()) {
+    NodeHealth row;
+    row.node = client->name();
+    row.role = "client";
+    row.retransmits = client->endpoint_stats().retransmits;
+    row.timeouts = client->endpoint_stats().timeouts;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const NodeHealth& a, const NodeHealth& b) {
+              return a.node < b.node;
+            });
+  return rows;
+}
+
+}  // namespace
+
+std::string health_scoreboard(Scenario& scenario) {
+  std::string out =
+      "health scoreboard:\n"
+      "  node            role    unacked   rtx  tmout  parked  jrnl_pend  "
+      "jrnl_log\n";
+  for (const NodeHealth& row : gather(scenario)) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %-15s %-7s %7llu %5llu %6llu %7llu %10llu %9llu\n",
+                  row.node.c_str(), row.role.c_str(),
+                  static_cast<unsigned long long>(row.unacked),
+                  static_cast<unsigned long long>(row.retransmits),
+                  static_cast<unsigned long long>(row.timeouts),
+                  static_cast<unsigned long long>(row.parked),
+                  static_cast<unsigned long long>(row.journal_pending),
+                  static_cast<unsigned long long>(row.journal_log));
+    out += buf;
+  }
+  return out;
+}
+
+void collect_health(Scenario& scenario, obs::MetricsRegistry& registry) {
+  for (const NodeHealth& row : gather(scenario)) {
+    const obs::Labels labels{{"node", row.node}};
+    registry.gauge("health.node.unacked", labels) =
+        static_cast<double>(row.unacked);
+    registry.gauge("health.node.retransmits", labels) =
+        static_cast<double>(row.retransmits);
+    registry.gauge("health.node.timeouts", labels) =
+        static_cast<double>(row.timeouts);
+    registry.gauge("health.node.parked", labels) =
+        static_cast<double>(row.parked);
+    registry.gauge("health.node.journal_pending_bytes", labels) =
+        static_cast<double>(row.journal_pending);
+    registry.gauge("health.node.journal_log_bytes", labels) =
+        static_cast<double>(row.journal_log);
+  }
+}
+
+}  // namespace gsalert::workload

@@ -1,0 +1,30 @@
+// Per-node health scoreboard: one row per live node with the depth and
+// pressure signals an operator would page on — unacked channel entries,
+// endpoint retransmit/timeout counts, parked store-and-forward frames,
+// journal backlog. Snapshotted into chaos violation reports so a failing
+// seed's dump shows *where* the system was wedged, not just which
+// invariant tripped.
+#pragma once
+
+#include <string>
+
+namespace gsalert::obs {
+class MetricsRegistry;
+}
+
+namespace gsalert::workload {
+
+class Scenario;
+
+/// Fixed-width text table, one row per server / GDS node / client,
+/// sorted by node name. Columns: unacked (reliable-channel outbox),
+/// rtx/timeout (endpoint retransmits, timeouts), pending (in-flight
+/// requests), parked (store-and-forward frames held), jrnl_pend /
+/// jrnl_log (journal bytes not yet fsynced / total log bytes).
+std::string health_scoreboard(Scenario& scenario);
+
+/// Same signals as gauges under health.node.*{node=...} for bench JSON
+/// and the chaos metrics snapshot.
+void collect_health(Scenario& scenario, obs::MetricsRegistry& registry);
+
+}  // namespace gsalert::workload

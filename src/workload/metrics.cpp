@@ -46,6 +46,7 @@ void record_outcome(obs::MetricsRegistry& registry, const Outcome& outcome,
   Histogram& latency =
       registry.histogram("outcome.notification_latency_ms", labels);
   latency = outcome.notification_latency_ms;
+  outcome.latency.export_to(registry, labels);
 }
 
 bool write_bench_json(const std::string& name,

@@ -19,6 +19,12 @@ struct Outcome {
   std::uint64_t false_negatives = 0;     // expected but never delivered
   Histogram notification_latency_ms;
 
+  /// End-to-end latency quantiles and per-stage decomposition (flood
+  /// hops, park dwell, retransmit delay, match CPU, fsync). Filled by
+  /// Scenario::outcome(); benches without a Scenario merge their own
+  /// tracker's breakdown in. Exported by record_outcome under latency.*.
+  obs::LatencyBreakdown latency;
+
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   /// Copy split of bytes_sent: freshly memcpy'd (headers, flat sends)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "journal/journal.h"
 #include "obs/metrics_registry.h"
 #include "profiles/event_context.h"
 #include "profiles/parser.h"
@@ -460,6 +461,24 @@ Outcome Scenario::outcome() const {
     out.max_over_mean_node_load =
         static_cast<double>(max_load) /
         (static_cast<double>(total_load) / static_cast<double>(n));
+  }
+
+  // Latency truth: sim-time stages from the armed span tracker, then the
+  // wall-clock stages the services keep out of the deterministic metric
+  // path (match CPU per filtered event, journal group-commit fsync).
+  out.latency.merge(tracker_.breakdown());
+  for (const alerting::AlertingService* service : gsalert_) {
+    out.latency.match_cpu_us.merge(service->match_cpu_us());
+  }
+  for (gsnet::GreenstoneServer* server : servers_) {
+    if (const journal::Journal* j = server->journal()) {
+      out.latency.fsync_us.merge(j->fsync_us());
+    }
+  }
+  for (const gds::GdsServer* node : gds_tree_.nodes) {
+    if (const journal::Journal* j = node->journal()) {
+      out.latency.fsync_us.merge(j->fsync_us());
+    }
   }
   return out;
 }

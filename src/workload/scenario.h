@@ -21,6 +21,8 @@
 #include "common/rng.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
+#include "obs/latency.h"
+#include "obs/trace.h"
 #include "profiles/profile.h"
 #include "sim/network.h"
 #include "workload/generators.h"
@@ -124,7 +126,12 @@ class Scenario {
   void settle(SimTime duration);
 
   /// Compare client notification logs against the recorded expectations.
+  /// Also fills Outcome::latency: sim-time stages from the scenario's own
+  /// span tracker, wall-clock match CPU / fsync merged from the services.
   Outcome outcome() const;
+
+  /// The span-derived latency tracker armed for this scenario's lifetime.
+  const obs::LatencyTracker& latency_tracker() const { return tracker_; }
 
   /// Export the whole world's counters — network, GDS tree, alerting
   /// services — into `registry` (see docs/OBSERVABILITY.md for names).
@@ -184,6 +191,10 @@ class Scenario {
 
   ScenarioConfig config_;
   Rng rng_;
+  // Armed before the world is built so every publish is traced; sink
+  // removed in member destruction order (after the world is gone).
+  obs::LatencyTracker tracker_;
+  obs::ScopedSink tracker_sink_{&tracker_};
   sim::Network net_;
   gds::GdsTree gds_tree_;
   GsTopology topology_;

@@ -201,7 +201,42 @@ TEST(HistogramTest, SummaryOneLiner) {
   Histogram h;
   for (int i = 1; i <= 4; ++i) h.record(i);
   EXPECT_EQ(h.summary(),
-            "count=4 min=1 mean=2.5 p50=2 p99=4 max=4");
+            "count=4 min=1 mean=2.5 p50=2 p95=4 p99=4 p999=4 max=4 "
+            "buckets=[1:1,2:1,4:2]");
+}
+
+TEST(HistogramTest, ExtendedQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.p95(), 950.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 990.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 999.0);
+}
+
+TEST(HistogramTest, Log2BucketsSkipEmptyAndClampNonPositive) {
+  Histogram h;
+  h.record(0.0);    // bucket 0 (bound 1)
+  h.record(1.0);    // bucket 0
+  h.record(3.0);    // bucket 2 (bound 4)
+  h.record(4.0);    // bucket 2
+  h.record(100.0);  // bucket 7 (bound 128)
+  const auto buckets = h.log2_buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 1.0);
+  EXPECT_EQ(buckets[0].second, 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].first, 4.0);
+  EXPECT_EQ(buckets[1].second, 2u);
+  EXPECT_DOUBLE_EQ(buckets[2].first, 128.0);
+  EXPECT_EQ(buckets[2].second, 1u);
+}
+
+TEST(HistogramTest, Log2BucketBoundariesAreExactPowers) {
+  EXPECT_EQ(log2_bucket_index(1.0), 0u);
+  EXPECT_EQ(log2_bucket_index(1.5), 1u);
+  EXPECT_EQ(log2_bucket_index(2.0), 1u);
+  EXPECT_EQ(log2_bucket_index(2.1), 2u);
+  EXPECT_DOUBLE_EQ(log2_bucket_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(log2_bucket_bound(10), 1024.0);
 }
 
 // ---------- log -------------------------------------------------------------

@@ -11,15 +11,26 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <set>
+#include <sstream>
+
 #include "alerting/alerting_service.h"
 #include "alerting/client.h"
+#include "gds/gds_client.h"
+#include "gds/gds_server.h"
 #include "gds/tree_builder.h"
 #include "gsnet/greenstone_server.h"
 #include "obs/flight_recorder.h"
+#include "obs/latency.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "obs/tracer.h"
 #include "sim/network.h"
+#include "wire/envelope.h"
+#include "workload/health.h"
+#include "workload/metrics.h"
 #include "workload/scenario.h"
 
 namespace gsalert {
@@ -431,6 +442,370 @@ TEST(TracePropagationTest, RetriesAttachToTheOriginalTrace) {
   ASSERT_NE(rename, nullptr);
   EXPECT_EQ(rename->trace_id, forward->trace_id);
 }
+
+// ---------- latency layer ---------------------------------------------------
+
+TEST(LatencyHistogramTest, QuantilesAreBucketUpperBounds) {
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(3.0);  // bucket (2, 4]
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  // Bucket-resolved, clamped to the observed max: a single-bucket
+  // population reports the true max, not the 2x bucket bound.
+  EXPECT_DOUBLE_EQ(h.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 3.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 3.0);
+  // A single far outlier moves only the tail quantiles; mid quantiles
+  // now answer from the (2, 4] bucket's upper bound.
+  h.record(1000.0);  // bucket (512, 1024]
+  EXPECT_DOUBLE_EQ(h.p50(), 4.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 1000.0);
+}
+
+TEST(LatencyHistogramTest, MergeAddsAndClearResets) {
+  obs::LatencyHistogram a, b;
+  a.record(1.0);
+  b.record(100.0);
+  b.record(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 100.0);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.json(), "{\"count\":0}");
+}
+
+TEST(LatencyHistogramTest, JsonCarriesQuantilesAndBuckets) {
+  obs::LatencyHistogram h;
+  h.record(3.0);
+  const std::string json = h.json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[4,1]]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LatencySeriesRendersInHistogramsGroup) {
+  MetricsRegistry reg;
+  reg.latency("latency.e2e_ms").record(3.0);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"latency.e2e_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  const std::string text = reg.text_snapshot();
+  EXPECT_NE(text.find("latency.e2e_ms = count=1"), std::string::npos);
+}
+
+TEST(LatencyTrackerTest, Fig3RebuildYieldsEndToEndAndStageSamples) {
+  obs::reset_ids();
+  obs::LatencyTracker tracker;
+  obs::ScopedSink sink{&tracker};
+  Fig3World world;
+  tracker.clear();  // keep only the rebuild's latency
+  world.rebuild_e();
+  ASSERT_EQ(world.user->notifications().size(), 1u);
+
+  const obs::LatencyBreakdown& b = tracker.breakdown();
+  // The Berlin reader's notification: one e2e sample (plus any local
+  // notifies the cascade produced), measured in sim-time millis.
+  EXPECT_GE(b.e2e_ms.count(), 1u);
+  EXPECT_GT(b.e2e_ms.max(), 0.0);
+  // The flood progressed through GDS deliveries, several hops deep.
+  EXPECT_GE(b.flood_ms.count(), 1u);
+  EXPECT_GE(b.notify_hops.count(), 1u);
+  EXPECT_GT(b.notify_hops.max(), 1.0);
+  // Every notify matched a known publish.
+  EXPECT_GE(tracker.notifies_seen(), 1u);
+  EXPECT_EQ(tracker.orphan_spans(), 0u);
+  // e2e covers the whole pipeline, so it cannot be shorter than the
+  // first flood hop (bucket resolution: compare against buckets).
+  EXPECT_GE(b.e2e_ms.quantile(1.0), b.flood_ms.quantile(0.0));
+}
+
+TEST(LatencyTrackerTest, RetransmitDelayRecordedAcrossSeveredLink) {
+  obs::reset_ids();
+  obs::LatencyTracker tracker;
+  obs::ScopedSink sink{&tracker};
+  Fig3World world;
+  tracker.clear();
+  world.net.block_pair(world.hamilton->id(), world.london->id());
+  world.rebuild_e();
+  world.net.run_until(world.net.now() + SimTime::seconds(3));
+  world.net.unblock_pair(world.hamilton->id(), world.london->id());
+  world.net.run_until(world.net.now() + SimTime::seconds(5));
+  ASSERT_EQ(world.user->notifications().size(), 1u);
+
+  const obs::LatencyBreakdown& b = tracker.breakdown();
+  EXPECT_GE(b.retransmit_delay_ms.count(), 1u);
+  // Retries fired across a multi-second outage: at least one reports a
+  // delay-since-first-send beyond the first RTO.
+  EXPECT_GT(b.retransmit_delay_ms.max(), 100.0);
+  EXPECT_GE(b.e2e_ms.count(), 1u);
+}
+
+TEST(LatencyBreakdownTest, ExportAlwaysEmitsFullSchema) {
+  obs::LatencyBreakdown b;
+  b.e2e_ms.record(12.0);
+  MetricsRegistry reg;
+  b.export_to(reg);
+  const std::string text = reg.text_snapshot();
+  // Populated and empty stages alike appear: the bench sentinel needs a
+  // fixed schema to diff against.
+  for (const char* name :
+       {"latency.e2e_ms", "latency.stage.flood_ms",
+        "latency.stage.park_dwell_ms", "latency.stage.retransmit_delay_ms",
+        "latency.stage.match_cpu_us", "latency.stage.fsync_us",
+        "latency.notify_hops"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// ---------- store-and-forward trace integrity (park / flush) ----------------
+
+/// Minimal GS-server stand-in for the GDS store-and-forward path (same
+/// shape as gds_test's FakeServer).
+class RelayServer : public sim::Node {
+ public:
+  void attach_gds(NodeId gds_node) { pending_gds_ = gds_node; }
+  void on_start() override {
+    client_.attach(&network(), id(), name(), pending_gds_);
+    client_.start();
+  }
+  void on_packet(NodeId /*from*/, const sim::Packet& packet) override {
+    auto decoded = wire::unpack(packet);
+    if (decoded.ok() &&
+        decoded.value().type == wire::MessageType::kGdsDeliver) {
+      ++delivered;
+    }
+  }
+  void on_timer(std::uint64_t token) override {
+    if (token == gds::GdsClient::kRefreshTimer) client_.on_refresh_timer();
+  }
+  gds::GdsClient& client() { return client_; }
+  int delivered = 0;
+
+ private:
+  gds::GdsClient client_;
+  NodeId pending_gds_;
+};
+
+TEST(TracePropagationTest, ParkedRelayKeepsTraceAndRecordsDwell) {
+  Tracer tracer;
+  obs::LatencyTracker latency;
+  obs::reset_ids();
+  obs::ScopedSink trace_sink{&tracer};
+  obs::ScopedSink latency_sink{&latency};
+
+  sim::Network net{7};
+  gds::GdsTree tree = gds::build_tree(net, 2, 2);
+  auto* origin = net.make_node<RelayServer>("origin-server");
+  origin->attach_gds(tree.leaf_for(0)->id());
+  net.start();
+  net.run_until(SimTime::millis(100));
+  // `late` exists but has not started (created after net.start(), its
+  // on_start comes later): the name is unknown tree-wide, so the relay
+  // climbs to the root and parks there.
+  auto* late = net.make_node<RelayServer>("late-server");
+  late->attach_gds(tree.leaf_for(1)->id());
+  std::uint64_t trace_id = 0;
+  {
+    const obs::TraceScope publish{
+        obs::emit_span("publish", "origin-server", net.now(), {})};
+    trace_id = obs::current_context().trace_id;
+    origin->client().relay("late-server", 999, {});
+  }
+  ASSERT_NE(trace_id, 0u);
+  net.run_until(net.now() + SimTime::seconds(1));
+
+  const Span* park = find_span(tracer.spans(), "gds-park");
+  ASSERT_NE(park, nullptr);
+  // Custody does not break causality: the parked frame still carries
+  // the publish's trace.
+  EXPECT_EQ(park->trace_id, trace_id);
+
+  // Let the frame dwell, then bring the target up; registration flushes
+  // the parked relay and delivers exactly once.
+  net.run_until(net.now() + SimTime::seconds(2));
+  late->on_start();
+  net.run_until(net.now() + SimTime::seconds(5));
+  EXPECT_EQ(late->delivered, 1);
+
+  const Span* flush = find_span(tracer.spans(), "gds-park-flush");
+  ASSERT_NE(flush, nullptr);
+  EXPECT_EQ(flush->trace_id, trace_id);
+  // The flush span reports how long custody held the frame — about the
+  // 2s+ the target stayed down (sim-time, so deterministic).
+  const double dwell_ms = std::stod(arg_value(*flush, "dwell_ms"));
+  EXPECT_GE(dwell_ms, 2000.0);
+  // And the latency layer turned that span into a park-dwell sample.
+  ASSERT_GE(latency.breakdown().park_dwell_ms.count(), 1u);
+  EXPECT_GE(latency.breakdown().park_dwell_ms.max(), 2000.0);
+}
+
+// ---------- continuous profiler ---------------------------------------------
+
+TEST(ProfilerTest, ScopesAreNoOpsWithoutAnInstalledProfiler) {
+  ASSERT_EQ(obs::Profiler::current(), nullptr);
+  {
+    GSALERT_PROFILE("orphan");
+  }
+  obs::Profiler profiler;
+  EXPECT_EQ(profiler.scopes_entered(), 0u);
+  EXPECT_EQ(profiler.collapsed_stacks(), "");
+}
+
+TEST(ProfilerTest, CallTreeNestsAndCountsCalls) {
+  obs::Profiler profiler;
+  profiler.enable();
+  for (int i = 0; i < 3; ++i) {
+    GSALERT_PROFILE("outer");
+    {
+      GSALERT_PROFILE("inner");
+    }
+    {
+      GSALERT_PROFILE("inner");
+    }
+  }
+  profiler.disable();
+  EXPECT_EQ(profiler.scopes_entered(), 9u);
+  const std::string tree = profiler.call_tree();
+  EXPECT_NE(tree.find("outer calls=3"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("inner calls=6"), std::string::npos) << tree;
+  // Collapsed stacks carry the full path for flamegraph tooling.
+  const std::string stacks = profiler.collapsed_stacks();
+  EXPECT_NE(stacks.find("outer;inner "), std::string::npos) << stacks;
+}
+
+TEST(ProfilerTest, ExportAndOverheadAreMeasured) {
+  obs::Profiler profiler;
+  profiler.enable();
+  {
+    GSALERT_PROFILE("scope-a");
+  }
+  profiler.disable();
+  EXPECT_GT(profiler.per_scope_overhead_ns(), 0.0);
+  EXPECT_GT(profiler.profiled_wall_ns(), 0u);
+  const double overhead = profiler.overhead_fraction();
+  EXPECT_GE(overhead, 0.0);
+  EXPECT_LT(overhead, 1.0);
+  MetricsRegistry reg;
+  profiler.export_to(reg);
+  const std::string text = reg.text_snapshot();
+  EXPECT_NE(text.find("profiler.scope.calls{scope=scope-a} = 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("profiler.overhead_fraction"), std::string::npos);
+  EXPECT_NE(text.find("profiler.scopes_entered"), std::string::npos);
+}
+
+TEST(ProfilerTest, ReplacingTheInstalledProfilerUninstallsCleanly) {
+  obs::Profiler first;
+  first.enable();
+  {
+    obs::Profiler second;
+    second.enable();
+    EXPECT_EQ(obs::Profiler::current(), &second);
+    {
+      GSALERT_PROFILE("in-second");
+    }
+    second.disable();
+    EXPECT_EQ(second.scopes_entered(), 1u);
+  }
+  // `first` was displaced, not re-installed; nothing dangles.
+  EXPECT_EQ(obs::Profiler::current(), nullptr);
+  first.disable();
+}
+
+// ---------- per-node health scoreboard --------------------------------------
+
+TEST(HealthScoreboardTest, ListsEveryNodeAndExportsGauges) {
+  workload::ScenarioConfig config;
+  config.n_servers = 3;
+  config.clients_per_server = 1;
+  config.seed = 17;
+  workload::Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.subscribe_all(1);
+  scenario.settle(SimTime::seconds(2));
+  scenario.publish_rebuild(0, "C0", 2);
+  scenario.settle(SimTime::seconds(5));
+
+  const std::string board = workload::health_scoreboard(scenario);
+  EXPECT_NE(board.find("node"), std::string::npos);
+  EXPECT_NE(board.find("jrnl_pend"), std::string::npos);
+  for (gsnet::GreenstoneServer* s : scenario.servers()) {
+    EXPECT_NE(board.find(s->name()), std::string::npos) << board;
+  }
+
+  MetricsRegistry reg;
+  workload::collect_health(scenario, reg);
+  const std::string text = reg.text_snapshot();
+  for (const char* name :
+       {"health.node.unacked", "health.node.retransmits",
+        "health.node.timeouts", "health.node.parked",
+        "health.node.journal_pending_bytes",
+        "health.node.journal_log_bytes"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// ---------- metrics naming lint ---------------------------------------------
+
+#ifdef GSALERT_OBSERVABILITY_DOC
+// Every metric name this build can export must appear in
+// docs/OBSERVABILITY.md — an undocumented metric is a review failure,
+// and a renamed one must update the doc (and the sentinel baselines) in
+// the same change. The representative registry below runs every export
+// path: scenario + network, outcome + latency breakdown, node health,
+// and the profiler.
+TEST(MetricsNamingLintTest, EveryExportedMetricNameIsDocumented) {
+  std::ifstream doc_in{GSALERT_OBSERVABILITY_DOC};
+  ASSERT_TRUE(doc_in.good()) << "missing doc: " << GSALERT_OBSERVABILITY_DOC;
+  std::stringstream doc_buf;
+  doc_buf << doc_in.rdbuf();
+  const std::string doc = doc_buf.str();
+
+  workload::ScenarioConfig config;
+  config.n_servers = 4;
+  config.clients_per_server = 2;
+  config.seed = 23;
+  workload::Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.setup_distributed(2);
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(2));
+  scenario.publish_rebuild(0, "C0", 2);
+  scenario.settle(SimTime::seconds(8));
+
+  MetricsRegistry reg;
+  scenario.collect_metrics(reg);
+  workload::collect_health(scenario, reg);
+  workload::record_outcome(reg, scenario.outcome());
+  obs::Profiler profiler;
+  profiler.enable();
+  {
+    GSALERT_PROFILE("lint.scope");
+  }
+  profiler.disable();
+  profiler.export_to(reg);
+
+  std::set<std::string> undocumented;
+  std::istringstream snapshot{reg.text_snapshot()};
+  std::string line;
+  while (std::getline(snapshot, line)) {
+    // "name{labels} = value" -> base name up to '{' or ' '.
+    const std::size_t cut = line.find_first_of("{ ");
+    if (cut == std::string::npos) continue;
+    const std::string name = line.substr(0, cut);
+    if (doc.find(name) == std::string::npos) undocumented.insert(name);
+  }
+  std::string missing;
+  for (const std::string& name : undocumented) missing += "  " + name + "\n";
+  EXPECT_TRUE(undocumented.empty())
+      << "metric names missing from docs/OBSERVABILITY.md:\n"
+      << missing;
+}
+#endif  // GSALERT_OBSERVABILITY_DOC
 
 }  // namespace
 }  // namespace gsalert

@@ -18,6 +18,8 @@
 #include "docmodel/event.h"
 #include "gds/gds_client.h"
 #include "gds/tree_builder.h"
+#include "obs/latency.h"
+#include "obs/profiler.h"
 #include "profiles/event_context.h"
 #include "profiles/index.h"
 #include "profiles/parser.h"
@@ -288,6 +290,82 @@ TEST(PerfSmokeTest, TransportSteadyStateHasNoRetransmits) {
          "tighter than the reply RTT, or an ack path regressed";
   EXPECT_LE(timeouts, budget.at("max_steady_timeouts"))
       << "transport deadlines expired on a zero-loss network";
+}
+
+// End-to-end latency SLO gate (docs/OBSERVABILITY.md "Latency SLOs"):
+// the seeded scenario's sim-time publish->notify quantiles are exactly
+// reproducible, so the p50/p99 ceilings are hard gates, not noisy
+// timing assertions. A breach means the pipeline grew a hop, a retry or
+// a batching delay — justify the new number with a bench run before
+// raising the ceiling.
+TEST(PerfSmokeTest, EndToEndLatencyMeetsSlo) {
+  const auto budget = load_budget(GSALERT_PERF_BUDGET_FILE);
+  ASSERT_FALSE(budget.empty());
+  for (const char* key : {"slo_events", "slo_e2e_p50_ms", "slo_e2e_p99_ms"}) {
+    ASSERT_TRUE(budget.count(key)) << "budget file missing key: " << key;
+  }
+
+  workload::ScenarioConfig config;
+  config.n_servers = 6;
+  config.seed = 11;
+  workload::Scenario scenario{config};
+  scenario.setup_collections();
+  scenario.setup_distributed(3);
+  scenario.subscribe_all(2);
+  scenario.settle(SimTime::seconds(2));
+  const int events = static_cast<int>(budget.at("slo_events"));
+  for (int i = 0; i < events; ++i) {
+    scenario.publish_random_rebuild(2);
+    scenario.settle(SimTime::millis(300));
+  }
+  scenario.settle(SimTime::seconds(5));
+
+  const obs::LatencyBreakdown& latency = scenario.outcome().latency;
+  std::printf("perf-smoke e2e latency: %s\n",
+              latency.e2e_ms.summary().c_str());
+  ASSERT_GT(latency.e2e_ms.count(), 0u) << "no notifications measured";
+  EXPECT_LE(latency.e2e_ms.p50(),
+            static_cast<double>(budget.at("slo_e2e_p50_ms")));
+  EXPECT_LE(latency.e2e_ms.p99(),
+            static_cast<double>(budget.at("slo_e2e_p99_ms")));
+}
+
+// Continuous-profiler overhead gate: with the scoped timers that ride
+// every sim dispatch, match and journal commit enabled, the profiler's
+// self-measured share of wall time must stay under the budget ceiling
+// (<5%), or it is not a "continuous" profiler.
+TEST(PerfSmokeTest, ProfilerOverheadStaysWithinBudget) {
+  const auto budget = load_budget(GSALERT_PERF_BUDGET_FILE);
+  ASSERT_FALSE(budget.empty());
+  ASSERT_TRUE(budget.count("max_profiler_overhead_pct"));
+
+  obs::Profiler profiler;
+  profiler.enable();
+  {
+    workload::ScenarioConfig config;
+    config.n_servers = 6;
+    config.seed = 11;
+    workload::Scenario scenario{config};
+    scenario.setup_collections();
+    scenario.subscribe_all(2);
+    scenario.settle(SimTime::seconds(2));
+    for (int i = 0; i < 10; ++i) {
+      scenario.publish_random_rebuild(2);
+      scenario.settle(SimTime::millis(300));
+    }
+    scenario.settle(SimTime::seconds(5));
+  }
+  profiler.disable();
+
+  // The run must have actually exercised the instrumented paths.
+  ASSERT_GT(profiler.scopes_entered(), 500u);
+  const double pct = profiler.overhead_fraction() * 100.0;
+  std::printf(
+      "perf-smoke profiler: %llu scopes, %.1fns/scope, overhead %.3f%%\n",
+      static_cast<unsigned long long>(profiler.scopes_entered()),
+      profiler.per_scope_overhead_ns(), pct);
+  EXPECT_LE(pct,
+            static_cast<double>(budget.at("max_profiler_overhead_pct")));
 }
 
 }  // namespace

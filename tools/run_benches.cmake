@@ -1,0 +1,14 @@
+# Helper for the check-bench target: execute every bench binary in
+# ${BENCH_DIR} from the current directory (so BENCH_*.json land here),
+# failing fast on a non-zero bench exit.
+file(GLOB benches ${BENCH_DIR}/bench_*)
+foreach(bench ${benches})
+  if(NOT IS_DIRECTORY ${bench})
+    get_filename_component(name ${bench} NAME)
+    message(STATUS "running ${name}")
+    execute_process(COMMAND ${bench} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${name} exited with ${rc}")
+    endif()
+  endif()
+endforeach()
