@@ -148,59 +148,62 @@ ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
 }
 
 void ChaosSchedule::apply(Network& net) const {
-  Scheduler& sched = net.scheduler();
+  // Fault begin/end are control actions: in serial mode they land on the
+  // scheduler exactly as before (bit-identical replay); in sharded mode
+  // the kernel applies them at epoch barriers, where every shard is
+  // quiesced (see Network::schedule_control).
   for (const Fault& fault : faults_) {
     switch (fault.kind) {
       case FaultKind::kCrash:
-        sched.schedule_after(fault.start,
+        net.schedule_control(fault.start,
                              [&net, node = fault.node] { net.crash(node); });
-        sched.schedule_after(fault.end, [&net, node = fault.node] {
+        net.schedule_control(fault.end, [&net, node = fault.node] {
           net.restart(node);
         });
         break;
       case FaultKind::kBlockPair:
-        sched.schedule_after(fault.start, [&net, a = fault.a, b = fault.b] {
+        net.schedule_control(fault.start, [&net, a = fault.a, b = fault.b] {
           net.block_pair(a, b);
         });
-        sched.schedule_after(fault.end, [&net, a = fault.a, b = fault.b] {
+        net.schedule_control(fault.end, [&net, a = fault.a, b = fault.b] {
           net.unblock_pair(a, b);
         });
         break;
       case FaultKind::kPartition:
-        sched.schedule_after(fault.start, [&net, groups = fault.groups] {
+        net.schedule_control(fault.start, [&net, groups = fault.groups] {
           net.set_partition(groups);
         });
-        sched.schedule_after(fault.end, [&net] { net.clear_partition(); });
+        net.schedule_control(fault.end, [&net] { net.clear_partition(); });
         break;
       case FaultKind::kLossBurst:
-        sched.schedule_after(fault.start, [&net, p = fault.prob] {
+        net.schedule_control(fault.start, [&net, p = fault.prob] {
           net.chaos().extra_loss = p;
         });
-        sched.schedule_after(fault.end,
+        net.schedule_control(fault.end,
                              [&net] { net.chaos().extra_loss = 0.0; });
         break;
       case FaultKind::kLatencySpike:
-        sched.schedule_after(fault.start, [&net, d = fault.latency] {
+        net.schedule_control(fault.start, [&net, d = fault.latency] {
           net.chaos().extra_latency = d;
         });
-        sched.schedule_after(fault.end, [&net] {
+        net.schedule_control(fault.end, [&net] {
           net.chaos().extra_latency = SimTime::zero();
         });
         break;
       case FaultKind::kDuplication:
-        sched.schedule_after(fault.start, [&net, p = fault.prob] {
+        net.schedule_control(fault.start, [&net, p = fault.prob] {
           net.chaos().duplication = p;
         });
-        sched.schedule_after(fault.end,
+        net.schedule_control(fault.end,
                              [&net] { net.chaos().duplication = 0.0; });
         break;
       case FaultKind::kReorder:
-        sched.schedule_after(fault.start,
+        net.schedule_control(fault.start,
                              [&net, p = fault.prob, s = fault.latency] {
                                net.chaos().reorder = p;
                                net.chaos().reorder_span = s;
                              });
-        sched.schedule_after(fault.end, [&net] {
+        net.schedule_control(fault.end, [&net] {
           net.chaos().reorder = 0.0;
           net.chaos().reorder_span = SimTime::zero();
         });

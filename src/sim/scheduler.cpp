@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/profiler.h"
@@ -13,21 +14,30 @@ void Scheduler::schedule_after(SimTime delay, Action action) {
 
 void Scheduler::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;
-  queue_.push(Entry{when, next_seq_++, std::move(action)});
+  stats_.scheduled += 1;
+  if (action.on_heap()) stats_.heap_spills += 1;
+  heap_.push_back(Entry{when, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Scheduler::Entry Scheduler::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
+}
+
+void Scheduler::dispatch(Entry entry) {
+  now_ = entry.when;
+  stats_.executed += 1;
+  GSALERT_PROFILE("sim.dispatch");
+  entry.action();
 }
 
 std::size_t Scheduler::run(std::size_t limit) {
   std::size_t executed = 0;
-  while (!queue_.empty() && executed < limit) {
-    // priority_queue::top returns const&; move out via const_cast-free copy
-    // of the action by re-popping: take a copy of the entry then pop.
-    Entry entry = queue_.top();
-    queue_.pop();
-    now_ = entry.when;
-    {
-      GSALERT_PROFILE("sim.dispatch");
-      entry.action();
-    }
+  while (!heap_.empty() && executed < limit) {
+    dispatch(pop_top());
     ++executed;
   }
   return executed;
@@ -35,14 +45,8 @@ std::size_t Scheduler::run(std::size_t limit) {
 
 std::size_t Scheduler::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    now_ = entry.when;
-    {
-      GSALERT_PROFILE("sim.dispatch");
-      entry.action();
-    }
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    dispatch(pop_top());
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;

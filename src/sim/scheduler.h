@@ -1,20 +1,35 @@
 // Deterministic discrete-event scheduler: a virtual clock plus an ordered
 // queue of callbacks. Ties at the same timestamp are broken by insertion
 // order, so runs are exactly reproducible.
+//
+// The queue is a binary heap over a reservable vector of move-only
+// entries (sim::SmallAction): scheduling a typical packet-delivery lambda
+// allocates nothing, and popping an event moves it out instead of copying
+// the capture the way std::priority_queue + std::function did. The
+// (when, seq) comparator is a total order, so heap pop order — and with
+// it every downstream metric — is bit-identical to the old queue.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/small_action.h"
 
 namespace gsalert::sim {
 
+/// Allocation/throughput counters for one scheduler instance. Free to
+/// bump (plain fields); exported by the sharded network as sim.shard.*.
+struct SchedulerStats {
+  std::uint64_t scheduled = 0;    // schedule_at/schedule_after calls
+  std::uint64_t executed = 0;     // actions run
+  std::uint64_t heap_spills = 0;  // actions whose capture spilled to heap
+};
+
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallAction;
 
   SimTime now() const { return now_; }
 
@@ -30,12 +45,30 @@ class Scheduler {
   std::size_t run(std::size_t limit = SIZE_MAX);
 
   /// Run all events with timestamp <= deadline (events scheduled during
-  /// execution are included if they fall within the deadline). Advances
-  /// the clock to `deadline` even if the queue drains earlier.
+  /// execution are included if they fall within the deadline).
+  ///
+  /// Clock contract (the sharded kernel's barrier logic relies on it):
+  /// the clock ALWAYS advances to `deadline` on return, even when the
+  /// queue drains early or was empty to begin with — an epoch boundary
+  /// is a statement about time, not about pending work. Asserted by
+  /// SchedulerTest.RunUntilAdvancesClockOnEmptyQueue.
   std::size_t run_until(SimTime deadline);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event (nullopt when empty). The
+  /// sharded kernel's lower-bound-on-time-stamp computation peeks this.
+  std::optional<SimTime> next_time() const {
+    if (heap_.empty()) return std::nullopt;
+    return heap_.front().when;
+  }
+
+  /// Pre-size the event vector (the sharded kernel reserves per-shard
+  /// queues up front so epoch bursts do not reallocate mid-run).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  const SchedulerStats& stats() const { return stats_; }
 
  private:
   struct Entry {
@@ -50,9 +83,14 @@ class Scheduler {
     }
   };
 
+  /// Pop the earliest entry (heap must be non-empty), moving it out.
+  Entry pop_top();
+  void dispatch(Entry entry);
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;  // min-heap via std::push_heap/pop_heap(Later)
+  SchedulerStats stats_;
 };
 
 }  // namespace gsalert::sim

@@ -1,0 +1,150 @@
+#include "sim/sharding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gsalert::sim {
+
+std::vector<std::uint32_t> shard_contiguous(std::size_t n_nodes,
+                                            std::size_t k) {
+  assert(k >= 1);
+  std::vector<std::uint32_t> assignment(n_nodes, 0);
+  if (k <= 1 || n_nodes == 0) return assignment;
+  const std::size_t base = n_nodes / k;
+  const std::size_t extra = n_nodes % k;
+  std::size_t i = 0;
+  for (std::size_t shard = 0; shard < k; ++shard) {
+    const std::size_t span = base + (shard < extra ? 1 : 0);
+    for (std::size_t j = 0; j < span && i < n_nodes; ++j, ++i) {
+      assignment[i] = static_cast<std::uint32_t>(shard);
+    }
+  }
+  return assignment;
+}
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::uint32_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Deterministic: smaller root wins.
+    if (a < b) parent[b] = a; else parent[a] = b;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> shard_by_tree(
+    std::size_t n_nodes, const std::vector<std::uint32_t>& parent,
+    std::size_t k,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& affinity) {
+  assert(parent.size() == n_nodes);
+  if (k <= 1 || n_nodes == 0) return std::vector<std::uint32_t>(n_nodes, 0);
+
+  // Unit of node i (0-based): walk up until the parent is a root (or
+  // none) — i.e. the subtree under a root's child. Roots get their own
+  // provisional unit and are re-homed with their heaviest child later.
+  UnionFind units(n_nodes);
+  const auto is_root = [&](std::uint32_t value) {
+    return value == 0 || parent[value - 1] == 0;
+  };
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const std::uint32_t p = parent[i];
+    if (p == 0) continue;                  // i is a root
+    if (is_root(p)) continue;              // i heads a root-child subtree
+    units.unite(static_cast<std::uint32_t>(i), p - 1);
+  }
+  for (const auto& [a, b] : affinity) {
+    assert(a >= 1 && a <= n_nodes && b >= 1 && b <= n_nodes);
+    units.unite(a - 1, b - 1);
+  }
+
+  // Weigh every unit; collect them ordered by representative id so the
+  // whole computation is deterministic.
+  std::vector<std::uint64_t> weight(n_nodes, 0);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    weight[units.find(static_cast<std::uint32_t>(i))] += 1;
+  }
+  struct Unit {
+    std::uint32_t rep;
+    std::uint64_t weight;
+  };
+  std::vector<Unit> packable;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    if (units.find(static_cast<std::uint32_t>(i)) != i || weight[i] == 0)
+      continue;
+    // Units headed by a root wait: the root joins its heaviest child.
+    if (parent[i] == 0 &&
+        units.find(static_cast<std::uint32_t>(i)) ==
+            static_cast<std::uint32_t>(i) &&
+        weight[i] == 1) {
+      continue;
+    }
+    packable.push_back(Unit{static_cast<std::uint32_t>(i), weight[i]});
+  }
+  std::sort(packable.begin(), packable.end(), [](const Unit& a,
+                                                 const Unit& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.rep < b.rep;
+  });
+
+  // LPT packing with deterministic ties (lowest shard index).
+  std::vector<std::uint64_t> load(k, 0);
+  std::vector<std::uint32_t> unit_shard(n_nodes, 0);
+  for (const Unit& unit : packable) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < k; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    unit_shard[unit.rep] = static_cast<std::uint32_t>(best);
+    load[best] += unit.weight;
+  }
+
+  std::vector<std::uint32_t> assignment(n_nodes, 0);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    assignment[i] = unit_shard[units.find(static_cast<std::uint32_t>(i))];
+  }
+
+  // Re-home each lone root next to its heaviest child unit (ties: the
+  // lowest child value). A root merged into a unit via affinity was
+  // already packed above.
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const bool lone_root =
+        parent[i] == 0 &&
+        units.find(static_cast<std::uint32_t>(i)) ==
+            static_cast<std::uint32_t>(i) &&
+        weight[i] == 1;
+    if (!lone_root) continue;
+    std::uint64_t best_weight = 0;
+    std::uint32_t best_child_rep = 0;
+    bool found = false;
+    for (std::size_t c = 0; c < n_nodes; ++c) {
+      if (parent[c] != static_cast<std::uint32_t>(i + 1)) continue;
+      const std::uint32_t rep = units.find(static_cast<std::uint32_t>(c));
+      if (!found || weight[rep] > best_weight ||
+          (weight[rep] == best_weight && rep < best_child_rep)) {
+        best_weight = weight[rep];
+        best_child_rep = rep;
+        found = true;
+      }
+    }
+    if (found) assignment[i] = assignment[best_child_rep];
+  }
+  return assignment;
+}
+
+}  // namespace gsalert::sim

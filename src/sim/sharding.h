@@ -1,0 +1,39 @@
+// Shard-assignment helpers for the parallel kernel. An assignment maps
+// every node (by NodeId value, 1-based) to a shard in [0, k). The
+// partitioning rule for tree-shaped worlds (the GDS stratum tree with
+// Greenstone servers hanging off its leaves and clients off the servers)
+// keeps parent/child edges intra-shard wherever possible: each subtree
+// under the global root is one indivisible unit, units are packed onto
+// shards largest-first (LPT), and only root<->child edges cross shards —
+// exactly the paper's observation that most flood traffic stays within a
+// stratum subtree.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gsalert::sim {
+
+/// Contiguous block partition: node values 1..n split into k nearly-equal
+/// ranges. The fallback when no topology is known.
+std::vector<std::uint32_t> shard_contiguous(std::size_t n_nodes,
+                                            std::size_t k);
+
+/// Tree-aware partition. `parent[i]` is the parent node *value* of node
+/// value i+1, or 0 for roots. Each maximal subtree hanging under a root's
+/// child (and each root-less singleton) forms a unit; units are packed
+/// onto k shards by descending weight with deterministic tie-breaks, and
+/// every root is co-located with its heaviest child unit so the busiest
+/// root edge stays intra-shard. `affinity` pairs (by node value) are
+/// forced onto the same shard by merging their units first — the caller
+/// lists zero-latency links here, because the kernel's conservative
+/// lookahead is the minimum cross-shard link latency and a zero-latency
+/// cross-shard edge would stall it (Network::run throws in that case).
+std::vector<std::uint32_t> shard_by_tree(
+    std::size_t n_nodes, const std::vector<std::uint32_t>& parent,
+    std::size_t k,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& affinity =
+        {});
+
+}  // namespace gsalert::sim

@@ -1,0 +1,119 @@
+// Move-only type-erased callable with a small-buffer optimization, sized
+// for the scheduler's hot lambdas (packet delivery captures a Packet plus
+// routing ids — ~96 bytes). Unlike std::function it never copies: entries
+// move through the event heap, so popping an event costs a relocation
+// instead of a heap allocation + capture copy. Captures larger than the
+// inline buffer spill to one heap allocation; `on_heap()` exposes which,
+// so the scheduler can count spills against the perf budget.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gsalert::sim {
+
+class SmallAction {
+ public:
+  /// Inline capture capacity in bytes. Chosen so the network's delivery
+  /// lambda (this + NodeId x2 + Packet) stays inline; raising it trades
+  /// heap spills for bigger heap-sift moves.
+  static constexpr std::size_t kInlineBytes = 112;
+
+  SmallAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallAction(SmallAction&& other) noexcept { move_from(other); }
+
+  SmallAction& operator=(SmallAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallAction(const SmallAction&) = delete;
+  SmallAction& operator=(const SmallAction&) = delete;
+
+  ~SmallAction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// True when the capture spilled to a heap allocation (too large or
+  /// over-aligned for the inline buffer).
+  bool on_heap() const { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    // Move-construct `dst` from `src`'s payload and destroy `src`'s.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+      },
+      false};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* buf) { (**std::launder(reinterpret_cast<Fn**>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(buf));
+      },
+      true};
+
+  void move_from(SmallAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace gsalert::sim

@@ -1,5 +1,6 @@
 #include "wire/codec.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -23,13 +24,22 @@ T read_le(const std::byte* p) {
   }
   return v;
 }
+// Writers run on sharded-kernel worker threads concurrently, so the
+// process-wide counters are bumped through relaxed atomic_refs; the
+// struct stays plain for single-threaded readers (benches, tests read it
+// at quiescence).
 WriterStats g_writer_stats;
+
+void bump(std::uint64_t& counter) {
+  std::atomic_ref<std::uint64_t>(counter).fetch_add(
+      1, std::memory_order_relaxed);
+}
 }  // namespace
 
 WriterStats& writer_stats() { return g_writer_stats; }
 void reset_writer_stats() { g_writer_stats = WriterStats{}; }
 
-Writer::Writer() { ++g_writer_stats.writers; }
+Writer::Writer() { bump(g_writer_stats.writers); }
 
 void Writer::reserve(std::size_t n) {
   buffer_.reserve(buffer_.size() + n);
@@ -38,9 +48,9 @@ void Writer::reserve(std::size_t n) {
 
 void Writer::note_growth(std::size_t extra) {
   if (buffer_.size() + extra <= buffer_.capacity()) return;
-  ++g_writer_stats.grows;
+  bump(g_writer_stats.grows);
   if (reserved_) {
-    ++g_writer_stats.reserve_shortfalls;
+    bump(g_writer_stats.reserve_shortfalls);
     shortfall_ = true;
   }
 }

@@ -86,7 +86,7 @@ TEST(PerfSmokeTest, BroadcastSendPathStaysWithinBudget) {
   for (const char* key :
        {"events", "fanout", "payload", "max_bytes_copied_per_event",
         "min_bytes_shared_per_event", "max_writer_grows_per_event",
-        "max_reserve_shortfalls"}) {
+        "max_reserve_shortfalls", "max_sched_heap_spills"}) {
     ASSERT_TRUE(budget.count(key)) << "budget file missing key: " << key;
   }
   const int events = static_cast<int>(budget.at("events"));
@@ -145,6 +145,11 @@ TEST(PerfSmokeTest, BroadcastSendPathStaysWithinBudget) {
   EXPECT_LE(ws.reserve_shortfalls, budget.at("max_reserve_shortfalls"))
       << "a Writer::reserve() estimate undershot; fix the wire_size "
          "estimate at the encode site";
+  EXPECT_LE(net.scheduler().stats().heap_spills,
+            budget.at("max_sched_heap_spills"))
+      << "a scheduled closure outgrew SmallAction's inline buffer — the "
+         "event loop is heap-allocating per event again; shrink the "
+         "capture (or justify raising kInlineBytes in small_action.h)";
 }
 
 // Filter-matching budget: with heavy predicate sharing, per-event matcher

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +77,88 @@ TEST(SchedulerTest, NegativeDelayClampsToNow) {
   s.run();
   EXPECT_TRUE(ran);
   EXPECT_EQ(s.now(), SimTime::zero());
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockOnEmptyQueue) {
+  // The clock contract the sharded kernel's epoch barriers rely on: a
+  // deadline is a statement about time, not pending work, so run_until
+  // advances the clock even when there is nothing (left) to run.
+  Scheduler s;
+  s.run_until(SimTime::millis(40));
+  EXPECT_EQ(s.now(), SimTime::millis(40));
+
+  int count = 0;
+  s.schedule_after(SimTime::millis(1), [&] { ++count; });
+  s.run_until(SimTime::millis(100));  // drains at t=41, clock reaches 100
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), SimTime::millis(100));
+}
+
+TEST(SchedulerTest, NextTimePeeksEarliestPending) {
+  Scheduler s;
+  EXPECT_FALSE(s.next_time().has_value());
+  s.schedule_after(SimTime::millis(9), [] {});
+  s.schedule_after(SimTime::millis(3), [] {});
+  ASSERT_TRUE(s.next_time().has_value());
+  EXPECT_EQ(*s.next_time(), SimTime::millis(3));
+  s.run();
+  EXPECT_FALSE(s.next_time().has_value());
+}
+
+TEST(SchedulerTest, StatsCountScheduledExecutedAndSpills) {
+  Scheduler s;
+  // Small capture: stays inline.
+  int x = 0;
+  s.schedule_after(SimTime::millis(1), [&x] { ++x; });
+  // Oversized capture: must spill to the heap and be counted.
+  std::array<char, 256> big{};
+  s.schedule_after(SimTime::millis(2), [big, &x] { x += big[0]; });
+  s.run();
+  EXPECT_EQ(s.stats().scheduled, 2u);
+  EXPECT_EQ(s.stats().executed, 2u);
+  EXPECT_EQ(s.stats().heap_spills, 1u);
+}
+
+TEST(SmallActionTest, InlineCaptureDoesNotSpill) {
+  int hits = 0;
+  SmallAction a{[&hits] { ++hits; }};
+  EXPECT_FALSE(a.on_heap());
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallActionTest, OversizedCaptureSpillsAndStillRuns) {
+  std::array<std::uint64_t, 32> payload{};
+  payload[31] = 7;
+  std::uint64_t got = 0;
+  SmallAction a{[payload, &got] { got = payload[31]; }};
+  EXPECT_TRUE(a.on_heap());
+  a();
+  EXPECT_EQ(got, 7u);
+}
+
+TEST(SmallActionTest, MoveTransfersOwnership) {
+  // Move-only payloads (the whole point vs std::function) must compile
+  // and survive relocation through the heap's vector.
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  SmallAction a{[p = std::move(payload), &got] { got = *p + 1; }};
+  SmallAction b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  SmallAction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SmallActionTest, SchedulerAcceptsMoveOnlyLambdas) {
+  Scheduler s;
+  auto token = std::make_unique<std::string>("done");
+  std::string got;
+  s.schedule_after(SimTime::millis(1),
+                   [t = std::move(token), &got] { got = *t; });
+  s.run();
+  EXPECT_EQ(got, "done");
 }
 
 // ---------- Network ----------------------------------------------------------
