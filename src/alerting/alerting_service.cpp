@@ -71,6 +71,9 @@ Status AlertingService::cancel_local(SubscriptionId id) {
     return Status{ErrorCode::kNotFound, "unknown subscription"};
   }
   subs_.erase(it);
+  // Queued-but-unsent notifications for the subscription die with it
+  // (dangling-profile guarantee extends through the delivery queue).
+  delivery_.drop_subscription(id);
   journal_append(kJSubCancel, 8, [&](wire::Writer& w) { w.u64(id); });
   if (server_) server_->commit_journal();
   return index_.remove(id);
@@ -131,13 +134,15 @@ void AlertingService::on_recovered() {
   processed_forwards_.clear();
   sub_requests_.clear();
   channels_.clear_peers();
+  delivery_.clear();
   ensure_channels();
 }
 
 void AlertingService::on_restarted() {
   // Rejoin phase: state is already recovered (journal replay, or kept in
-  // memory on the legacy path); only the retry timer needs re-arming.
+  // memory on the legacy path); only the retry timers need re-arming.
   channels_.on_restart();
+  delivery_.on_restart();
 }
 
 // --- event pipeline -----------------------------------------------------------
@@ -161,11 +166,21 @@ void AlertingService::filter_and_notify(const docmodel::Event& event) {
                               .count()) /
       1000.0);
   stats_.filter_matches += hits.size();
+  // Encode once, fan out many: the event body lands in one refcounted
+  // frame aliased across every matching subscriber; the subscription id
+  // rides the per-subscriber header (msg_id), so N matches cost exactly
+  // one body encode (gated in tests/perf_budget.txt). Both are built
+  // lazily — an event whose hits all point at vanished subscriptions
+  // encodes nothing.
+  std::shared_ptr<const docmodel::Event> shared_event;
+  wire::Frame body_frame;
   for (profiles::ProfileId id : hits) {
     const auto it = subs_.find(id);
     if (it == subs_.end()) continue;
-    if (notification_observer_) {
-      notification_observer_(it->second.client, id, event);
+    if (!shared_event) {
+      shared_event = std::make_shared<const docmodel::Event>(event);
+      body_frame = wire::Frame{encode_event(event)};
+      stats_.notify_body_encodes += 1;
     }
     const obs::TraceScope notify_scope{
         obs::active()
@@ -174,16 +189,7 @@ void AlertingService::filter_and_notify(const docmodel::Event& event) {
                   {{"sub", std::to_string(id)},
                    {"client", std::to_string(it->second.client.value())}})
             : obs::current_context()};
-    NotificationBody body;
-    body.subscription_id = id;
-    body.event = event;
-    wire::Writer w;
-    body.encode(w);
-    wire::Envelope env = wire::make_envelope(
-        wire::MessageType::kNotification, server_->name(), "",
-        server_->next_msg_id(), std::move(w));
-    server_->send_to(it->second.client, env);
-    stats_.notifications_sent += 1;
+    delivery_.offer(it->second.client, id, shared_event, body_frame);
   }
 }
 
@@ -487,6 +493,11 @@ bool AlertingService::handle_envelope(NodeId from, const wire::Envelope& env) {
     case wire::MessageType::kAuxProfileAck:
     case wire::MessageType::kEventForwardAck:
       handle_ack(env);
+      return true;
+    case wire::MessageType::kNotificationAck:
+      // Client ack for a channel-managed digest: env.src is the client
+      // node's name — the delivery channel's peer key.
+      delivery_.on_ack(env.src, env.msg_id);
       return true;
     default:
       return false;
@@ -813,6 +824,7 @@ void AlertingService::encode_durable(wire::Writer& w) const {
     w.u64(sub);
   }
   channels_.encode_state(w);
+  delivery_.encode_state(w);
 }
 
 void AlertingService::recover_durable(wire::Reader& r) {
@@ -864,6 +876,7 @@ void AlertingService::recover_durable(wire::Reader& r) {
   }
   ensure_channels();
   channels_.decode_state(r);
+  delivery_.decode_state(r);
 }
 
 bool AlertingService::replay_journal(std::uint8_t type, wire::Reader& r) {
@@ -881,6 +894,9 @@ bool AlertingService::replay_journal(std::uint8_t type, wire::Reader& r) {
       const SubscriptionId id = r.u64();
       if (!r.ok()) return true;
       if (subs_.erase(id) > 0) (void)index_.remove(id);
+      // Enq records for the cancelled sub replay before this record;
+      // re-dropping here keeps the recovered queues cancel-consistent.
+      delivery_.drop_subscription(id);
       return true;
     }
     case kJSubRequest: {
@@ -960,7 +976,8 @@ bool AlertingService::replay_journal(std::uint8_t type, wire::Reader& r) {
       return true;
     }
     default:
-      return false;
+      // Types 75..81 belong to the delivery stage.
+      return delivery_.replay_journal(type, r);
   }
 }
 
@@ -1027,6 +1044,7 @@ void AlertingService::ensure_channels() {
         attempt_delivery(host, env);
       },
       0xA1E27ULL ^ server_->id().value());
+  delivery_.ensure_attached();
 }
 
 void AlertingService::send_reliable(const std::string& host,
@@ -1036,7 +1054,8 @@ void AlertingService::send_reliable(const std::string& host,
 }
 
 void AlertingService::on_timer_token(std::uint64_t token) {
-  (void)channels_.on_timer(token);
+  if (channels_.on_timer(token)) return;
+  (void)delivery_.on_timer(token);
 }
 
 void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
@@ -1049,6 +1068,8 @@ void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
       stats_.duplicate_events;
   registry.counter("alerting.notifications_sent", labels) =
       stats_.notifications_sent;
+  registry.counter("alerting.notify_body_encodes", labels) =
+      stats_.notify_body_encodes;
   registry.counter("alerting.filter_matches", labels) =
       stats_.filter_matches;
   registry.counter("alerting.aux_forwards", labels) = stats_.aux_forwards;
@@ -1095,6 +1116,24 @@ void AlertingService::collect_metrics(obs::MetricsRegistry& registry) const {
       match_stats_.eq_probe_string_hashes;
   registry.gauge("alerting.match.distinct_residuals", labels) =
       static_cast<double>(index_.shared_predicate_count());
+  // Delivery stage (see docs/DELIVERY.md).
+  const DeliveryStats& d = delivery_.stats();
+  registry.counter("delivery.enqueued", labels) = d.enqueued;
+  registry.counter("delivery.sent_immediate", labels) = d.sent_immediate;
+  registry.counter("delivery.digests_sent", labels) = d.digests_sent;
+  registry.counter("delivery.digest_notifications", labels) =
+      d.digest_notifications;
+  registry.counter("delivery.coalesced_merges", labels) =
+      d.coalesced_merges;
+  registry.counter("delivery.spilled", labels) = d.spilled;
+  registry.counter("delivery.stalls", labels) = d.stalls;
+  registry.counter("delivery.resumes", labels) = d.resumes;
+  registry.gauge("delivery.queue_depth", labels) =
+      static_cast<double>(delivery_.queue_depth_total());
+  registry.gauge("delivery.max_queue_depth", labels) =
+      static_cast<double>(d.max_queue_depth);
+  registry.gauge("delivery.inflight", labels) =
+      static_cast<double>(delivery_.inflight());
 }
 
 }  // namespace gsalert::alerting

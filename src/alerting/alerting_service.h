@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "alerting/delivery.h"
 #include "alerting/messages.h"
 #include "common/types.h"
 #include "gsnet/greenstone_server.h"
@@ -50,6 +51,10 @@ struct AlertingConfig {
   bool batch_events = true;
   /// Flush the pending batch once it holds this many events.
   std::size_t max_batch_events = 16;
+  /// Per-subscriber delivery stage between match and wire (credits,
+  /// coalescing, digests — see src/alerting/delivery.h). The default is
+  /// unmanaged immediate delivery: the pre-delivery-stage packet flow.
+  DeliveryConfig delivery;
 };
 
 /// Counters for experiments and tests.
@@ -58,6 +63,7 @@ struct AlertingStats {
   std::uint64_t events_received = 0;      // events seen (local + GDS)
   std::uint64_t duplicate_events = 0;     // suppressed by the event id cache
   std::uint64_t notifications_sent = 0;
+  std::uint64_t notify_body_encodes = 0;  // one per event with >= 1 hit
   std::uint64_t filter_matches = 0;       // profile hits across all events
   std::uint64_t aux_forwards = 0;         // events forwarded sub -> super
   std::uint64_t renames = 0;              // events renamed at a super host
@@ -69,7 +75,9 @@ struct AlertingStats {
 
 class AlertingService : public gsnet::ServerExtension {
  public:
-  explicit AlertingService(AlertingConfig config = {}) : config_(config) {}
+  explicit AlertingService(AlertingConfig config = {}) : config_(config) {
+    delivery_.configure(config_.delivery);
+  }
 
   // --- direct (in-process) subscription API, used by local tooling ------
   /// Subscribe a client node with a profile; returns the subscription id.
@@ -95,9 +103,26 @@ class AlertingService : public gsnet::ServerExtension {
   /// Auxiliary profiles registered here by remote super-collection hosts
   /// (sub name -> supers). Exposed for tests/benches.
   std::vector<CollectionRef> aux_profiles_for(const std::string& sub) const;
-  /// Unacknowledged reliable messages across all peer channels (the old
-  /// outbox depth; invariant checkers assert it drains after a heal).
-  std::size_t outbox_size() const { return channels_.unacked_total(); }
+  /// Unacknowledged reliable messages across all peer channels — aux /
+  /// forward traffic plus managed delivery digests (invariant checkers
+  /// assert it drains after a heal).
+  std::size_t outbox_size() const {
+    return channels_.unacked_total() + delivery_.inflight();
+  }
+
+  /// The per-subscriber delivery stage (policies, queues, credits).
+  DeliveryStage& delivery() { return delivery_; }
+  const DeliveryStage& delivery() const { return delivery_; }
+  /// Set one subscription's delivery policy (journaled; local API — the
+  /// subscribing server is the user's single access point).
+  void set_delivery_policy(SubscriptionId sub, DeliveryPolicy policy) {
+    delivery_.set_policy(sub, policy);
+  }
+  /// Notifications accepted by the delivery stage but not yet on a
+  /// client, as "client#sub#origin#seq" keys (crash-durability check).
+  std::vector<std::string> pending_delivery_keys() const {
+    return delivery_.pending_keys();
+  }
   /// --- durable-state views (crash-durability checker) -------------------
   /// Live subscription ids, sorted. Across a crash-restart this set may
   /// only shrink by explicit cancellations.
@@ -150,6 +175,8 @@ class AlertingService : public gsnet::ServerExtension {
   bool replay_journal(std::uint8_t type, wire::Reader& r) override;
 
  private:
+  friend class DeliveryStage;  // wire, journal, stats, observer access
+
   struct Subscription {
     NodeId client;
     std::string profile_text;
@@ -234,6 +261,10 @@ class AlertingService : public gsnet::ServerExtension {
 
   // Reliable delivery: one seq/ack/retransmit channel per peer host.
   transport::ChannelSet channels_;
+
+  // Per-subscriber delivery stage (declared after config_ so the ctor
+  // can feed it config_.delivery).
+  DeliveryStage delivery_{*this};
 
   // Events published during the current build, waiting to be flushed as
   // one batch. Each entry remembers the trace context that was active at

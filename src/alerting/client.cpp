@@ -61,21 +61,57 @@ void Client::on_packet(NodeId from, const sim::Packet& packet) {
     return;
   }
   if (env.type == wire::MessageType::kNotification) {
-    auto body = NotificationBody::decode(env.body);
-    if (!body.ok()) return;
-    // Idempotency per sending server: a chaos-duplicated or retried
-    // notification arrives again from the same node and is dropped, while
-    // a migrated profile registration (snapshot restored at a second
-    // server) legitimately notifies the same subscription id for the same
-    // event from a different node.
-    const std::string key = std::to_string(from.value()) + "#" +
-                            std::to_string(body.value().subscription_id) +
-                            "#" + body.value().event.id.str();
-    if (!seen_notifications_.insert(key).second) return;
-    notifications_.push_back(ReceivedNotification{
-        body.value().subscription_id, std::move(body.value().event),
-        network().now()});
+    // Encode-once wire shape: the body is the bare event payload (shared
+    // frame at the sender); the subscription id rides msg_id.
+    auto event = decode_event(env.body);
+    if (!event.ok()) return;
+    record_notification(from, env.msg_id, std::move(event).take());
+    return;
   }
+  if (env.type == wire::MessageType::kNotificationDigest) {
+    auto body = NotificationDigestBody::decode(env.body);
+    if (!body.ok()) return;
+    // Channel-managed digests (chan_base stamped) are acked always —
+    // duplicates included, or the server's window never drains.
+    if (env.chan_base != 0) {
+      wire::Envelope ack =
+          wire::make_envelope(wire::MessageType::kNotificationAck, name(),
+                              env.src, env.msg_id, wire::Writer{});
+      network().send(id(), from, ack.pack());
+    }
+    const std::string digest_key = std::to_string(from.value()) + "#" +
+                                   std::to_string(body.value().digest_seq);
+    if (!seen_digests_.insert(digest_key).second) {
+      digest_replays_ += 1;
+      return;
+    }
+    digests_received_ += 1;
+    for (NotificationDigestBody::Entry& entry : body.value().entries) {
+      auto event = decode_event(entry.event);
+      if (!event.ok()) continue;
+      record_notification(from, entry.subscription_id,
+                          std::move(event).take());
+    }
+  }
+}
+
+void Client::record_notification(NodeId from, SubscriptionId sub,
+                                 docmodel::Event event) {
+  if (sink_) {
+    // Bench fast path: no storage, no dedup ledger (see header).
+    sink_(sub, event, network().now());
+    return;
+  }
+  // Idempotency per sending server: a chaos-duplicated or retried
+  // notification arrives again from the same node and is dropped, while
+  // a migrated profile registration (snapshot restored at a second
+  // server) legitimately notifies the same subscription id for the same
+  // event from a different node.
+  const std::string key = std::to_string(from.value()) + "#" +
+                          std::to_string(sub) + "#" + event.id.str();
+  if (!seen_notifications_.insert(key).second) return;
+  notifications_.push_back(
+      ReceivedNotification{sub, std::move(event), network().now()});
 }
 
 void Client::on_timer(std::uint64_t token) { endpoint_.on_timer(token); }

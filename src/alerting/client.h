@@ -47,6 +47,20 @@ class Client : public sim::Node {
   }
   void clear_notifications() { notifications_.clear(); }
 
+  /// Streaming sink for subscriber-scale benches: when set, notifications
+  /// are handed to the callback instead of being stored (and the
+  /// per-notification dedup ledger is skipped — sink users run loss-free
+  /// unmanaged workloads where wire duplicates cannot occur).
+  using NotificationSink =
+      std::function<void(SubscriptionId, const docmodel::Event&, SimTime)>;
+  void set_notification_sink(NotificationSink sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Digest traffic counters (coalesce / digest delivery modes).
+  std::uint64_t digests_received() const { return digests_received_; }
+  std::uint64_t digest_replays_dropped() const { return digest_replays_; }
+
   /// Retransmit/timeout counters for subscribe requests.
   const transport::EndpointStats& endpoint_stats() const {
     return endpoint_.stats();
@@ -66,9 +80,18 @@ class Client : public sim::Node {
   transport::Endpoint endpoint_;
   std::vector<SubscriptionId> subscription_ids_;
   std::vector<ReceivedNotification> notifications_;
+  NotificationSink sink_;
   // The server sends one notification per (subscription, event); a second
   // arrival is a wire-level duplicate and is not recorded.
   std::unordered_set<std::string> seen_notifications_;
+  // Channel-managed digests retransmit until acked; replays of a digest
+  // we already processed are dropped wholesale by (sender, digest_seq).
+  std::unordered_set<std::string> seen_digests_;
+  std::uint64_t digests_received_ = 0;
+  std::uint64_t digest_replays_ = 0;
+
+  void record_notification(NodeId from, SubscriptionId sub,
+                           docmodel::Event event);
 };
 
 }  // namespace gsalert::alerting

@@ -50,6 +50,23 @@ struct NotificationBody {
   static Result<NotificationBody> decode(std::span<const std::byte> body);
 };
 
+/// Several notifications for one client coalesced into a single message
+/// (delivery stage coalesce-window / periodic-digest modes). Entries carry
+/// pre-encoded event bytes so the sender can alias the encode-once frame
+/// without a re-encode. `digest_seq` is unique per (server, digest) so the
+/// client can drop retransmitted digests wholesale.
+struct NotificationDigestBody {
+  struct Entry {
+    SubscriptionId subscription_id = 0;
+    std::vector<std::byte> event;  // encode_event() bytes
+  };
+  std::uint64_t digest_seq = 0;
+  std::vector<Entry> entries;
+
+  void encode(wire::Writer& w) const;
+  static Result<NotificationDigestBody> decode(std::span<const std::byte> body);
+};
+
 // --- auxiliary profiles (GS network) ----------------------------------------
 
 /// Installs (or removes) an auxiliary profile at the sub-collection's

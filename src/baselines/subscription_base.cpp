@@ -77,16 +77,13 @@ void SubscriptionExtensionBase::notify_client(SubscriptionId id,
                                               const docmodel::Event& event) {
   const auto it = subs_.find(id);
   if (it == subs_.end()) return;
-  alerting::NotificationBody body;
-  body.subscription_id = id;
-  body.event = event;
-  wire::Writer w;
-  body.encode(w);
+  // Same wire shape as the gsalert delivery stage: bare event payload in
+  // the body, subscription id in msg_id.
   server_->send_to(it->second.client,
                    wire::make_envelope(wire::MessageType::kNotification,
-                                       server_->name(), "",
-                                       server_->next_msg_id(),
-                                       std::move(w)));
+                                       server_->name(), "", id,
+                                       wire::Frame{alerting::encode_event(
+                                           event)}));
   notifications_sent_ += 1;
 }
 

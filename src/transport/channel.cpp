@@ -48,7 +48,7 @@ void ChannelSet::arm(SimTime due) {
   timer_target_ = due;
   const SimTime now = net_->now();
   const SimTime delay = due > now ? due - now : SimTime::micros(1);
-  net_->set_timer(self_, delay, kTimerToken);
+  net_->set_timer(self_, delay, timer_token_);
 }
 
 std::uint64_t ChannelSet::send(const std::string& peer, wire::Envelope env) {
@@ -142,7 +142,7 @@ ChannelSet::Incoming ChannelSet::on_data_apply(PeerState& state,
 }
 
 bool ChannelSet::on_timer(std::uint64_t token) {
-  if (token != kTimerToken) return false;
+  if (token != timer_token_) return false;
   armed_ = false;
   const SimTime now = net_->now();
   for (auto& [peer, state] : peers_) {
@@ -243,6 +243,19 @@ std::size_t ChannelSet::unacked_total() const {
   std::size_t total = 0;
   for (const auto& [peer, state] : peers_) total += state.unacked.size();
   return total;
+}
+
+std::size_t ChannelSet::unacked_to(const std::string& peer) const {
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.unacked.size();
+}
+
+void ChannelSet::for_each_unacked(
+    const std::function<void(const std::string& peer, std::uint64_t seq,
+                             const wire::Envelope& env)>& fn) const {
+  for (const auto& [peer, state] : peers_) {
+    for (const auto& [seq, entry] : state.unacked) fn(peer, seq, entry.env);
+  }
 }
 
 }  // namespace gsalert::transport

@@ -69,6 +69,10 @@ class ChannelSet {
               TransmitFn transmit, std::uint64_t jitter_seed);
   bool attached() const { return net_ != nullptr; }
   void set_policy(const ChannelPolicy& policy) { policy_ = policy; }
+  /// Override the retry-timer token (default kTimerToken). Needed when a
+  /// node owns more than one ChannelSet: each must dispatch its own
+  /// timer. Set before the first send().
+  void set_timer_token(std::uint64_t token) { timer_token_ = token; }
   void set_retransmit_hook(RetransmitHook hook) {
     retransmit_hook_ = std::move(hook);
   }
@@ -126,6 +130,14 @@ class ChannelSet {
   void on_restart();
 
   std::size_t unacked_total() const;
+  /// Outstanding (sent, unacked) count toward one peer — the delivery
+  /// stage's in-flight credit usage.
+  std::size_t unacked_to(const std::string& peer) const;
+  /// Visit every unacked envelope (recovery audits, pending-state
+  /// snapshots). Order: peer name, then seq.
+  void for_each_unacked(
+      const std::function<void(const std::string& peer, std::uint64_t seq,
+                               const wire::Envelope& env)>& fn) const;
   const ChannelStats& stats() const { return stats_; }
 
  private:
@@ -158,6 +170,7 @@ class ChannelSet {
   ChannelPolicy policy_;
   Rng rng_{0};
   std::map<std::string, PeerState> peers_;
+  std::uint64_t timer_token_ = kTimerToken;
   bool armed_ = false;
   SimTime timer_target_;
   ChannelStats stats_;

@@ -42,6 +42,8 @@ enum class MessageType : std::uint16_t {
   kSubscribeAck = 81,
   kCancelSubscription = 82,
   kNotification = 83,
+  kNotificationDigest = 84,  // coalesced/periodic batch of notifications
+  kNotificationAck = 85,     // client ack for channel-managed delivery
 
   // --- Alerting event payload (wrapped in GDS broadcast / forwards) ------
   kEventAnnounce = 90,

@@ -347,6 +347,49 @@ class PostHealCompletenessChecker : public sim::InvariantChecker {
   std::unordered_map<std::string, std::uint64_t> snapshot_;
 };
 
+// --- delivery-no-duplicate --------------------------------------------------
+
+/// A user must never see the same notification twice, whatever the wire
+/// did: digest retransmits, crash re-flushes (fresh digest_seq, same
+/// entries) and duplicated packets all have to collapse in the client's
+/// dedup ledgers. Scans every client log for a repeated
+/// (subscription, event) pair — across senders too, since chaos profiles
+/// never migrate between servers.
+class DeliveryDuplicateChecker : public sim::InvariantChecker {
+ public:
+  explicit DeliveryDuplicateChecker(Scenario& scenario)
+      : scenario_(scenario) {}
+
+  std::string name() const override { return "delivery-no-duplicate"; }
+
+  void check(std::vector<sim::Violation>& out) override {
+    std::size_t listed = 0;
+    for (const alerting::Client* client : scenario_.clients()) {
+      std::unordered_set<std::string> seen;
+      for (const auto& received : client->notifications()) {
+        const std::string key = std::to_string(received.subscription_id) +
+                                "#" + received.event.id.str();
+        if (seen.insert(key).second) continue;
+        if (++listed <= kMaxListedViolations) {
+          out.push_back(sim::Violation{
+              name(), client->name() + " received subscription #" +
+                          std::to_string(received.subscription_id) +
+                          " event " + received.event.id.str() + " twice"});
+        }
+      }
+    }
+    if (listed > kMaxListedViolations) {
+      out.push_back(sim::Violation{
+          name(), "... and " +
+                      std::to_string(listed - kMaxListedViolations) +
+                      " more duplicate deliveries"});
+    }
+  }
+
+ private:
+  Scenario& scenario_;
+};
+
 // --- crash-durability -------------------------------------------------------
 
 /// Snapshots a node's durable-by-contract state at the instant it
@@ -399,6 +442,24 @@ class DurabilityChecker : public sim::InvariantChecker {
       require_superset(out, servers[i]->name() + " processed-forward",
                        snap->second.forwards,
                        services[i]->processed_forward_keys());
+      if (!snap->second.pending.empty()) {
+        // Every delivery key pending at the crash must by now be on its
+        // client or still pending (queued / unacked digest) — unless its
+        // subscription was cancelled, which legally drops queue entries.
+        std::vector<std::string> pending_want;
+        for (const std::string& key : snap->second.pending) {
+          const std::size_t a = key.find('#');
+          const std::size_t b = key.find('#', a + 1);
+          const SubscriptionId sub = static_cast<SubscriptionId>(
+              std::stoull(key.substr(a + 1, b - a - 1)));
+          if (!cancelled.contains(sub)) pending_want.push_back(key);
+        }
+        std::vector<std::string> pending_have =
+            services[i]->pending_delivery_keys();
+        append_delivered_keys(pending_have);
+        require_superset(out, servers[i]->name() + " pending delivery",
+                         pending_want, pending_have);
+      }
     }
   }
 
@@ -411,6 +472,10 @@ class DurabilityChecker : public sim::InvariantChecker {
     std::vector<SubscriptionId> subs;
     std::vector<std::string> seen;
     std::vector<std::string> forwards;
+    // "client#sub#origin#seq" delivery keys pending at the crash
+    // (credit-managed runs only; unmanaged digests are fire-and-forget
+    // and may legally vanish with a lost packet).
+    std::vector<std::string> pending;
   };
 
   void snapshot(NodeId node) {
@@ -427,8 +492,24 @@ class DurabilityChecker : public sim::InvariantChecker {
       svc_snaps_[node.value()] =
           SvcSnap{services[i]->subscription_ids(),
                   services[i]->seen_event_keys(),
-                  services[i]->processed_forward_keys()};
+                  services[i]->processed_forward_keys(),
+                  services[i]->delivery().managed()
+                      ? services[i]->pending_delivery_keys()
+                      : std::vector<std::string>{}};
       return;
+    }
+  }
+
+  /// Append a "client#sub#origin#seq" key for every notification any
+  /// scenario client has recorded (same shape as
+  /// DeliveryStage::pending_keys, so membership is a plain set lookup).
+  void append_delivered_keys(std::vector<std::string>& out) const {
+    for (const alerting::Client* client : scenario_.clients()) {
+      for (const auto& received : client->notifications()) {
+        out.push_back(std::to_string(client->id().value()) + "#" +
+                      std::to_string(received.subscription_id) + "#" +
+                      received.event.id.str());
+      }
     }
   }
 
@@ -498,6 +579,7 @@ ChaosHarness::ChaosHarness(Scenario& scenario, ChaosHarnessOptions options)
         registry_.add(std::make_unique<PostHealCompletenessChecker>(
             scenario));
     registry_.add(std::make_unique<DurabilityChecker>(scenario));
+    registry_.add(std::make_unique<DeliveryDuplicateChecker>(scenario));
   }
   registry_.add(
       std::make_unique<sim::WireConservationChecker>(scenario.net()));
@@ -588,6 +670,14 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   sc.seed = config.seed;
   sc.gds_dedup = config.gds_dedup;
   sc.journal_compact_bytes = config.journal_compact_bytes;
+  if (config.managed_delivery) {
+    // Small credit window so chaos actually stalls queues; capacity far
+    // above chaos-scale load so nothing spills (a spilled entry would be
+    // an honest loss the durability superset check must not count).
+    sc.alerting.delivery.credits = 8;
+    sc.alerting.delivery.queue_capacity = 4096;
+    sc.alerting.delivery.default_window = SimTime::millis(200);
+  }
   Scenario scenario{sc};
   scenario.net().storage_faults() = config.storage_faults;
   ChaosHarnessOptions harness_options;
@@ -600,6 +690,42 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   }
   scenario.subscribe_all(config.profiles_per_client);
   scenario.settle(SimTime::seconds(3));
+  if (config.managed_delivery) {
+    // Seeded mix of delivery policies across the acked subscriptions:
+    // roughly a third each immediate / coalesce / digest, windows well
+    // under the churn step so digests flush between publishes.
+    Rng policy_rng{config.seed ^ 0xD311FE27ULL};
+    std::unordered_map<std::uint32_t, alerting::AlertingService*> by_server;
+    const auto& servers = scenario.servers();
+    const auto& services = scenario.gsalert();
+    for (std::size_t i = 0; i < servers.size() && i < services.size(); ++i) {
+      by_server[servers[i]->id().value()] = services[i];
+    }
+    for (const Scenario::SubRecord& record : scenario.sub_records()) {
+      if (record.id == 0) continue;
+      alerting::Client* client = scenario.clients()[record.client_index];
+      const auto service = by_server.find(client->home().value());
+      if (service == by_server.end()) continue;
+      alerting::DeliveryPolicy policy;
+      switch (policy_rng.uniform_int(0, 2)) {
+        case 1:
+          policy.mode = alerting::DeliveryMode::kCoalesce;
+          policy.window = SimTime::millis(
+              100 + 50 * static_cast<std::uint64_t>(
+                             policy_rng.uniform_int(0, 4)));
+          break;
+        case 2:
+          policy.mode = alerting::DeliveryMode::kDigest;
+          policy.window = SimTime::millis(
+              200 + 100 * static_cast<std::uint64_t>(
+                              policy_rng.uniform_int(0, 3)));
+          break;
+        default:
+          break;  // immediate (still channel-managed: digest-of-one)
+      }
+      service->second->set_delivery_policy(record.id, policy);
+    }
+  }
   for (int i = 0; i < config.warmup_publishes; ++i) {
     scenario.publish_random_rebuild(2);
     scenario.settle(SimTime::millis(300));

@@ -143,6 +143,19 @@ std::string ProfileGen::make_profile(
   return "ref = " + coll.str();
 }
 
+std::size_t SubscriptionGen::pick_collection() {
+  assert(!collections_.empty());
+  return rng_.zipf(collections_.size(), config_.zipf_s);
+}
+
+std::string SubscriptionGen::make_subscription() {
+  const CollectionRef& coll = collections_[pick_collection()];
+  if (rng_.chance(config_.rebuild_watch_fraction)) {
+    return "ref = " + coll.str() + " AND type = collection_rebuilt";
+  }
+  return "ref = " + coll.str();
+}
+
 std::vector<std::vector<int>> GsTopology::components() const {
   std::vector<int> parent(static_cast<std::size_t>(n_servers));
   std::iota(parent.begin(), parent.end(), 0);

@@ -89,6 +89,43 @@ class ProfileGen {
   ProfileGenConfig config_;
 };
 
+/// Subscriber-scale subscription shape for the delivery layer: user
+/// interest follows a Zipf popularity curve over collections, so a few
+/// hot collections accumulate most of the fan-out while the long tail
+/// stays cold. This is the workload that stresses encode-once delivery,
+/// credit backpressure and coalescing (docs/DELIVERY.md) — a rebuild of
+/// the rank-0 collection must notify a large fraction of all users.
+struct SubscriptionGenConfig {
+  double zipf_s = 0.7;  // collection popularity skew
+  /// Fraction of subscriptions that watch rebuild events only
+  /// ("ref = X.Y AND type = collection_rebuilt") instead of the whole
+  /// collection — those all fire together in a rebuild storm.
+  double rebuild_watch_fraction = 0.2;
+};
+
+class SubscriptionGen {
+ public:
+  SubscriptionGen(Rng& rng, std::vector<CollectionRef> collections,
+                  SubscriptionGenConfig config = {})
+      : rng_(rng), collections_(std::move(collections)), config_(config) {}
+
+  /// Zipf-ranked collection index for the next subscription
+  /// (rank 0 = hottest).
+  std::size_t pick_collection();
+  /// Profile text for one subscription (collection watch or scoped
+  /// rebuild watch over a Zipf-picked collection).
+  std::string make_subscription();
+
+  const std::vector<CollectionRef>& collections() const {
+    return collections_;
+  }
+
+ private:
+  Rng& rng_;
+  std::vector<CollectionRef> collections_;
+  SubscriptionGenConfig config_;
+};
+
 /// A Greenstone-network shape (paper §1, challenge 1): mostly solitary
 /// servers, a few islands of linked ones, optional cycles.
 struct GsTopology {

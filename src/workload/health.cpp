@@ -20,6 +20,8 @@ struct NodeHealth {
   std::uint64_t retransmits = 0; // endpoint + channel resends
   std::uint64_t timeouts = 0;
   std::uint64_t parked = 0;      // store-and-forward frames in custody
+  std::uint64_t delivery_queue = 0;   // queued delivery entries (all clients)
+  std::uint64_t delivery_spilled = 0; // entries dropped at queue capacity
   std::uint64_t journal_pending = 0;  // bytes appended, not yet fsynced
   std::uint64_t journal_log = 0;      // total log bytes
 };
@@ -40,6 +42,8 @@ std::vector<NodeHealth> gather(Scenario& scenario) {
     if (i < services.size()) {
       row.unacked = services[i]->outbox_size();
       row.retransmits += services[i]->channel_stats().retransmits;
+      row.delivery_queue = services[i]->delivery().queue_depth_total();
+      row.delivery_spilled = services[i]->delivery().stats().spilled;
     }
     if (const journal::Journal* j = server->journal()) {
       row.journal_pending = j->pending_bytes();
@@ -78,17 +82,20 @@ std::vector<NodeHealth> gather(Scenario& scenario) {
 std::string health_scoreboard(Scenario& scenario) {
   std::string out =
       "health scoreboard:\n"
-      "  node            role    unacked   rtx  tmout  parked  jrnl_pend  "
-      "jrnl_log\n";
+      "  node            role    unacked   rtx  tmout  parked  dqueue  "
+      "spill  jrnl_pend  jrnl_log\n";
   for (const NodeHealth& row : gather(scenario)) {
-    char buf[160];
+    char buf[192];
     std::snprintf(buf, sizeof buf,
-                  "  %-15s %-7s %7llu %5llu %6llu %7llu %10llu %9llu\n",
+                  "  %-15s %-7s %7llu %5llu %6llu %7llu %7llu %6llu %10llu "
+                  "%9llu\n",
                   row.node.c_str(), row.role.c_str(),
                   static_cast<unsigned long long>(row.unacked),
                   static_cast<unsigned long long>(row.retransmits),
                   static_cast<unsigned long long>(row.timeouts),
                   static_cast<unsigned long long>(row.parked),
+                  static_cast<unsigned long long>(row.delivery_queue),
+                  static_cast<unsigned long long>(row.delivery_spilled),
                   static_cast<unsigned long long>(row.journal_pending),
                   static_cast<unsigned long long>(row.journal_log));
     out += buf;
@@ -107,6 +114,10 @@ void collect_health(Scenario& scenario, obs::MetricsRegistry& registry) {
         static_cast<double>(row.timeouts);
     registry.gauge("health.node.parked", labels) =
         static_cast<double>(row.parked);
+    registry.gauge("health.node.delivery_queue", labels) =
+        static_cast<double>(row.delivery_queue);
+    registry.gauge("health.node.delivery_spilled", labels) =
+        static_cast<double>(row.delivery_spilled);
     registry.gauge("health.node.journal_pending_bytes", labels) =
         static_cast<double>(row.journal_pending);
     registry.gauge("health.node.journal_log_bytes", labels) =

@@ -102,7 +102,8 @@ void Scenario::build_world() {
         net_.make_node<gsnet::GreenstoneServer>(host, server_config);
     switch (config_.strategy) {
       case Strategy::kGsAlert: {
-        auto ext = std::make_unique<alerting::AlertingService>();
+        auto ext =
+            std::make_unique<alerting::AlertingService>(config_.alerting);
         gsalert_.push_back(ext.get());
         server->set_extension(std::move(ext));
         server->attach_gds(

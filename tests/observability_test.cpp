@@ -743,6 +743,7 @@ TEST(HealthScoreboardTest, ListsEveryNodeAndExportsGauges) {
   for (const char* name :
        {"health.node.unacked", "health.node.retransmits",
         "health.node.timeouts", "health.node.parked",
+        "health.node.delivery_queue", "health.node.delivery_spilled",
         "health.node.journal_pending_bytes",
         "health.node.journal_log_bytes"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;

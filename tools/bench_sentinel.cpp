@@ -584,7 +584,8 @@ int run_compare(const std::filesystem::path& baselines,
 
 const char* const kSelfTestBaseline = R"({"bench":"selftest","metrics":{
   "counters":{"outcome.delivered":42,"bench.messages":1000},
-  "gauges":{"profiler.overhead_fraction":0.01},
+  "gauges":{"profiler.overhead_fraction":0.01,
+            "delivery.queue_depth":0,"delivery.max_queue_depth":24},
   "histograms":{
     "latency.e2e_ms":{"count":64,"mean":12,"p50":10,"p95":30,"p99":40,
                       "p999":44,"max":44,"buckets":[[16,50],[32,10],[64,4]]},
@@ -598,6 +599,7 @@ const char* const kSelfTestRules =
     "*/latency.* up 100 0.5\n"
     "*/outcome.* both 0\n"
     "*/bench.* both 1\n"
+    "*/delivery.* both 0\n"
     "*/profiler.* skip\n";
 
 std::optional<Samples> self_test_samples(const std::string& text) {
@@ -628,7 +630,7 @@ int run_self_test() {
   std::vector<Rule> rules;
   std::istringstream rule_text{kSelfTestRules};
   if (!parse_rules(rule_text, "(self-test)", rules)) return 1;
-  expect(rules.size() == 6, "rule file parses (6 rules)");
+  expect(rules.size() == 7, "rule file parses (7 rules)");
   expect(glob_match("*/latency.*:p99", "selftest/latency.e2e_ms:p99"),
          "glob matches scoped key");
   expect(!glob_match("*/latency.*:p99", "selftest/latency.e2e_ms:p95"),
@@ -676,6 +678,23 @@ int run_self_test() {
   std::vector<Regression> gone;
   compare_samples(*baseline, missing, rules, gone);
   expect(gone.size() == 1, "vanished baselined metric is caught");
+
+  // Delivery queue-depth series shape: the drained depth must stay at
+  // zero and the seeded storm peak must not move — a deeper queue under
+  // the same workload is a backpressure regression even if latency and
+  // notification counts still pass their own bands.
+  Samples deeper = *baseline;
+  deeper["selftest/delivery.max_queue_depth"] = 48;
+  std::vector<Regression> depth_grew;
+  compare_samples(*baseline, deeper, rules, depth_grew);
+  expect(depth_grew.size() == 1 &&
+             depth_grew[0].key == "selftest/delivery.max_queue_depth",
+         "queue-depth growth trips the delivery zero band");
+  Samples undrained = *baseline;
+  undrained["selftest/delivery.queue_depth"] = 3;
+  std::vector<Regression> leftover;
+  compare_samples(*baseline, undrained, rules, leftover);
+  expect(leftover.size() == 1, "undrained queue at quiescence is caught");
 
   // Skip rules really skip: profiler gauge may move freely.
   Samples profiler_moved = *baseline;
