@@ -24,7 +24,8 @@ constexpr std::uint8_t kJAdopt = 7;        // parent u32
 constexpr std::uint8_t kJSeen = 8;         // origin str, seq u64
 constexpr std::uint8_t kJPark = 9;         // order u64, key str, expires i64, env bytes
 constexpr std::uint8_t kJUnpark = 10;      // order u64
-constexpr std::uint8_t kSnapshotVersion = 1;
+constexpr std::uint8_t kJParentSelect = 11;  // parent u32 (failover/adaptive)
+constexpr std::uint8_t kSnapshotVersion = 2;
 // Envelope msg-ids restart past a generous gap after recovery so ids
 // minted before the crash are never reused (snapshots lag the live
 // counter by up to one compaction interval).
@@ -37,9 +38,15 @@ std::string resolve_key(const std::string& origin, std::uint64_t query_id) {
 }
 }  // namespace
 
-void GdsServer::set_ancestors(std::vector<NodeId> ancestors) {
+void GdsServer::set_ancestors(std::vector<NodeId> ancestors,
+                              std::size_t proper_count) {
   ancestors_ = std::move(ancestors);
   config_ancestors_ = ancestors_;
+  proper_count = std::min(proper_count, ancestors_.size());
+  proper_ancestors_.assign(ancestors_.begin(),
+                           ancestors_.begin() +
+                               static_cast<std::ptrdiff_t>(proper_count));
+  config_proper_ancestors_ = proper_ancestors_;
   ancestor_index_ = 0;
   parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
 }
@@ -50,7 +57,21 @@ void GdsServer::apply_adopt_ancestors(NodeId new_parent) {
     if (old != new_parent) ancestors.push_back(old);
   }
   ancestors_ = std::move(ancestors);
+  // An adopted parent sits above us by construction: stratum-safe.
+  if (std::find(proper_ancestors_.begin(), proper_ancestors_.end(),
+                new_parent) == proper_ancestors_.end()) {
+    proper_ancestors_.insert(proper_ancestors_.begin(), new_parent);
+  }
   ancestor_index_ = 0;
+  parent_ = new_parent;
+  heartbeat_misses_ = 0;
+  heartbeat_outstanding_ = false;
+}
+
+void GdsServer::apply_parent_select(NodeId new_parent) {
+  const auto it = std::find(ancestors_.begin(), ancestors_.end(), new_parent);
+  if (it == ancestors_.end()) return;
+  ancestor_index_ = static_cast<std::size_t>(it - ancestors_.begin());
   parent_ = new_parent;
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
@@ -84,7 +105,13 @@ void GdsServer::clear_state(bool reset_ancestors_to_config) {
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
   ancestor_index_ = 0;
-  if (reset_ancestors_to_config) ancestors_ = config_ancestors_;
+  // RTT estimates are soft state: re-measured after recovery.
+  rtt_outstanding_.clear();
+  rtt_.clear();
+  if (reset_ancestors_to_config) {
+    ancestors_ = config_ancestors_;
+    proper_ancestors_ = config_proper_ancestors_;
+  }
   parent_ = ancestors_.empty() ? NodeId::invalid() : ancestors_.front();
 }
 
@@ -134,7 +161,13 @@ void GdsServer::on_packet(NodeId from, const sim::Packet& packet) {
       handle_heartbeat(from, env);
       break;
     case wire::MessageType::kGdsHeartbeatAck:
-      handle_heartbeat_ack(from);
+      handle_heartbeat_ack(from, env);
+      break;
+    case wire::MessageType::kGdsRttProbe:
+      handle_rtt_probe(from, env);
+      break;
+    case wire::MessageType::kGdsRttProbeAck:
+      handle_rtt_probe_ack(from, env);
       break;
     case wire::MessageType::kGdsBroadcast:
       handle_broadcast(from, env);
@@ -169,11 +202,20 @@ void GdsServer::on_timer(std::uint64_t token) {
       ++heartbeat_misses_;
       if (heartbeat_misses_ >= config_.heartbeat_miss_limit) reparent();
     }
+    const std::uint64_t hb_id = next_msg_id_++;
     wire::Envelope hb = wire::make_envelope(
-        wire::MessageType::kGdsHeartbeat, name(), "", next_msg_id_++,
-        wire::Writer{});
+        wire::MessageType::kGdsHeartbeat, name(), "", hb_id, wire::Writer{});
     send_envelope(parent_, hb);
     heartbeat_outstanding_ = true;
+    // The heartbeat doubles as the parent's RTT probe: the ack echoes our
+    // msg id, so the parent's round trip costs no extra traffic.
+    if (config_.adaptive_parent) {
+      rtt_outstanding_[parent_] = RttProbe{hb_id, network().now()};
+    }
+  }
+  if (config_.adaptive_parent && !adaptive_frozen_) {
+    probe_ancestor_rtt();
+    maybe_adaptive_reparent();
   }
   prune_dead_children();
   const std::uint64_t expired_before = parked_.stats().expired;
@@ -309,10 +351,113 @@ void GdsServer::handle_heartbeat(NodeId from, const wire::Envelope& env) {
   send_envelope(from, ack);
 }
 
-void GdsServer::handle_heartbeat_ack(NodeId from) {
+void GdsServer::handle_heartbeat_ack(NodeId from, const wire::Envelope& env) {
+  // Any ack closes a pending round trip (a stale parent's RTT is still a
+  // valid measurement of that link).
+  if (config_.adaptive_parent) record_rtt_sample(from, env.msg_id);
   if (from != parent_) return;  // stale ack from a previous parent
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
+}
+
+void GdsServer::handle_rtt_probe(NodeId from, const wire::Envelope& env) {
+  // Stateless echo: probing a candidate parent must not create child
+  // state there (a heartbeat would — it doubles as child liveness).
+  wire::Envelope ack = wire::make_envelope(
+      wire::MessageType::kGdsRttProbeAck, name(), env.src, env.msg_id,
+      wire::Writer{});
+  send_envelope(from, ack);
+}
+
+void GdsServer::handle_rtt_probe_ack(NodeId from, const wire::Envelope& env) {
+  if (config_.adaptive_parent) record_rtt_sample(from, env.msg_id);
+}
+
+void GdsServer::record_rtt_sample(NodeId from, std::uint64_t msg_id) {
+  const auto it = rtt_outstanding_.find(from);
+  if (it == rtt_outstanding_.end() || it->second.msg_id != msg_id) return;
+  const double sample = static_cast<double>(
+      (network().now() - it->second.sent_at).as_micros());
+  rtt_outstanding_.erase(it);
+  auto& est = rtt_[from];
+  est.ewma_micros =
+      est.samples == 0
+          ? sample
+          : config_.rtt_ewma_alpha * sample +
+                (1.0 - config_.rtt_ewma_alpha) * est.ewma_micros;
+  est.samples += 1;
+  stats_.rtt_samples += 1;
+}
+
+double GdsServer::rtt_ewma_micros(NodeId node) const {
+  const auto it = rtt_.find(node);
+  return it == rtt_.end() ? -1.0 : it->second.ewma_micros;
+}
+
+void GdsServer::probe_ancestor_rtt() {
+  if (config_.rtt_probe_every <= 0) return;
+  if (++rtt_probe_tick_ %
+          static_cast<std::uint64_t>(config_.rtt_probe_every) !=
+      0) {
+    return;
+  }
+  std::vector<NodeId> candidates;
+  for (const NodeId a : proper_ancestors_) {
+    if (a != parent_) candidates.push_back(a);
+  }
+  if (candidates.empty()) return;
+  const NodeId target = candidates[rtt_probe_rr_++ % candidates.size()];
+  const std::uint64_t probe_id = next_msg_id_++;
+  wire::Envelope probe = wire::make_envelope(
+      wire::MessageType::kGdsRttProbe, name(), "", probe_id, wire::Writer{});
+  send_envelope(target, probe);
+  // One outstanding probe per target: a new probe supersedes a lost one.
+  rtt_outstanding_[target] = RttProbe{probe_id, network().now()};
+  stats_.rtt_probes_sent += 1;
+}
+
+void GdsServer::maybe_adaptive_reparent() {
+  if (!parent_.valid() || proper_ancestors_.size() < 2) return;
+  const SimTime now = network().now();
+  if (now - last_adaptive_reparent_ < config_.reparent_min_interval) return;
+  const auto parent_est = rtt_.find(parent_);
+  if (parent_est == rtt_.end() ||
+      parent_est->second.samples <
+          static_cast<std::uint64_t>(config_.rtt_min_samples)) {
+    return;
+  }
+  const double parent_ewma = parent_est->second.ewma_micros;
+  NodeId best = NodeId::invalid();
+  double best_ewma = parent_ewma * (1.0 - config_.reparent_improvement);
+  for (const NodeId cand : proper_ancestors_) {
+    if (cand == parent_) continue;
+    if (std::find(ancestors_.begin(), ancestors_.end(), cand) ==
+        ancestors_.end()) {
+      continue;  // not currently in the failover ring (defensive)
+    }
+    const auto est = rtt_.find(cand);
+    if (est == rtt_.end() ||
+        est->second.samples <
+            static_cast<std::uint64_t>(config_.rtt_min_samples)) {
+      continue;
+    }
+    if (est->second.ewma_micros < best_ewma) {
+      best_ewma = est->second.ewma_micros;
+      best = cand;
+    }
+  }
+  if (!best.valid()) return;
+  apply_parent_select(best);
+  last_adaptive_reparent_ = now;
+  stats_.adaptive_reparents += 1;
+  journal_append(kJParentSelect, 4,
+                 [&](wire::Writer& w) { w.u32(best.value()); });
+  logf(LogLevel::kInfo, network().now(), name(),
+       "adaptive re-parent to node ", best.value(), " (rtt ",
+       static_cast<std::uint64_t>(best_ewma), "us vs ",
+       static_cast<std::uint64_t>(parent_ewma), "us)");
+  send_child_hello(/*full=*/true, subtree_names(), {});
+  flush_all_parked();
 }
 
 void GdsServer::reparent() {
@@ -327,6 +472,8 @@ void GdsServer::reparent() {
   heartbeat_misses_ = 0;
   heartbeat_outstanding_ = false;
   stats_.reparents += 1;
+  journal_append(kJParentSelect, 4,
+                 [&](wire::Writer& w) { w.u32(parent_.value()); });
   logf(LogLevel::kInfo, network().now(), name(), "re-parenting to node ",
        parent_.value());
   send_child_hello(/*full=*/true, subtree_names(), {});
@@ -803,6 +950,9 @@ void GdsServer::encode_snapshot(wire::Writer& w) const {
   w.u64(next_msg_id_);
   w.u32(static_cast<std::uint32_t>(ancestors_.size()));
   for (const NodeId a : ancestors_) w.u32(a.value());
+  // v2: which ancestor is the live parent (failover rotation or adaptive
+  // selection survives a crash; RTT estimates themselves are soft state).
+  w.u32(static_cast<std::uint32_t>(ancestor_index_));
 
   std::vector<std::string> names = registered_names();
   w.u32(static_cast<std::uint32_t>(names.size()));
@@ -878,10 +1028,13 @@ void GdsServer::load_snapshot(wire::Reader& r) {
   for (std::uint32_t i = 0; i < n_ancestors && r.ok(); ++i) {
     ancestors.push_back(NodeId{r.u32()});
   }
+  const std::uint32_t anc_index = r.u32();
+  if (!r.ok()) return;
   if (!ancestors.empty()) {
     ancestors_ = std::move(ancestors);
-    ancestor_index_ = 0;
-    parent_ = ancestors_.front();
+    ancestor_index_ =
+        std::min<std::size_t>(anc_index, ancestors_.size() - 1);
+    parent_ = ancestors_[ancestor_index_];
   }
   const std::uint32_t n_local = r.u32();
   for (std::uint32_t i = 0; i < n_local && r.ok(); ++i) {
@@ -985,6 +1138,12 @@ void GdsServer::replay_record(std::uint8_t type, wire::Reader& r) {
       apply_adopt_ancestors(new_parent);
       break;
     }
+    case kJParentSelect: {
+      const NodeId new_parent{r.u32()};
+      if (!r.ok()) return;
+      apply_parent_select(new_parent);
+      break;
+    }
     case kJSeen: {
       const std::string origin = r.str();
       const std::uint64_t seq = r.u64();
@@ -1025,6 +1184,15 @@ void GdsServer::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("gds.relays_routed", labels) = stats_.relays_routed;
   registry.counter("gds.unroutable", labels) = stats_.unroutable;
   registry.counter("gds.reparents", labels) = stats_.reparents;
+  registry.counter("gds.reparent.failover", labels) = stats_.reparents;
+  registry.counter("gds.reparent.adaptive", labels) =
+      stats_.adaptive_reparents;
+  registry.counter("gds.rtt.probes_sent", labels) = stats_.rtt_probes_sent;
+  registry.counter("gds.rtt.samples", labels) = stats_.rtt_samples;
+  if (const auto parent_rtt = rtt_.find(parent_); parent_rtt != rtt_.end()) {
+    registry.gauge("gds.rtt.parent_ewma_ms", labels) =
+        parent_rtt->second.ewma_micros / 1000.0;
+  }
   registry.gauge("gds.registered_servers", labels) =
       static_cast<double>(local_servers_.size());
   registry.gauge("gds.known_names", labels) =

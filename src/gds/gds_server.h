@@ -57,6 +57,23 @@ struct GdsConfig {
   /// bounds memory, evicting oldest-first.
   SimTime park_ttl = SimTime::seconds(10);
   std::size_t park_capacity = 128;
+  /// Latency-aware parent selection: measure RTT to proper ancestors
+  /// (passively via heartbeat acks for the current parent, with active
+  /// kGdsRttProbe round trips for the rest) and re-parent to a markedly
+  /// closer ancestor. Off by default so the classic fixed tree — and all
+  /// its deterministic message streams — is unchanged unless asked for.
+  bool adaptive_parent = false;
+  /// Probe one non-parent proper ancestor every Nth heartbeat tick.
+  int rtt_probe_every = 1;
+  /// EWMA smoothing factor applied to each new RTT sample.
+  double rtt_ewma_alpha = 0.3;
+  /// Samples required per candidate before its estimate is trusted.
+  int rtt_min_samples = 3;
+  /// Hysteresis: a candidate must beat the parent's smoothed RTT by this
+  /// fraction before an adaptive re-parent fires (jitter never flaps).
+  double reparent_improvement = 0.25;
+  /// Hysteresis: minimum spacing between adaptive re-parents.
+  SimTime reparent_min_interval = SimTime::seconds(5);
 };
 
 /// Counters exposed for benches and tests.
@@ -66,7 +83,10 @@ struct GdsNodeStats {
   std::uint64_t deliveries = 0;       // kGdsDeliver messages to GS servers
   std::uint64_t relays_routed = 0;
   std::uint64_t unroutable = 0;       // relay/multicast target unknown at root
-  std::uint64_t reparents = 0;
+  std::uint64_t reparents = 0;        // failover rotations (parent silent)
+  std::uint64_t adaptive_reparents = 0;  // RTT-driven parent switches
+  std::uint64_t rtt_probes_sent = 0;
+  std::uint64_t rtt_samples = 0;
 };
 
 // Note: store-and-forward counters (parked/flushed/expired/evicted) live
@@ -80,8 +100,12 @@ class GdsServer : public sim::Node {
 
   /// Wire the tree (done by the builder before Network::start). The
   /// ancestor list is ordered: [parent, grandparent, ..., root]; on parent
-  /// failure the node re-parents to the next entry.
-  void set_ancestors(std::vector<NodeId> ancestors);
+  /// failure the node re-parents to the next entry. The first
+  /// `proper_count` entries are genuine (strictly lower stratum) ancestors;
+  /// anything after — sibling-ring fallbacks — stays failover-only and is
+  /// never chosen by RTT-driven adaptive selection (stratum constraint).
+  void set_ancestors(std::vector<NodeId> ancestors,
+                     std::size_t proper_count = static_cast<std::size_t>(-1));
 
   /// Merge into another directory tree at runtime: `new_parent` becomes
   /// this node's parent and the whole subtree's names are advertised
@@ -125,6 +149,14 @@ class GdsServer : public sim::Node {
   std::vector<std::string> broadcast_seen_keys() const;
   /// The node's journal, when durable and started (tests, metrics).
   const journal::Journal* journal() const { return journal_.get(); }
+  /// Smoothed RTT towards `node` in microseconds, or -1 before the first
+  /// sample (tests and benches assert adaptation against this).
+  double rtt_ewma_micros(NodeId node) const;
+  /// Quiesce adaptive control traffic (RTT probes + re-parent decisions)
+  /// while keeping the current tree shape. Benches freeze a converged
+  /// adaptive tree so the measured window carries the exact same message
+  /// mix as a non-adaptive run — data-path cost only.
+  void set_adaptive_frozen(bool frozen) { adaptive_frozen_ = frozen; }
 
  private:
   struct Route {
@@ -148,7 +180,9 @@ class GdsServer : public sim::Node {
   void handle_unregister(const wire::Envelope& env);
   void handle_child_hello(NodeId from, const wire::Envelope& env);
   void handle_heartbeat(NodeId from, const wire::Envelope& env);
-  void handle_heartbeat_ack(NodeId from);
+  void handle_heartbeat_ack(NodeId from, const wire::Envelope& env);
+  void handle_rtt_probe(NodeId from, const wire::Envelope& env);
+  void handle_rtt_probe_ack(NodeId from, const wire::Envelope& env);
   void handle_broadcast(NodeId from, const wire::Envelope& env);
   void handle_relay(NodeId from, wire::Envelope env);
   void handle_multicast(NodeId from, const wire::Envelope& env);
@@ -168,6 +202,14 @@ class GdsServer : public sim::Node {
   void advertise_up(std::vector<std::string> adds,
                     std::vector<std::string> removes);
   void reparent();
+  /// Send one kGdsRttProbe round-robin over the non-parent proper
+  /// ancestors (adaptive mode, every Nth heartbeat tick).
+  void probe_ancestor_rtt();
+  /// Fold a completed round trip into the per-node EWMA.
+  void record_rtt_sample(NodeId from, std::uint64_t msg_id);
+  /// Switch to the proper ancestor with the best smoothed RTT when it
+  /// beats the parent by the hysteresis margin.
+  void maybe_adaptive_reparent();
   void prune_dead_children();
   std::vector<std::string> subtree_names() const;
   bool is_duplicate(const std::string& origin, std::uint64_t seq);
@@ -195,6 +237,9 @@ class GdsServer : public sim::Node {
   void replay_record(std::uint8_t type, wire::Reader& r);
   /// Ancestor-list mutation shared by adopt_parent and its replay.
   void apply_adopt_ancestors(NodeId new_parent);
+  /// Parent-selection mutation shared by reparent paths and their replay:
+  /// point at `new_parent` if it is in the ancestor list (no-op otherwise).
+  void apply_parent_select(NodeId new_parent);
   void clear_state(bool reset_ancestors_to_config);
 
   GdsConfig config_;
@@ -203,9 +248,30 @@ class GdsServer : public sim::Node {
   /// Builder-time ancestor ring (set_ancestors), before runtime
   /// adoptions. Recovery resets to this, then replays adopt records.
   std::vector<NodeId> config_ancestors_;
+  /// Stratum-safe re-parent candidates: the genuine ancestors from
+  /// set_ancestors plus runtime adoptions; excludes sibling-ring entries.
+  std::vector<NodeId> proper_ancestors_;
+  std::vector<NodeId> config_proper_ancestors_;
   std::size_t ancestor_index_ = 0;
   int heartbeat_misses_ = 0;
   bool heartbeat_outstanding_ = false;
+
+  /// RTT measurement (adaptive mode only; soft state, re-learned after a
+  /// crash — the chosen parent itself is journaled).
+  struct RttProbe {
+    std::uint64_t msg_id = 0;
+    SimTime sent_at{};
+  };
+  struct RttEstimate {
+    double ewma_micros = 0.0;
+    std::uint64_t samples = 0;
+  };
+  std::unordered_map<NodeId, RttProbe> rtt_outstanding_;
+  std::unordered_map<NodeId, RttEstimate> rtt_;
+  std::uint64_t rtt_probe_tick_ = 0;
+  std::size_t rtt_probe_rr_ = 0;
+  SimTime last_adaptive_reparent_{};
+  bool adaptive_frozen_ = false;
 
   std::unordered_map<std::string, NodeId> local_servers_;
   std::unordered_map<std::string, Route> name_routes_;

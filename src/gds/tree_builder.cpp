@@ -72,13 +72,16 @@ GdsTree build_tree(sim::Network& net, int fanout, int depth,
     for (std::size_t a : ancestry[i]) {
       ancestors.push_back(tree.nodes[a]->id());
     }
+    // Everything in the ancestry chain is a genuine (lower-stratum)
+    // ancestor; the sibling appended below is failover-only.
+    const std::size_t proper_count = ancestors.size();
     if (stratum2_count > 1 && i >= stratum2_first &&
         i < stratum2_first + stratum2_count) {
       const std::size_t sibling =
           stratum2_first + ((i - stratum2_first + 1) % stratum2_count);
       ancestors.push_back(tree.nodes[sibling]->id());
     }
-    tree.nodes[i]->set_ancestors(std::move(ancestors));
+    tree.nodes[i]->set_ancestors(std::move(ancestors), proper_count);
   }
   return tree;
 }
@@ -98,13 +101,14 @@ GdsTree build_figure2_tree(sim::Network& net, GdsConfig config) {
   GdsServer* n5 = make(5, 2);
   GdsServer* n6 = make(6, 3);
   GdsServer* n7 = make(7, 2);
-  // Stratum-2 nodes fall back to a sibling ring if the root dies.
-  n2->set_ancestors({n1->id(), n5->id()});
-  n5->set_ancestors({n1->id(), n7->id()});
-  n7->set_ancestors({n1->id(), n2->id()});
-  n3->set_ancestors({n2->id(), n1->id()});
-  n4->set_ancestors({n2->id(), n1->id()});
-  n6->set_ancestors({n5->id(), n1->id()});
+  // Stratum-2 nodes fall back to a sibling ring if the root dies; the
+  // sibling entries are failover-only (not adaptive candidates).
+  n2->set_ancestors({n1->id(), n5->id()}, /*proper_count=*/1);
+  n5->set_ancestors({n1->id(), n7->id()}, /*proper_count=*/1);
+  n7->set_ancestors({n1->id(), n2->id()}, /*proper_count=*/1);
+  n3->set_ancestors({n2->id(), n1->id()}, /*proper_count=*/2);
+  n4->set_ancestors({n2->id(), n1->id()}, /*proper_count=*/2);
+  n6->set_ancestors({n5->id(), n1->id()}, /*proper_count=*/2);
   tree.nodes = {n1, n2, n3, n4, n5, n6, n7};
   return tree;
 }

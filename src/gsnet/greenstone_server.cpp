@@ -267,14 +267,17 @@ void GreenstoneServer::on_start() {
     gds_.start();
   }
   ensure_endpoint();
+  mediator_.attach(this);
   if (extension_) extension_->on_started();
   commit_journal();
 }
 
 void GreenstoneServer::on_recover() {
   // Collections are durable (on disk in real Greenstone); pending protocol
-  // state (endpoint requests, reorder buffers) is volatile.
+  // state (endpoint requests, reorder buffers, scattered queries) is
+  // volatile.
   endpoint_.cancel_all();
+  mediator_.cancel_all();
   if (config_.durable) {
     // Reopen and replay: the extension wipes its journaled state first,
     // then the recovery below feeds the snapshot + records back into it.
@@ -297,6 +300,10 @@ void GreenstoneServer::on_timer(std::uint64_t token) {
     return;
   }
   if (endpoint_.on_timer(token)) {
+    commit_journal();
+    return;
+  }
+  if (mediator_.on_timer(token)) {
     commit_journal();
     return;
   }
@@ -334,6 +341,13 @@ void GreenstoneServer::dispatch_packet(NodeId from, const sim::Packet& packet) {
       return;
     case wire::MessageType::kGsSearchResponse:
       handle_search_response(env);
+      return;
+    case wire::MessageType::kGsMediatorQuery:
+      mediator_.attach(this);
+      mediator_.handle_query(from, env);
+      return;
+    case wire::MessageType::kGsMediatorReply:
+      mediator_.handle_reply(env);
       return;
     case wire::MessageType::kGdsRegisterAck:
       return;  // registration confirmed; nothing to do

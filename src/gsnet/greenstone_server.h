@@ -21,6 +21,7 @@
 #include "docmodel/event.h"
 #include "gds/gds_client.h"
 #include "gsnet/messages.h"
+#include "gsnet/query_mediator.h"
 #include "journal/journal.h"
 #include "gsnet/server_extension.h"
 #include "retrieval/engine.h"
@@ -94,6 +95,14 @@ class GreenstoneServer : public sim::Node {
   void attach_gds(NodeId gds_node);
   gds::GdsClient& gds() { return gds_; }
 
+  /// Query mediator for distributed/virtual collections (Dushay &
+  /// French): define member lists, scatter micro-filter queries with
+  /// per-peer deadlines, merge partial results.
+  QueryMediator& mediator() {
+    mediator_.attach(this);
+    return mediator_;
+  }
+
   void set_extension(std::unique_ptr<ServerExtension> extension);
   ServerExtension* extension() const { return extension_.get(); }
 
@@ -157,6 +166,7 @@ class GreenstoneServer : public sim::Node {
   std::map<std::string, Entry> collections_;
   std::unordered_map<std::string, NodeId> host_refs_;
   gds::GdsClient gds_;
+  QueryMediator mediator_;
   std::unique_ptr<ServerExtension> extension_;
   std::uint64_t event_seq_ = 1;
   std::uint64_t msg_id_ = 1;

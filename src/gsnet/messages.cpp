@@ -93,4 +93,40 @@ Result<SearchResponseBody> SearchResponseBody::decode(
   return out;
 }
 
+void MediatorQueryBody::encode(wire::Writer& w) const {
+  w.u64(request_id);
+  w.str(collection_name);
+  w.str(query_text);
+}
+
+Result<MediatorQueryBody> MediatorQueryBody::decode(
+    std::span<const std::byte> body) {
+  wire::Reader r{body};
+  MediatorQueryBody out;
+  out.request_id = r.u64();
+  out.collection_name = r.str();
+  out.query_text = r.str();
+  if (!r.done()) return Error{ErrorCode::kDecodeFailure, "MediatorQueryBody"};
+  return out;
+}
+
+void MediatorReplyBody::encode(wire::Writer& w) const {
+  w.u64(request_id);
+  w.boolean(ok);
+  w.str(error);
+  w.seq(hits, [](wire::Writer& w2, DocumentId id) { w2.u64(id); });
+}
+
+Result<MediatorReplyBody> MediatorReplyBody::decode(
+    std::span<const std::byte> body) {
+  wire::Reader r{body};
+  MediatorReplyBody out;
+  out.request_id = r.u64();
+  out.ok = r.boolean();
+  out.error = r.str();
+  out.hits = r.seq<DocumentId>([](wire::Reader& r2) { return r2.u64(); });
+  if (!r.done()) return Error{ErrorCode::kDecodeFailure, "MediatorReplyBody"};
+  return out;
+}
+
 }  // namespace gsalert::gsnet

@@ -84,4 +84,26 @@ struct SearchResult {
   std::uint32_t servers_contacted = 0;
 };
 
+/// Query-mediator scatter: run `query_text` against exactly one member
+/// collection on the receiving server (no recursion — the mediator
+/// flattens the virtual collection's member list at the origin).
+struct MediatorQueryBody {
+  std::uint64_t request_id = 0;
+  std::string collection_name;
+  std::string query_text;
+
+  void encode(wire::Writer& w) const;
+  static Result<MediatorQueryBody> decode(std::span<const std::byte> body);
+};
+
+struct MediatorReplyBody {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<DocumentId> hits;  // sorted, unique on the answering server
+
+  void encode(wire::Writer& w) const;
+  static Result<MediatorReplyBody> decode(std::span<const std::byte> body);
+};
+
 }  // namespace gsalert::gsnet

@@ -23,6 +23,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "duplication";
     case FaultKind::kReorder:
       return "reorder";
+    case FaultKind::kRegionalFailure:
+      return "regional-failure";
   }
   return "?";
 }
@@ -40,12 +42,32 @@ bool overlaps(const Fault& f, SimTime start, SimTime end) {
   return f.start < end && start < f.end;
 }
 
+/// True when the fault drives Network::set_partition / clear_partition —
+/// those compose with nothing, so at most one such window is active.
+bool uses_partition(FaultKind kind) {
+  return kind == FaultKind::kPartition ||
+         kind == FaultKind::kRegionalFailure;
+}
+
+/// True when the fault owns its region's node_latency entries for the
+/// window (regional failures and per-region spikes).
+bool owns_region_latency(const Fault& f) {
+  return f.kind == FaultKind::kRegionalFailure ||
+         (f.kind == FaultKind::kLatencySpike && !f.groups.empty());
+}
+
 /// Conflict rules keeping begin/end actions composable: same node never
 /// crashes twice concurrently, same pair is not blocked twice, only one
-/// partition at a time, and global knob windows of one kind don't stack.
+/// partition-driving window at a time, targeted windows never stack on
+/// the same link/region, and global knob windows of one kind don't stack.
 bool conflicts(const std::vector<Fault>& accepted, const Fault& cand) {
   for (const Fault& f : accepted) {
     if (!overlaps(f, cand.start, cand.end)) continue;
+    if (uses_partition(f.kind) && uses_partition(cand.kind)) return true;
+    if (owns_region_latency(f) && owns_region_latency(cand) &&
+        f.region == cand.region) {
+      return true;
+    }
     if (f.kind != cand.kind) continue;
     switch (cand.kind) {
       case FaultKind::kCrash:
@@ -57,6 +79,19 @@ bool conflicts(const std::vector<Fault>& accepted, const Fault& cand) {
           return true;
         }
         break;
+      case FaultKind::kLatencySpike: {
+        // Scoped spikes stack freely across distinct targets; two spikes
+        // conflict only when they share a scope.
+        const bool f_global = !f.a.valid() && f.groups.empty();
+        const bool cand_global = !cand.a.valid() && cand.groups.empty();
+        if (f_global && cand_global) return true;
+        if (f.a.valid() && cand.a.valid() &&
+            ((f.a == cand.a && f.b == cand.b) ||
+             (f.a == cand.b && f.b == cand.a))) {
+          return true;
+        }
+        break;
+      }
       default:
         return true;  // partition / global knobs: one window at a time
     }
@@ -143,6 +178,49 @@ ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
   knob_windows(FaultKind::kReorder, config.reorder_windows,
                config.reorder_prob, config.reorder_span);
 
+  // Targeted spikes and regional failures draw after the legacy kinds so
+  // a config that requests none reproduces the exact historical stream.
+  for (int i = 0;
+       i < config.link_spikes && !config.spike_link_candidates.empty();
+       ++i) {
+    Fault f{.kind = FaultKind::kLatencySpike};
+    draw_window(f);
+    const auto& link = config.spike_link_candidates[rng.index(
+        config.spike_link_candidates.size())];
+    f.a = link.first;
+    f.b = link.second;
+    f.latency = config.spike_latency;
+    admit(std::move(f));
+  }
+  const auto pick_region = [&]() -> std::size_t {
+    // Draw among non-empty regions only (deterministic order).
+    std::vector<std::size_t> candidates;
+    for (std::size_t r = 0; r < config.regions.size(); ++r) {
+      if (!config.regions[r].empty()) candidates.push_back(r);
+    }
+    if (candidates.empty()) return static_cast<std::size_t>(-1);
+    return candidates[rng.index(candidates.size())];
+  };
+  for (int i = 0; i < config.region_spikes && !config.regions.empty(); ++i) {
+    Fault f{.kind = FaultKind::kLatencySpike};
+    draw_window(f);
+    f.region = pick_region();
+    if (f.region == static_cast<std::size_t>(-1)) continue;
+    f.groups = {config.regions[f.region]};
+    f.latency = config.spike_latency;
+    admit(std::move(f));
+  }
+  for (int i = 0;
+       i < config.regional_failures && config.regions.size() >= 2; ++i) {
+    Fault f{.kind = FaultKind::kRegionalFailure};
+    draw_window(f);
+    f.region = pick_region();
+    if (f.region == static_cast<std::size_t>(-1)) continue;
+    f.groups = {config.regions[f.region]};
+    f.latency = config.regional_extra_latency;
+    admit(std::move(f));
+  }
+
   sort_faults(faults);
   return ChaosSchedule{std::move(faults)};
 }
@@ -183,11 +261,59 @@ void ChaosSchedule::apply(Network& net) const {
                              [&net] { net.chaos().extra_loss = 0.0; });
         break;
       case FaultKind::kLatencySpike:
-        net.schedule_control(fault.start, [&net, d = fault.latency] {
-          net.chaos().extra_latency = d;
-        });
-        net.schedule_control(fault.end, [&net] {
-          net.chaos().extra_latency = SimTime::zero();
+        if (fault.a.valid() && fault.b.valid()) {
+          // Per-link spike: only the targeted pair pays.
+          net.schedule_control(
+              fault.start, [&net, a = fault.a, b = fault.b,
+                            d = fault.latency] {
+                net.chaos().link_latency[Network::pair_key(a, b)] = d;
+              });
+          net.schedule_control(fault.end, [&net, a = fault.a, b = fault.b] {
+            net.chaos().link_latency.erase(Network::pair_key(a, b));
+          });
+        } else if (!fault.groups.empty()) {
+          // Per-region spike: every link touching a member pays.
+          net.schedule_control(
+              fault.start, [&net, groups = fault.groups,
+                            d = fault.latency] {
+                for (const auto& group : groups) {
+                  for (NodeId n : group) {
+                    net.chaos().node_latency[n.value()] = d;
+                  }
+                }
+              });
+          net.schedule_control(fault.end, [&net, groups = fault.groups] {
+            for (const auto& group : groups) {
+              for (NodeId n : group) net.chaos().node_latency.erase(n.value());
+            }
+          });
+        } else {
+          net.schedule_control(fault.start, [&net, d = fault.latency] {
+            net.chaos().extra_latency = d;
+          });
+          net.schedule_control(fault.end, [&net] {
+            net.chaos().extra_latency = SimTime::zero();
+          });
+        }
+        break;
+      case FaultKind::kRegionalFailure:
+        // Correlated failure: the region's links degrade and the region
+        // partitions off as one camp; both effects heal together at end.
+        net.schedule_control(
+            fault.start,
+            [&net, groups = fault.groups, d = fault.latency] {
+              for (const auto& group : groups) {
+                for (NodeId n : group) {
+                  net.chaos().node_latency[n.value()] = d;
+                }
+              }
+              net.set_partition(groups);
+            });
+        net.schedule_control(fault.end, [&net, groups = fault.groups] {
+          for (const auto& group : groups) {
+            for (NodeId n : group) net.chaos().node_latency.erase(n.value());
+          }
+          net.clear_partition();
         });
         break;
       case FaultKind::kDuplication:
@@ -266,9 +392,25 @@ std::string ChaosSchedule::describe(const Network& net) const {
         break;
       case FaultKind::kLatencySpike:
         out << " +" << f.latency.as_millis() << "ms";
+        if (f.a.valid() && f.b.valid()) {
+          out << " on " << node_name(f.a) << "<->" << node_name(f.b);
+        } else if (!f.groups.empty()) {
+          out << " on region " << f.region << " ("
+              << f.groups.front().size() << " nodes)";
+        }
         break;
       case FaultKind::kReorder:
         out << " p=" << f.prob << " span=" << f.latency.as_millis() << "ms";
+        break;
+      case FaultKind::kRegionalFailure:
+        out << " region " << f.region << " (";
+        if (!f.groups.empty()) {
+          const auto& group = f.groups.front();
+          for (std::size_t i = 0; i < group.size(); ++i) {
+            out << (i > 0 ? "," : "") << node_name(group[i]);
+          }
+        }
+        out << ") +" << f.latency.as_millis() << "ms";
         break;
     }
     out << "\n";

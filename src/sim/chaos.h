@@ -28,9 +28,14 @@ enum class FaultKind : std::uint8_t {
   kBlockPair,     // unordered pair blocked for the window
   kPartition,     // network split into groups for the window
   kLossBurst,     // extra global packet loss
-  kLatencySpike,  // extra global one-way latency
+  kLatencySpike,  // extra latency: global, per-link (a/b), or per-region
   kDuplication,   // packets may be delivered twice
   kReorder,       // packets may take an extra random delay
+  /// Correlated regional failure: every node of one topology region is
+  /// partitioned from the rest for the window while the region's links
+  /// (internal ones included) carry extra latency — a WAN region whose
+  /// infrastructure degrades and then drops off the map together.
+  kRegionalFailure,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -43,10 +48,15 @@ struct Fault {
   SimTime start;
   SimTime end;
   NodeId node;                              // kCrash
-  NodeId a, b;                              // kBlockPair
-  std::vector<std::vector<NodeId>> groups;  // kPartition
+  NodeId a, b;                              // kBlockPair, per-link spike
+  /// kPartition camps; for kRegionalFailure and per-region spikes a
+  /// single group holding the region's nodes.
+  std::vector<std::vector<NodeId>> groups;
   double prob = 0.0;        // loss / duplication / reorder probability
   SimTime latency{};        // spike extra latency, or reorder span
+  /// Region index for region-targeted faults (conflict bookkeeping and
+  /// describe()); unused otherwise.
+  std::size_t region = static_cast<std::size_t>(-1);
 };
 
 /// Tuning for seed-driven schedule generation. Targets are provided by
@@ -63,16 +73,26 @@ struct ChaosConfig {
   /// its clients). A partition fault splits the units into two camps.
   std::vector<std::vector<NodeId>> partition_units;
 
+  /// Candidate links for per-link latency spikes (empty: none drawn) and
+  /// topology regions (index = region, value = the region's nodes) for
+  /// per-region spikes and correlated regional failures.
+  std::vector<std::pair<NodeId, NodeId>> spike_link_candidates;
+  std::vector<std::vector<NodeId>> regions;
+
   int crashes = 2;
   int blocks = 2;
   int partitions = 1;
   int loss_bursts = 1;
   int latency_spikes = 1;
+  int link_spikes = 0;        // per-link targeted spikes
+  int region_spikes = 0;      // per-region targeted spikes
+  int regional_failures = 0;  // correlated regional failures
   int duplication_windows = 1;
   int reorder_windows = 1;
 
   double burst_loss = 0.25;
   SimTime spike_latency = SimTime::millis(150);
+  SimTime regional_extra_latency = SimTime::millis(120);
   double duplication_prob = 0.25;
   double reorder_prob = 0.5;
   SimTime reorder_span = SimTime::millis(40);

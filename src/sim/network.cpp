@@ -218,12 +218,43 @@ void Network::set_shards(std::size_t k, std::vector<std::uint32_t> assignment) {
   }
   log_enabled(LogLevel::kDebug, "sim");
   recompute_lookahead();
+  check_lookahead();
 }
 
 void Network::recompute_lookahead() {
-  // Any pair may communicate over the default path, so it always bounds
-  // the lookahead; overrides tighten it only when they cross shards.
-  SimTime la = default_path_.latency;
+  SimTime la;
+  if (topology_) {
+    // Matrix-derived: the minimum entry over region pairs that actually
+    // have nodes on different shards (path_for never falls back to the
+    // default once a topology is installed).
+    la = SimTime::micros(std::numeric_limits<std::int64_t>::max());
+    const std::size_t k = shard_count();
+    const std::size_t regions = topology_->regions;
+    std::vector<char> present(k * regions, 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i + 1)};
+      present[shard_of(id) * regions + region_of(id)] = 1;
+    }
+    bool any_cross = false;
+    for (std::size_t si = 0; si < k; ++si) {
+      for (std::size_t sj = si + 1; sj < k; ++sj) {
+        for (std::size_t ra = 0; ra < regions; ++ra) {
+          if (!present[si * regions + ra]) continue;
+          for (std::size_t rb = 0; rb < regions; ++rb) {
+            if (!present[sj * regions + rb]) continue;
+            la = std::min(la, topology_->at(ra, rb).latency);
+            any_cross = true;
+          }
+        }
+      }
+    }
+    if (!any_cross) la = topology_->min_latency();
+  } else {
+    // Any pair may communicate over the default path, so it always
+    // bounds the lookahead.
+    la = default_path_.latency;
+  }
+  // Overrides tighten the bound only when they cross shards.
   for (const auto& [key, cfg] : path_overrides_) {
     const NodeId a{static_cast<std::uint32_t>(key & 0xffffffffu)};
     const NodeId b{static_cast<std::uint32_t>(key >> 32)};
@@ -237,6 +268,31 @@ void Network::recompute_lookahead() {
   lookahead_ = la;
 }
 
+void Network::check_lookahead() const {
+  if (!sharded() || lookahead_ > SimTime::zero()) return;
+  // Name the offending pair so the misconfiguration is actionable at
+  // setup time instead of surfacing as a late run() failure.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId a{static_cast<std::uint32_t>(i + 1)};
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      const NodeId b{static_cast<std::uint32_t>(j + 1)};
+      if (shard_of(a) == shard_of(b)) continue;
+      if (path_for(a, b).latency > SimTime::zero()) continue;
+      throw std::invalid_argument(
+          "Network: zero-latency path between '" + nodes_[i]->name() +
+          "' (shard " + std::to_string(shard_of(a)) + ") and '" +
+          nodes_[j]->name() + "' (shard " + std::to_string(shard_of(b)) +
+          ") crosses shards — co-locate the pair via sharding affinity or "
+          "give the link a positive latency");
+    }
+  }
+  // No concrete pair resolves to zero latency: the default path is zero
+  // while un-overridden cross-shard pairs could still use it.
+  throw std::invalid_argument(
+      "Network: zero-latency default path while sharded — raise it or "
+      "install a topology");
+}
+
 std::uint64_t Network::pair_key(NodeId a, NodeId b) {
   std::uint32_t lo = a.value(), hi = b.value();
   if (lo > hi) std::swap(lo, hi);
@@ -244,18 +300,97 @@ std::uint64_t Network::pair_key(NodeId a, NodeId b) {
 }
 
 void Network::set_default_path(PathConfig config) {
+  const PathConfig prev = default_path_;
   default_path_ = config;
-  if (sharded()) recompute_lookahead();
+  if (sharded()) {
+    recompute_lookahead();
+    try {
+      check_lookahead();
+    } catch (...) {
+      default_path_ = prev;
+      recompute_lookahead();
+      throw;
+    }
+  }
 }
 
 void Network::set_path(NodeId a, NodeId b, PathConfig config) {
+  if (sharded() && config.latency <= SimTime::zero() && a.valid() &&
+      b.valid() && a.value() <= nodes_.size() && b.value() <= nodes_.size() &&
+      shard_of(a) != shard_of(b)) {
+    throw std::invalid_argument(
+        "Network::set_path: zero-latency path between '" +
+        nodes_[a.value() - 1]->name() + "' (shard " +
+        std::to_string(shard_of(a)) + ") and '" +
+        nodes_[b.value() - 1]->name() + "' (shard " +
+        std::to_string(shard_of(b)) +
+        ") crosses shards — co-locate the pair via sharding affinity or "
+        "give the link a positive latency");
+  }
   path_overrides_[pair_key(a, b)] = config;
   if (sharded()) recompute_lookahead();
 }
 
+void Network::set_topology(Topology topo) {
+  if (!topo.valid()) {
+    throw std::invalid_argument(
+        "Network::set_topology: mis-sized or asymmetric matrix for "
+        "topology '" + topo.name + "'");
+  }
+  std::optional<Topology> prev = std::move(topology_);
+  topology_ = std::move(topo);
+  if (sharded()) {
+    recompute_lookahead();
+    try {
+      check_lookahead();
+    } catch (...) {
+      topology_ = std::move(prev);
+      recompute_lookahead();
+      throw;
+    }
+  }
+}
+
+std::size_t Network::region_of(NodeId node) const {
+  if (!topology_ || !node.valid() || node.value() > nodes_.size()) return 0;
+  return topology_->region_of(node.value() - 1, nodes_.size());
+}
+
+std::vector<NodeId> Network::nodes_in_region(std::size_t region) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i + 1)};
+    if (region_of(id) == region) out.push_back(id);
+  }
+  return out;
+}
+
 const PathConfig& Network::path_for(NodeId a, NodeId b) const {
   const auto it = path_overrides_.find(pair_key(a, b));
-  return it == path_overrides_.end() ? default_path_ : it->second;
+  if (it != path_overrides_.end()) return it->second;
+  if (topology_) return topology_->at(region_of(a), region_of(b));
+  return default_path_;
+}
+
+SimTime NetChaosKnobs::targeted_extra(NodeId from, NodeId to) const {
+  SimTime extra = SimTime::zero();
+  if (!link_latency.empty()) {
+    const auto it = link_latency.find(Network::pair_key(from, to));
+    if (it != link_latency.end()) extra += it->second;
+  }
+  if (!node_latency.empty()) {
+    SimTime worst = SimTime::zero();
+    if (const auto a = node_latency.find(from.value());
+        a != node_latency.end()) {
+      worst = a->second;
+    }
+    if (const auto b = node_latency.find(to.value());
+        b != node_latency.end()) {
+      worst = std::max(worst, b->second);
+    }
+    extra += worst;
+  }
+  return extra;
 }
 
 void Network::crash(NodeId node) {
@@ -371,6 +506,9 @@ bool Network::send(NodeId from, NodeId to, Packet packet) {
     return false;
   }
   SimTime delay = path.latency + chaos_.extra_latency;
+  if (!chaos_.link_latency.empty() || !chaos_.node_latency.empty()) {
+    delay += chaos_.targeted_extra(from, to);
+  }
   if (path.jitter > SimTime::zero()) {
     delay += SimTime::micros(
         rng.uniform_int(0, path.jitter.as_micros()));
@@ -506,12 +644,9 @@ std::size_t Network::run_until(SimTime deadline) {
 
 std::size_t Network::run_sharded(SimTime deadline, std::size_t max_events,
                                  bool advance_to_deadline) {
-  if (lookahead_ <= SimTime::zero()) {
-    throw std::runtime_error(
-        "Network: zero cross-shard lookahead — a zero-latency path crosses "
-        "shards; co-locate its endpoints (sharding affinity) or raise the "
-        "path latency");
-  }
+  // Backstop only: every configuration path that can collapse the
+  // lookahead already calls check_lookahead() at setup time.
+  check_lookahead();
   if (!pool_) pool_ = std::make_unique<Pool>(*this);
   std::size_t executed = 0;
   for (;;) {

@@ -39,19 +39,13 @@
 #include "sim/node.h"
 #include "sim/scheduler.h"
 #include "sim/storage.h"
+#include "sim/topology.h"  // PathConfig, Topology
 
 namespace gsalert::obs {
 class MetricsRegistry;
 }  // namespace gsalert::obs
 
 namespace gsalert::sim {
-
-/// Transmission characteristics for a path.
-struct PathConfig {
-  SimTime latency = SimTime::millis(10);  // base one-way latency
-  SimTime jitter = SimTime::zero();       // uniform extra in [0, jitter]
-  double loss = 0.0;                      // drop probability per packet
-};
 
 /// Aggregate counters over the whole network. At any instant the wire
 /// conserves packets: sent + duplicated ==
@@ -81,6 +75,15 @@ struct NetChaosKnobs {
   double duplication = 0.0;      // probability a packet is delivered twice
   double reorder = 0.0;          // probability of an extra random delay
   SimTime reorder_span{};        // extra delay bound for reordered packets
+  /// Targeted latency spikes, stacked on the global extra_latency: per
+  /// unordered link (keyed by Network::pair_key) and per node (regional
+  /// fault windows add every member of the region). A delivery pays the
+  /// link entry for its pair plus the worse of its two endpoints' node
+  /// entries. Added delay only — the cross-shard lookahead stays valid.
+  std::unordered_map<std::uint64_t, SimTime> link_latency;
+  std::unordered_map<std::uint32_t, SimTime> node_latency;
+
+  SimTime targeted_extra(NodeId from, NodeId to) const;
 };
 
 /// Per-node counters (index by NodeId).
@@ -205,8 +208,31 @@ class Network {
 
   /// Default path characteristics for pairs without an override.
   void set_default_path(PathConfig config);
-  /// Override characteristics for a specific unordered pair.
+  /// Override characteristics for a specific unordered pair. When
+  /// already sharded, a zero-latency config for a cross-shard pair is
+  /// rejected here (naming the pair) rather than failing later in run().
   void set_path(NodeId a, NodeId b, PathConfig config);
+
+  /// Install a WAN topology: path lookup becomes override -> region
+  /// matrix -> default, and the cross-shard lookahead derives from the
+  /// matrix (minimum entry over region pairs that actually span shards).
+  /// Legal before or after set_shards, but not mid-run.
+  void set_topology(Topology topo);
+  const Topology* topology() const {
+    return topology_ ? &*topology_ : nullptr;
+  }
+  /// Region of a node under the installed topology (0 without one).
+  std::size_t region_of(NodeId node) const;
+  /// Every node in `region` under the installed topology, in id order.
+  std::vector<NodeId> nodes_in_region(std::size_t region) const;
+
+  /// Resolved path characteristics for a pair (override, then topology
+  /// matrix, then default) — what send() will actually use.
+  const PathConfig& path(NodeId a, NodeId b) const { return path_for(a, b); }
+
+  /// Canonical unordered-pair key, shared with NetChaosKnobs'
+  /// per-link targeting maps.
+  static std::uint64_t pair_key(NodeId a, NodeId b);
 
   /// --- Failure injection ------------------------------------------------
   /// Crash: node stops sending/receiving; in-flight packets to it drop,
@@ -305,7 +331,10 @@ class Network {
 
   void register_node(std::string name, std::unique_ptr<Node> node);
   const PathConfig& path_for(NodeId a, NodeId b) const;
-  static std::uint64_t pair_key(NodeId a, NodeId b);
+  /// Throw (naming the offending pair) if any cross-shard path has zero
+  /// latency — called from every config path that can collapse the
+  /// lookahead, so misconfiguration surfaces at setup time.
+  void check_lookahead() const;
   void schedule_delivery(NodeId from, NodeId to, Packet packet,
                          SimTime delay);
   /// Arrival-time half of a delivery (drop re-checks + on_packet).
@@ -341,6 +370,7 @@ class Network {
   StorageFaults storage_faults_;
   std::function<void(NodeId)> crash_observer_;
   PathConfig default_path_;
+  std::optional<Topology> topology_;
   NetChaosKnobs chaos_;
   std::uint64_t in_flight_ = 0;
   NetStats stats_;

@@ -23,12 +23,16 @@ enum class MessageType : std::uint16_t {
   kGdsChildHello = 19,      // child GDS node -> parent (tree maintenance)
   kGdsHeartbeat = 20,
   kGdsHeartbeatAck = 21,
+  kGdsRttProbe = 22,        // latency probe to a candidate parent
+  kGdsRttProbeAck = 23,     // stateless echo (no child state created)
 
   // --- Greenstone protocol (DL servers & receptionists) ------------------
   kGsCollRequest = 40,      // collection data request
   kGsCollResponse = 41,
   kGsSearchRequest = 42,    // federated search across sub-collections
   kGsSearchResponse = 43,
+  kGsMediatorQuery = 44,    // query-mediator scatter to one member server
+  kGsMediatorReply = 45,
 
   // --- Alerting over the GS network (distributed collections) ------------
   kAuxProfileAdd = 60,

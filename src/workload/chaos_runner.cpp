@@ -635,6 +635,33 @@ sim::ChaosConfig ChaosHarness::fill_targets(Scenario& scenario,
       config.block_candidates.emplace_back(a, b);
     }
   }
+  // Targeted latency-spike candidates: the links the protocols actually
+  // depend on (tree edges, server->GDS attachments).
+  for (gds::GdsServer* node : scenario.gds_tree().nodes) {
+    if (node->parent().valid()) {
+      config.spike_link_candidates.emplace_back(node->id(), node->parent());
+    }
+  }
+  for (gsnet::GreenstoneServer* server : scenario.servers()) {
+    if (server->gds().attached()) {
+      config.spike_link_candidates.emplace_back(server->id(),
+                                                server->gds().gds_node());
+    }
+  }
+  // Correlated regional failures: group the partition units (a server and
+  // its clients always travel together) by the region of the unit's first
+  // member. Grouping units — not raw node regions — preserves the §7
+  // model: a client is never cut off from its home server.
+  const sim::Topology* topo = scenario.net().topology();
+  if (topo != nullptr && topo->regions >= 2) {
+    config.regions.assign(topo->regions, {});
+    for (const std::vector<NodeId>& unit : config.partition_units) {
+      if (unit.empty()) continue;
+      const std::size_t region = scenario.net().region_of(unit.front());
+      config.regions[region].insert(config.regions[region].end(),
+                                    unit.begin(), unit.end());
+    }
+  }
   return config;
 }
 
@@ -670,6 +697,8 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   sc.seed = config.seed;
   sc.gds_dedup = config.gds_dedup;
   sc.journal_compact_bytes = config.journal_compact_bytes;
+  sc.sim_topology = config.sim_topology;
+  sc.adaptive_tree = config.adaptive_tree;
   if (config.managed_delivery) {
     // Small credit window so chaos actually stalls queues; capacity far
     // above chaos-scale load so nothing spills (a spilled entry would be
@@ -687,6 +716,9 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   scenario.setup_collections();
   if (config.distributed_links > 0) {
     scenario.setup_distributed(config.distributed_links);
+  }
+  if (config.mediator_queries > 0) {
+    scenario.setup_virtual_collection();
   }
   scenario.subscribe_all(config.profiles_per_client);
   scenario.settle(SimTime::seconds(3));
@@ -771,8 +803,46 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   }
   scenario.settle(SimTime::seconds(10));
 
+  // Post-heal mediated fan-outs: with every fault healed, a scatter over
+  // the virtual collection must come back complete — every member
+  // answered within its deadline, no partial merges.
+  std::vector<std::pair<int, gsnet::MediatedQueryResult>> mediated;
+  if (config.mediator_queries > 0) {
+    for (int q = 0; q < config.mediator_queries; ++q) {
+      const std::size_t origin =
+          static_cast<std::size_t>(q) % scenario.servers().size();
+      scenario.mediated_query(origin, "v-union", "title:chaos",
+                              [&mediated, q](gsnet::MediatedQueryResult r) {
+                                mediated.emplace_back(q, std::move(r));
+                              });
+    }
+    scenario.settle(SimTime::seconds(5));
+  }
+
   ChaosReport report;
   report.violations = harness.check();
+  if (config.mediator_queries > 0) {
+    if (mediated.size() != static_cast<std::size_t>(config.mediator_queries)) {
+      report.violations.push_back(
+          {"mediator-post-heal",
+           "only " + std::to_string(mediated.size()) + " of " +
+               std::to_string(config.mediator_queries) +
+               " post-heal mediated queries completed"});
+    }
+    for (const auto& [q, result] : mediated) {
+      if (!result.ok || result.partial ||
+          result.peers_answered != result.peers_total) {
+        report.violations.push_back(
+            {"mediator-post-heal",
+             "query " + std::to_string(q) + " incomplete after heal: " +
+                 std::to_string(result.peers_answered) + "/" +
+                 std::to_string(result.peers_total) + " answered, " +
+                 std::to_string(result.peers_timed_out) + " timed out, " +
+                 std::to_string(result.peers_failed) + " failed" +
+                 (result.error.empty() ? "" : " (" + result.error + ")")});
+      }
+    }
+  }
   report.schedule = harness.schedule();
   report.outcome = scenario.outcome();
   for (const auto& [node, storage] : scenario.net().storages()) {
@@ -787,7 +857,11 @@ ChaosReport run_protocol(const ChaosRunConfig& config,
   trace << "seed=" << config.seed << " servers=" << config.n_servers
         << " fanout=" << config.gds_fanout
         << " links=" << config.distributed_links
-        << " dedup=" << (config.gds_dedup ? 1 : 0) << "\n"
+        << " dedup=" << (config.gds_dedup ? 1 : 0)
+        << " topology=" << (config.sim_topology.empty() ? "uniform"
+                                                        : config.sim_topology)
+        << " adaptive=" << (config.adaptive_tree ? 1 : 0)
+        << " mediator=" << config.mediator_queries << "\n"
         << "schedule:\n"
         << report.schedule.describe(scenario.net()) << "verdicts:\n"
         << harness.report();

@@ -50,7 +50,8 @@ void record_outcome(obs::MetricsRegistry& registry, const Outcome& outcome,
 }
 
 bool write_bench_json(const std::string& name,
-                      const obs::MetricsRegistry& registry) {
+                      const obs::MetricsRegistry& registry,
+                      const BenchMeta& meta) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -58,7 +59,9 @@ bool write_bench_json(const std::string& name,
     return false;
   }
   const std::string json =
-      "{\"bench\":\"" + name + "\",\"metrics\":" + registry.json() + "}\n";
+      "{\"bench\":\"" + name + "\",\"meta\":{\"topology\":\"" +
+      meta.topology + "\",\"regions\":" + std::to_string(meta.regions) +
+      "},\"metrics\":" + registry.json() + "}\n";
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   if (std::fclose(f) != 0 || !ok) {
     std::fprintf(stderr, "write_bench_json: failed writing %s\n",

@@ -50,10 +50,21 @@ std::optional<std::uint64_t> chaos_seed_arg(int argc, char** argv);
 void record_outcome(obs::MetricsRegistry& registry, const Outcome& outcome,
                     const obs::Labels& labels = {});
 
+/// World shape a bench ran on, recorded in every report's "meta" block
+/// (the sentinel's --schema-check enforces its presence). Benches on the
+/// uniform default mesh keep the defaults; topology-zoo benches name the
+/// WAN topology (or "zoo" for multi-topology sweeps) and its region
+/// count. See docs/TOPOLOGY.md.
+struct BenchMeta {
+  std::string topology = "uniform";
+  std::size_t regions = 1;
+};
+
 /// Write `BENCH_<name>.json` in the working directory: the registry's
 /// metrics snapshot next to the human-readable table a bench prints.
 /// Returns false (after logging to stderr) on I/O failure.
 bool write_bench_json(const std::string& name,
-                      const obs::MetricsRegistry& registry);
+                      const obs::MetricsRegistry& registry,
+                      const BenchMeta& meta = {});
 
 }  // namespace gsalert::workload

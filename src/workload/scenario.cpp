@@ -48,6 +48,15 @@ std::string event_key(const std::string& ref, std::uint64_t version) {
 Scenario::Scenario(ScenarioConfig config)
     : config_(config), rng_(config.seed), net_(config.seed ^ 0x5CE) {
   net_.set_default_path(config_.path);
+  if (!config_.sim_topology.empty()) {
+    std::optional<sim::Topology> topo =
+        sim::topology_by_name(config_.sim_topology);
+    if (!topo.has_value()) {
+      throw std::invalid_argument("unknown sim_topology: " +
+                                  config_.sim_topology);
+    }
+    net_.set_topology(*std::move(topo));
+  }
   build_world();
   apply_sharding();
   net_.start();
@@ -73,6 +82,7 @@ void Scenario::build_world() {
     depth = std::max(depth, 2);
     gds::GdsConfig gds_config;
     gds_config.dedup_enabled = config_.gds_dedup;
+    gds_config.adaptive_parent = config_.adaptive_tree;
     if (config_.journal_compact_bytes != 0) {
       gds_config.journal.compact_threshold_bytes =
           config_.journal_compact_bytes;
@@ -373,6 +383,27 @@ void Scenario::publish_random_rebuild(int fresh_docs) {
   publish_rebuild(s, collections_[s][c].name, fresh_docs);
 }
 
+void Scenario::setup_virtual_collection(const std::string& vname) {
+  std::vector<CollectionRef> members;
+  members.reserve(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (collections_[s].empty()) continue;
+    members.push_back(
+        CollectionRef{servers_[s]->name(), collections_[s].front().name});
+  }
+  for (gsnet::GreenstoneServer* server : servers_) {
+    server->mediator().define_virtual(vname, members);
+  }
+}
+
+void Scenario::mediated_query(
+    std::size_t origin, const std::string& vname,
+    const std::string& query_text,
+    std::function<void(gsnet::MediatedQueryResult)> done) {
+  assert(origin < servers_.size());
+  servers_[origin]->mediator().query(vname, query_text, std::move(done));
+}
+
 void Scenario::settle(SimTime duration) {
   net_.run_until(net_.now() + duration);
 }
@@ -542,6 +573,8 @@ void Scenario::collect_metrics(obs::MetricsRegistry& registry) const {
   for (gsnet::GreenstoneServer* server : servers_) {
     endpoint_metrics(server->name(), server->endpoint_stats());
     endpoint_metrics(server->name(), server->gds().endpoint_stats());
+    server->mediator().collect_metrics(registry);
+    endpoint_metrics(server->name(), server->mediator().endpoint_stats());
   }
   for (const alerting::Client* client : clients_) {
     endpoint_metrics(client->name(), client->endpoint_stats());

@@ -61,6 +61,14 @@ struct ScenarioConfig {
   std::optional<GsTopology> explicit_topology;
   std::uint64_t seed = 1;
   sim::PathConfig path{.latency = SimTime::millis(10)};
+  /// WAN topology-zoo name (sim::topology_by_name; docs/TOPOLOGY.md):
+  /// empty keeps the uniform default `path`. When set, per-pair
+  /// latency/jitter comes from the topology's region matrix instead.
+  std::string sim_topology;
+  /// Latency-aware adaptive GDS tree (kGsAlert): nodes measure RTT to
+  /// their proper ancestors and re-parent, with hysteresis, towards the
+  /// closest one. Off = the classic fixed stratum tree.
+  bool adaptive_tree = false;
   /// Journal compaction threshold for every durable node (0 = library
   /// default). Small values force frequent compactions mid-run — the
   /// crash-adjacent-to-compaction chaos class.
@@ -132,6 +140,17 @@ class Scenario {
   /// Rebuild a specific collection.
   void publish_rebuild(std::size_t server_index, const std::string& coll,
                        int fresh_docs);
+
+  /// Define the virtual collection `vname` on every server's query
+  /// mediator, spanning each server's first collection (Dushay & French
+  /// distributed-collection model). Requires setup_collections().
+  void setup_virtual_collection(const std::string& vname = "v-union");
+  /// Scatter a micro-filter query over virtual collection `vname` from
+  /// `origin`'s mediator; `done` fires during a later settle() once every
+  /// member answered or its per-peer deadline passed.
+  void mediated_query(std::size_t origin, const std::string& vname,
+                      const std::string& query_text,
+                      std::function<void(gsnet::MediatedQueryResult)> done);
 
   void settle(SimTime duration);
 

@@ -15,6 +15,7 @@
 
 #include "sim/chaos.h"
 #include "sim/invariants.h"
+#include "sim/topology.h"
 #include "workload/chaos_runner.h"
 
 namespace gsalert::workload {
@@ -41,6 +42,19 @@ ChaosRunConfig config_for_seed(std::uint64_t seed) {
   // immediate/coalesce/digest policy population, arming the pending-
   // delivery durability superset check and digest replay dedup.
   config.managed_delivery = (seed % 3 == 0);
+  // Every seventh seed runs on a WAN topology-zoo world instead of the
+  // uniform mesh: region-matrix latencies, targeted link/region spikes,
+  // correlated regional failures, adaptive re-parenting on half of them,
+  // and post-heal mediated fan-outs that must come back complete.
+  if (seed % 7 == 2) {
+    const std::vector<std::string>& zoo = sim::topology_zoo();
+    config.sim_topology = zoo[(seed / 7) % zoo.size()];
+    config.adaptive_tree = (seed / 7) % 2 == 0;
+    config.chaos.link_spikes = 1;
+    config.chaos.region_spikes = 1;
+    config.chaos.regional_failures = static_cast<int>((seed / 14) % 2);
+    config.mediator_queries = 2;
+  }
   return config;
 }
 

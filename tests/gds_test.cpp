@@ -517,6 +517,97 @@ TEST(GdsHeartbeatTest, StaleAckFromOldParentIgnored) {
   EXPECT_EQ(child->parent(), new_parent);
 }
 
+// --- latency-aware adaptive parent selection ------------------------------
+
+GdsConfig adaptive_config() {
+  GdsConfig config;
+  config.adaptive_parent = true;
+  return config;
+}
+
+TEST(GdsAdaptiveTest, ReparentsTowardCloserProperAncestorRepeatedly) {
+  World w;
+  w.build(2, 3, 4, adaptive_config());
+  GdsServer* child = w.tree.nodes[3];             // stratum 3
+  GdsServer* stratum2 = w.tree.nodes[1];          // original parent
+  GdsServer* root = w.tree.nodes[0];
+  ASSERT_EQ(child->parent(), stratum2->id());
+
+  // Phase 1: the assigned parent's link degrades; the root (the other
+  // proper ancestor) is much closer. The child must switch under the
+  // stratum constraint — the new parent sits on a strictly lower stratum.
+  w.net.set_path(child->id(), stratum2->id(), {.latency = SimTime::millis(60)});
+  w.net.set_path(child->id(), root->id(), {.latency = SimTime::millis(5)});
+  w.net.run_until(w.net.now() + SimTime::seconds(15));
+  EXPECT_EQ(child->parent(), root->id());
+  EXPECT_EQ(child->stats().adaptive_reparents, 1u);
+  EXPECT_LT(root->stratum(), child->stratum());
+
+  // Phase 2: conditions invert; the child re-parents again, still to a
+  // strictly-lower-stratum ancestor. RTT estimates are EWMA-smoothed, so
+  // give the new readings time to cross the hysteresis threshold.
+  w.net.set_path(child->id(), stratum2->id(), {.latency = SimTime::millis(5)});
+  w.net.set_path(child->id(), root->id(), {.latency = SimTime::millis(80)});
+  w.net.run_until(w.net.now() + SimTime::seconds(25));
+  EXPECT_EQ(child->parent(), stratum2->id());
+  EXPECT_EQ(child->stats().adaptive_reparents, 2u);
+  EXPECT_LT(stratum2->stratum(), child->stratum());
+
+  // The tree still floods exactly-once after repeated adaptive switches.
+  w.servers[0]->client().broadcast(kTestPayload, {});
+  w.net.run_until(w.net.now() + SimTime::seconds(2));
+  for (std::size_t i = 1; i < w.servers.size(); ++i) {
+    EXPECT_EQ(w.servers[i]->deliveries.size(), 1u) << "server " << i;
+  }
+}
+
+TEST(GdsAdaptiveTest, SiblingRingNeverChosenEvenWhenClosest) {
+  // A stratum-2 node's only proper ancestor is the root; its sibling-ring
+  // entries are failover-only. Even with a sibling one millisecond away
+  // and the root a hundred, RTT-driven selection must not cross strata.
+  World w;
+  w.build(2, 3, 4, adaptive_config());
+  GdsServer* node = w.tree.nodes[1];     // stratum 2
+  GdsServer* sibling = w.tree.nodes[2];  // stratum 2 (ring fallback)
+  GdsServer* root = w.tree.nodes[0];
+  w.net.set_path(node->id(), sibling->id(), {.latency = SimTime::millis(1)});
+  w.net.set_path(node->id(), root->id(), {.latency = SimTime::millis(100)});
+  w.net.run_until(w.net.now() + SimTime::seconds(20));
+  EXPECT_EQ(node->parent(), root->id());
+  EXPECT_EQ(node->stats().adaptive_reparents, 0u);
+}
+
+TEST(GdsAdaptiveTest, HysteresisNeverOscillatesOnJitteryMatrix) {
+  // Two proper ancestors with near-equal base latency under heavy
+  // symmetric jitter: every smoothed estimate wobbles, but none crosses
+  // the 25% improvement bar, so the parent never flaps.
+  World w;
+  w.build(2, 3, 4, adaptive_config());
+  GdsServer* child = w.tree.nodes[3];
+  GdsServer* stratum2 = w.tree.nodes[1];
+  GdsServer* root = w.tree.nodes[0];
+  const NodeId original_parent = child->parent();
+  w.net.set_path(child->id(), stratum2->id(),
+                 {.latency = SimTime::millis(20), .jitter = SimTime::millis(8)});
+  w.net.set_path(child->id(), root->id(),
+                 {.latency = SimTime::millis(19), .jitter = SimTime::millis(8)});
+  w.net.run_until(w.net.now() + SimTime::seconds(60));
+  EXPECT_EQ(child->parent(), original_parent);
+  EXPECT_EQ(child->stats().adaptive_reparents, 0u);
+  EXPECT_GT(child->stats().rtt_samples, 0u);
+}
+
+TEST(GdsAdaptiveTest, NonAdaptiveConfigSendsNoProbes) {
+  World w;
+  w.build(2, 3, 4);  // default config: adaptive off
+  w.net.run_until(w.net.now() + SimTime::seconds(10));
+  for (GdsServer* node : w.tree.nodes) {
+    EXPECT_EQ(node->stats().rtt_probes_sent, 0u);
+    EXPECT_EQ(node->stats().rtt_samples, 0u);
+    EXPECT_EQ(node->stats().adaptive_reparents, 0u);
+  }
+}
+
 TEST(GdsParamTest, BroadcastScalesAcrossShapes) {
   struct Shape {
     int fanout, depth, servers;

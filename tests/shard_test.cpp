@@ -136,19 +136,56 @@ TEST(ShardKernelTest, ShardedRunIsDeterministicForFixedSeedAndK) {
   EXPECT_EQ(a, b);
 }
 
-TEST(ShardKernelTest, ZeroCrossShardLookaheadThrows) {
+TEST(ShardKernelTest, ZeroCrossShardPathRejectedAtConfigTime) {
   Network net{1};
   auto* a = net.make_node<Relay>("a", NodeId{2}, 0);
   net.make_node<Relay>("b", NodeId{1}, 0);
   (void)a;
   net.set_shards(2);  // contiguous: a -> shard 0, b -> shard 1
   EXPECT_GT(net.lookahead(), SimTime::zero());
-  // A zero-latency path between the shards collapses the lookahead; the
-  // kernel must refuse to run rather than stall or reorder.
-  net.set_path(NodeId{1}, NodeId{2}, PathConfig{.latency = SimTime::zero()});
-  EXPECT_EQ(net.lookahead(), SimTime::zero());
+  // A zero-latency path between the shards would collapse the lookahead;
+  // the misconfiguration is rejected at set_path time, naming the pair,
+  // instead of failing later inside run().
+  try {
+    net.set_path(NodeId{1}, NodeId{2},
+                 PathConfig{.latency = SimTime::zero()});
+    FAIL() << "zero-latency cross-shard set_path did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'a'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'b'"), std::string::npos) << what;
+  }
+  // The rejected override was not installed: the kernel still runs.
+  EXPECT_GT(net.lookahead(), SimTime::zero());
   net.start();
-  EXPECT_THROW(net.run_until(SimTime::millis(10)), std::runtime_error);
+  net.run_until(SimTime::millis(10));
+}
+
+TEST(ShardKernelTest, ZeroLatencyDefaultRejectedAtShardTime) {
+  Network net{1};
+  net.make_node<Relay>("a", NodeId{2}, 0);
+  net.make_node<Relay>("b", NodeId{1}, 0);
+  net.set_default_path(PathConfig{.latency = SimTime::zero()});
+  EXPECT_THROW(net.set_shards(2), std::invalid_argument);
+}
+
+TEST(ShardKernelTest, TopologyDerivedLookahead) {
+  Network net{1};
+  for (int i = 0; i < 6; ++i) {
+    net.make_node<Relay>("n" + std::to_string(i), NodeId{1}, 0);
+  }
+  Topology topo = Topology::multi_region(3);
+  net.set_topology(topo);
+  // Round-robin regions + contiguous shards: both shards hold nodes of
+  // every region, so the conservative bound is the matrix minimum (the
+  // 5 ms intra-region entry), not the 10 ms default path.
+  net.set_shards(2);
+  EXPECT_EQ(net.lookahead(), SimTime::millis(5));
+  EXPECT_EQ(net.topology()->name, "multi-region");
+  // Path resolution follows the matrix: nodes 1 and 4 share region 0.
+  EXPECT_EQ(net.path(NodeId{1}, NodeId{4}).latency, SimTime::millis(5));
+  // Nodes 1 (region 0) and 2 (region 1) are ring neighbours.
+  EXPECT_EQ(net.path(NodeId{1}, NodeId{2}).latency, SimTime::millis(40));
 }
 
 TEST(ShardKernelTest, SetPathAfterShardingRecomputesLookahead) {

@@ -1,7 +1,8 @@
 // bench_sentinel — perf regression gate over the canonical bench reports.
 //
-// Every bench writes BENCH_<name>.json ({"bench":...,"metrics":{counters,
-// gauges,histograms}}). The sentinel diffs a directory of fresh reports
+// Every bench writes BENCH_<name>.json ({"bench":...,"meta":{topology,
+// regions},"metrics":{counters,gauges,histograms}}). The sentinel diffs
+// a directory of fresh reports
 // against the checked-in baselines in bench/baselines/, applying
 // per-metric tolerance bands from a rules file: seeded-simulation metrics
 // are byte-stable and get tight (often zero) bands, wall-clock metrics
@@ -11,8 +12,10 @@
 // Modes:
 //   bench_sentinel --baselines DIR --current DIR [--tolerances FILE]
 //   bench_sentinel --schema-check DIR     every report must carry the
-//                                         latency.* schema (e2e quantiles
-//                                         + per-stage decomposition)
+//                                         meta block (topology + region
+//                                         count) and the latency.* schema
+//                                         (e2e quantiles + per-stage
+//                                         decomposition)
 //   bench_sentinel --self-test            parser + rule engine + an
 //                                         injected 2x latency regression
 //                                         that MUST be caught
@@ -468,10 +471,36 @@ bool load_report(const std::filesystem::path& path, std::string& bench,
 // quantile set, and at least one per-stage decomposition series.
 
 bool schema_check_file(const std::filesystem::path& path) {
+  std::string error;
+  const auto parsed = parse_file(path, error);
+  if (!parsed) {
+    std::fprintf(stderr, "bench_sentinel: %s\n", error.c_str());
+    return false;
+  }
   std::string bench;
   Samples samples;
-  if (!load_report(path, bench, samples)) return false;
+  if (!flatten_report(*parsed, bench, samples, error)) {
+    std::fprintf(stderr, "bench_sentinel: %s: %s\n", path.string().c_str(),
+                 error.c_str());
+    return false;
+  }
   bool ok = true;
+  // Every report must say what world it measured: a meta block naming
+  // the WAN topology and its region count (docs/TOPOLOGY.md).
+  const Json* meta = parsed->find("meta");
+  const Json* topology =
+      meta != nullptr ? meta->find("topology") : nullptr;
+  const Json* regions = meta != nullptr ? meta->find("regions") : nullptr;
+  if (meta == nullptr || meta->type != Json::Type::kObject ||
+      topology == nullptr || topology->type != Json::Type::kString ||
+      topology->str.empty() || regions == nullptr ||
+      regions->type != Json::Type::kNumber || regions->number < 1) {
+    std::fprintf(stderr,
+                 "%s: missing/malformed meta block "
+                 "(need {\"topology\":string,\"regions\":>=1})\n",
+                 path.filename().c_str());
+    ok = false;
+  }
   // The e2e series may be unlabeled (latency.e2e_ms:p99) or carry
   // per-config labels (latency.e2e_ms{servers=100}:p99); either form
   // satisfies the contract as long as each quantile field is present.
